@@ -1,0 +1,121 @@
+//! KV-cache compression sensitivity (§2.2 / CacheGen \[27\]).
+//!
+//! §2.2: "KV cache compression \[27\] \[is\] also used, but each has its
+//! limitations and even together they do not fundamentally change the
+//! heavily read-dominated nature of the workload." This module makes that
+//! sensitivity claim checkable: apply a compression ratio to the KV stream
+//! and recompute the quantities the paper's argument rests on — the
+//! read:write ratio, the Figure-1 endurance requirement, and the capacity
+//! footprint — to verify none of them flips the conclusion.
+
+use mrm_workload::engine::DecodeEngine;
+use mrm_workload::model::{ModelConfig, Quantization};
+use mrm_workload::traces::SplitwiseThroughput;
+use serde::{Deserialize, Serialize};
+
+use crate::endurance::kv_cache_requirement;
+use mrm_sim::time::SimDuration;
+
+/// The workload picture at one KV compression ratio.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompressionRow {
+    /// Compression ratio applied to KV reads/writes/capacity (1 = none).
+    pub ratio: f64,
+    /// Read:write ratio at batch 32, 2k contexts.
+    pub rw_ratio: f64,
+    /// KV bytes per token after compression.
+    pub kv_per_token: u64,
+    /// KV cache footprint at 2k context, bytes.
+    pub kv_footprint_2k: u64,
+    /// Figure-1 KV endurance requirement (writes/cell, 5 y, 192 GB).
+    pub endurance_requirement: f64,
+    /// Whether the workload is still read-dominated (>100:1).
+    pub still_read_dominated: bool,
+}
+
+/// Sweeps compression ratios for a model.
+pub fn compression_sweep(model: &ModelConfig, ratios: &[f64]) -> Vec<CompressionRow> {
+    let quant = Quantization::Fp16;
+    let engine = DecodeEngine::new(model.clone(), quant);
+    let tp = SplitwiseThroughput::llama2_70b();
+    let life = SimDuration::from_years(5);
+    let capacity = 192_000_000_000u64;
+
+    ratios
+        .iter()
+        .map(|&r| {
+            assert!(r >= 1.0, "compression ratio must be >= 1");
+            let cost = engine.batch_cost(&[2048u32; 32]);
+            // Compression divides KV reads and writes; weights unchanged.
+            let reads =
+                cost.weights_read as f64 + cost.kv_read as f64 / r + cost.activation_rw as f64;
+            let writes = cost.kv_write as f64 / r + cost.activation_rw as f64;
+            let rw = reads / writes.max(1.0);
+            let kv_per_token = (model.kv_bytes_per_token(quant) as f64 / r) as u64;
+            let base_req = kv_cache_requirement(model, quant, tp, capacity, life);
+            CompressionRow {
+                ratio: r,
+                rw_ratio: rw,
+                kv_per_token,
+                kv_footprint_2k: kv_per_token * 2048,
+                endurance_requirement: base_req / r,
+                still_read_dominated: rw > 100.0,
+            }
+        })
+        .collect()
+}
+
+/// The standard sensitivity set: none, CacheGen-like (~4x), aggressive.
+pub fn paper_compression_sweep() -> Vec<CompressionRow> {
+    compression_sweep(&ModelConfig::llama2_70b(), &[1.0, 2.0, 4.0, 8.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_dominance_survives_any_plausible_ratio() {
+        // The §2.2 claim: compression does not flip the workload shape.
+        for row in paper_compression_sweep() {
+            assert!(
+                row.still_read_dominated,
+                "ratio {}: rw {}",
+                row.ratio, row.rw_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn compression_raises_rw_ratio() {
+        // Compressing KV shrinks writes more than reads (weights dominate
+        // reads), so the ratio *increases* — compression helps MRM.
+        let rows = paper_compression_sweep();
+        for w in rows.windows(2) {
+            assert!(w[1].rw_ratio > w[0].rw_ratio);
+        }
+    }
+
+    #[test]
+    fn endurance_requirement_scales_inversely() {
+        let rows = paper_compression_sweep();
+        let base = &rows[0];
+        for r in &rows[1..] {
+            let expected = base.endurance_requirement / r.ratio;
+            assert!((r.endurance_requirement / expected - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn footprint_shrinks_linearly() {
+        let rows = paper_compression_sweep();
+        assert_eq!(rows[0].kv_per_token, 327_680);
+        assert_eq!(rows[2].kv_per_token, 81_920); // 4x
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn sub_unit_ratio_rejected() {
+        compression_sweep(&ModelConfig::llama2_70b(), &[0.5]);
+    }
+}

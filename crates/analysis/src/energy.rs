@@ -1,0 +1,249 @@
+//! T3 (§2.1) and E6 (§3): energy analysis.
+//!
+//! T3 quantifies the HBM claims: memory is "approximately a third of the
+//! energy usage for an AI accelerator"; refresh consumes "power even when
+//! the memory is idle"; stacking hurts yield and thermals.
+//!
+//! E6 quantifies the §3 housekeeping argument: "Many housekeeping overheads
+//! in existing technologies result from a mismatch between cell retention
+//! and data lifetime. DRAM's retention is too short, requiring frequent
+//! refreshes. Flash retention is too long ... requiring FTL mechanisms. ...
+//! In contrast, matching retention to the lifetime of the data makes
+//! refresh, deletion, or wear-leveling unnecessary."
+
+use mrm_device::tech::{presets, Technology};
+use mrm_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// T3: the accelerator-level energy picture for an HBM memory system.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AcceleratorEnergy {
+    /// Accelerator board power budget, watts.
+    pub board_w: f64,
+    /// Memory interface power at the given utilization, watts.
+    pub memory_io_w: f64,
+    /// Refresh power, watts (burns even when idle).
+    pub refresh_w: f64,
+    /// Memory standby power, watts.
+    pub idle_w: f64,
+    /// Memory share of board power.
+    pub memory_fraction: f64,
+}
+
+/// Host-side PHY + memory-controller energy, as a multiple of the
+/// DRAM-side access energy. Industry analyses put the accelerator-die
+/// share (PHY, controller, on-die data movement) at roughly 60% on top of
+/// the HBM device energy.
+pub const HOST_SIDE_OVERHEAD: f64 = 1.6;
+
+/// Computes the accelerator energy picture for `stacks` HBM stacks at
+/// `bw_utilization` (0..1) of peak bandwidth on a board of `board_w`.
+///
+/// Memory IO power = utilized bandwidth × pJ/bit × [`HOST_SIDE_OVERHEAD`]
+/// (device + host PHY/controller); that plus refresh and standby is the
+/// memory share.
+pub fn accelerator_energy(
+    stack: &Technology,
+    stacks: u32,
+    bw_utilization: f64,
+    board_w: f64,
+) -> AcceleratorEnergy {
+    let bw = stack.read_bw * stacks as f64 * bw_utilization.clamp(0.0, 1.0);
+    let memory_io_w = bw * 8.0 * stack.read_energy_pj_bit * 1e-12 * HOST_SIDE_OVERHEAD;
+    let refresh_w = stack.refresh_power_w() * stacks as f64;
+    let idle_w = stack.idle_power_w() * stacks as f64;
+    let mem = memory_io_w + refresh_w + idle_w;
+    AcceleratorEnergy {
+        board_w,
+        memory_io_w,
+        refresh_w,
+        idle_w,
+        memory_fraction: mem / board_w,
+    }
+}
+
+/// The B200-class default: 8 HBM3e stacks on a 1000 W board at 80%
+/// sustained bandwidth utilization (inference decode is memory-bound,
+/// §2.1).
+pub fn b200_energy() -> AcceleratorEnergy {
+    accelerator_energy(&presets::hbm3e(), 8, 0.8, 1000.0)
+}
+
+/// E6: the housekeeping cost of storing 1 GB for `lifetime`, per
+/// technology — the §3 mismatch argument made quantitative.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HousekeepingRow {
+    /// Technology name.
+    pub tech: String,
+    /// Initial write energy for 1 GB, joules.
+    pub write_j: f64,
+    /// Housekeeping energy over the lifetime (refresh passes, FTL write
+    /// amplification, or scrubs), joules.
+    pub housekeeping_j: f64,
+    /// Housekeeping events (refresh passes / GC-amplified writes / scrubs).
+    pub events: u64,
+    /// Housekeeping energy per useful byte-hour, joules.
+    pub j_per_gb_hour: f64,
+}
+
+/// Computes the E6 row for a technology storing `bytes` for `lifetime`.
+///
+/// * DRAM-family: one refresh pass per refresh interval for the whole
+///   lifetime.
+/// * Flash: FTL write amplification `wa` multiplies the initial write (the
+///   GC rewrites); no refresh.
+/// * MRM / SCM: `ceil(lifetime / retention) − 1` scrub passes (zero when
+///   retention covers the lifetime — the paper's matched case).
+pub fn housekeeping_row(
+    tech: &Technology,
+    bytes: u64,
+    lifetime: SimDuration,
+    flash_wa: f64,
+) -> HousekeepingRow {
+    let write_j = tech.write_energy_j(bytes);
+    let (housekeeping_j, events) = if let Some(interval) = tech.refresh_interval {
+        let passes = lifetime.as_nanos() / interval.as_nanos().max(1);
+        let per_pass = bytes as f64 * 8.0 * tech.refresh_energy_pj_bit * 1e-12;
+        (passes as f64 * per_pass, passes)
+    } else if matches!(
+        tech.family,
+        mrm_device::tech::TechFamily::Nand | mrm_device::tech::TechFamily::Nor
+    ) {
+        let extra = (flash_wa - 1.0).max(0.0);
+        ((tech.write_energy_j(bytes)) * extra, extra.ceil() as u64)
+    } else {
+        // Scrubs: full rewrite (read + write) per retention lapse.
+        let scrubs = (lifetime
+            .as_nanos()
+            .div_ceil(tech.retention.as_nanos().max(1)))
+        .saturating_sub(1);
+        let per_scrub = tech.read_energy_j(bytes) + tech.write_energy_j(bytes);
+        (scrubs as f64 * per_scrub, scrubs)
+    };
+    let gb = bytes as f64 / 1e9;
+    let hours = lifetime.as_secs_f64() / 3600.0;
+    HousekeepingRow {
+        tech: tech.name.clone(),
+        write_j,
+        housekeeping_j,
+        events,
+        j_per_gb_hour: housekeeping_j / (gb * hours).max(1e-12),
+    }
+}
+
+/// The standard E6 dataset: 1 GB of KV-cache-like data living 6 hours.
+pub fn paper_housekeeping() -> Vec<HousekeepingRow> {
+    let bytes = 1_000_000_000u64;
+    let lifetime = SimDuration::from_hours(6);
+    let wa = 2.5; // typical FTL write amplification under churn
+    vec![
+        housekeeping_row(&presets::hbm3e(), bytes, lifetime, wa),
+        housekeeping_row(&presets::ddr5(), bytes, lifetime, wa),
+        housekeeping_row(&presets::lpddr5x(), bytes, lifetime, wa),
+        housekeeping_row(&presets::nand_slc(), bytes, lifetime, wa),
+        housekeeping_row(&presets::mrm_minutes(), bytes, lifetime, wa),
+        housekeeping_row(&presets::mrm_hours(), bytes, lifetime, wa),
+        housekeeping_row(&presets::mrm_days(), bytes, lifetime, wa),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_is_about_a_third_of_board_power() {
+        // §2.1: "approximately a third of the energy usage for an AI
+        // accelerator is the memory."
+        let e = b200_energy();
+        assert!(
+            e.memory_fraction > 0.20 && e.memory_fraction < 0.45,
+            "memory fraction {}",
+            e.memory_fraction
+        );
+    }
+
+    #[test]
+    fn refresh_burns_even_at_zero_utilization() {
+        let idle = accelerator_energy(&presets::hbm3e(), 8, 0.0, 1000.0);
+        assert_eq!(idle.memory_io_w, 0.0);
+        assert!(idle.refresh_w > 1.0, "idle refresh {} W", idle.refresh_w);
+        assert!(idle.memory_fraction > 0.0);
+    }
+
+    #[test]
+    fn io_power_scales_with_utilization() {
+        let half = accelerator_energy(&presets::hbm3e(), 8, 0.5, 1000.0);
+        let full = accelerator_energy(&presets::hbm3e(), 8, 1.0, 1000.0);
+        assert!((full.memory_io_w / half.memory_io_w - 2.0).abs() < 1e-9);
+        // 8 TB/s at 3.9 pJ/bit × 1.6 host overhead ≈ 400 W at full
+        // utilization.
+        assert!(
+            (full.memory_io_w - 399.4).abs() < 2.0,
+            "{}",
+            full.memory_io_w
+        );
+    }
+
+    #[test]
+    fn matched_retention_has_zero_housekeeping() {
+        // 6-hour data in 12-hour-retention MRM: no scrubs at all.
+        let rows = paper_housekeeping();
+        let matched = rows.iter().find(|r| r.tech.contains("12h")).unwrap();
+        assert_eq!(matched.events, 0);
+        assert_eq!(matched.housekeeping_j, 0.0);
+        let days = rows.iter().find(|r| r.tech.contains("7d")).unwrap();
+        assert_eq!(days.housekeeping_j, 0.0);
+    }
+
+    #[test]
+    fn dram_refresh_dominates_mismatch() {
+        let rows = paper_housekeeping();
+        let hbm = rows.iter().find(|r| r.tech == "HBM3e").unwrap();
+        let matched = rows.iter().find(|r| r.tech.contains("12h")).unwrap();
+        // 6 h / 32 ms = 675k refresh passes.
+        assert!(hbm.events > 500_000, "refresh passes {}", hbm.events);
+        assert!(hbm.housekeeping_j > 100.0 * (matched.housekeeping_j + 1e-9));
+    }
+
+    #[test]
+    fn short_retention_mrm_pays_scrubs_but_less_than_dram() {
+        let rows = paper_housekeeping();
+        let mins = rows.iter().find(|r| r.tech.contains("10m")).unwrap();
+        let hbm = rows.iter().find(|r| r.tech == "HBM3e").unwrap();
+        assert!(
+            mins.events > 0,
+            "10-minute retention must scrub 6-hour data"
+        );
+        assert!(
+            mins.housekeeping_j < hbm.housekeeping_j,
+            "36 scrubs {} J must still beat 675k refreshes {} J",
+            mins.housekeeping_j,
+            hbm.housekeeping_j
+        );
+    }
+
+    #[test]
+    fn flash_pays_write_amplification() {
+        let rows = paper_housekeeping();
+        let nand = rows.iter().find(|r| r.tech.contains("SLC")).unwrap();
+        assert!(nand.housekeeping_j > 0.0);
+        // WA 2.5: housekeeping = 1.5 × the (already expensive) write.
+        assert!((nand.housekeeping_j / nand.write_j - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn e6_ordering_matches_the_papers_argument() {
+        // Housekeeping J/GB·h: DRAM ≫ Flash > mismatched MRM > matched MRM = 0.
+        let rows = paper_housekeeping();
+        let g = |n: &str| {
+            rows.iter()
+                .find(|r| r.tech.contains(n))
+                .unwrap()
+                .j_per_gb_hour
+        };
+        assert!(g("HBM3e") > g("SLC"));
+        assert!(g("SLC") > g("12h"));
+        assert_eq!(g("12h"), 0.0);
+    }
+}

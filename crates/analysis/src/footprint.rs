@@ -1,0 +1,132 @@
+//! T1 (§2): inference memory footprints across the model zoo.
+//!
+//! Reproduces the §2 claims: weights of 500B+ models span "between 250 GB
+//! and over 1 TB of data depending on the weight quantization"; the
+//! self-attention vector is "typically a few MBs" (full-MHA models); "the
+//! KV cache usually grows to a few tens of GBs"; activations are "an order
+//! of magnitude smaller than both".
+
+use mrm_workload::model::{ModelConfig, Quantization};
+use serde::{Deserialize, Serialize};
+
+/// One footprint row: a model at a quantization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FootprintRow {
+    /// Model name.
+    pub model: String,
+    /// Parameters.
+    pub params: u64,
+    /// Quantization label.
+    pub quant: &'static str,
+    /// Weight bytes.
+    pub weights_bytes: u64,
+    /// KV bytes appended per token.
+    pub kv_per_token_bytes: u64,
+    /// KV cache at a median-ish 2k context.
+    pub kv_at_2k_bytes: u64,
+    /// KV cache at the model's maximum context.
+    pub kv_at_max_bytes: u64,
+    /// Peak activation bytes at batch 32.
+    pub activation_bytes: u64,
+}
+
+/// Builds the full T1 dataset: model zoo × quantizations.
+pub fn footprint_table() -> Vec<FootprintRow> {
+    let mut rows = Vec::new();
+    for model in ModelConfig::zoo() {
+        for q in Quantization::all() {
+            rows.push(FootprintRow {
+                model: model.name.clone(),
+                params: model.n_params,
+                quant: q.label(),
+                weights_bytes: model.weights_bytes(q),
+                kv_per_token_bytes: model.kv_bytes_per_token(q),
+                kv_at_2k_bytes: model.kv_cache_bytes(2048, q),
+                kv_at_max_bytes: model.kv_cache_bytes(model.max_context as u64, q),
+                activation_bytes: model.activation_bytes(32, q),
+            });
+        }
+    }
+    rows
+}
+
+/// The §2 claims checked against the dataset; returns human-readable
+/// violations (empty = all claims hold).
+pub fn check_paper_claims(rows: &[FootprintRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Claim: 500B+ models span 250 GB .. >1 TB across quantizations.
+    let big: Vec<&FootprintRow> = rows
+        .iter()
+        .filter(|r| r.params >= 500_000_000_000)
+        .collect();
+    let min = big.iter().map(|r| r.weights_bytes).min().unwrap_or(0);
+    let max = big.iter().map(|r| r.weights_bytes).max().unwrap_or(0);
+    if min > 250_000_000_000 {
+        violations.push(format!("500B+ low end {min} > 250 GB"));
+    }
+    if max < 1_000_000_000_000 {
+        violations.push(format!("500B+ high end {max} < 1 TB"));
+    }
+    // Claim: MHA attention vectors are MB-scale at fp16.
+    if !rows.iter().any(|r| {
+        r.quant == "fp16" && r.kv_per_token_bytes > 1_000_000 && r.kv_per_token_bytes < 10_000_000
+    }) {
+        violations.push("no model shows MB-scale attention vectors".into());
+    }
+    // Claim: KV caches reach tens of GB.
+    if !rows
+        .iter()
+        .any(|r| r.kv_at_max_bytes > 10_000_000_000 && r.kv_at_max_bytes < 100_000_000_000)
+    {
+        violations.push("no model shows tens-of-GB KV caches".into());
+    }
+    // Claim: activations an order of magnitude smaller than weights & KV.
+    for r in rows.iter().filter(|r| r.quant == "fp16") {
+        if r.activation_bytes * 10 > r.weights_bytes {
+            violations.push(format!("{}: activations not ≪ weights", r.model));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrm_sim::units::{GB, TB};
+
+    #[test]
+    fn all_claims_hold() {
+        let rows = footprint_table();
+        let violations = check_paper_claims(&rows);
+        assert!(violations.is_empty(), "claims violated: {violations:?}");
+    }
+
+    #[test]
+    fn table_covers_zoo_times_quants() {
+        let rows = footprint_table();
+        assert_eq!(rows.len(), 6 * 3);
+    }
+
+    #[test]
+    fn weight_range_endpoints() {
+        let rows = footprint_table();
+        let f500_int4 = rows
+            .iter()
+            .find(|r| r.model == "Frontier-500B" && r.quant == "int4")
+            .unwrap();
+        assert_eq!(f500_int4.weights_bytes, 250 * GB);
+        let f1t_fp16 = rows
+            .iter()
+            .find(|r| r.model == "Frontier-1T" && r.quant == "fp16")
+            .unwrap();
+        assert_eq!(f1t_fp16.weights_bytes, 2 * TB);
+    }
+
+    #[test]
+    fn kv_grows_with_context() {
+        for r in footprint_table() {
+            assert!(r.kv_at_max_bytes >= r.kv_at_2k_bytes);
+            assert_eq!(r.kv_at_2k_bytes, r.kv_per_token_bytes * 2048);
+        }
+    }
+}

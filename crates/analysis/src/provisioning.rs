@@ -1,0 +1,214 @@
+//! The §2.2 provisioning scorecard: HBM versus what inference actually
+//! needs.
+//!
+//! "These properties suggest that most of the HBM capacity is used for data
+//! that has little use for the general-purpose properties HBM inherits from
+//! DRAM (random access, byte-addressability, comparable read and write
+//! performance). HBM is, in a sense, overprovisioned for the requirements
+//! of this foundation model inference workload."
+
+use mrm_device::tech::{presets, Technology};
+use mrm_sim::time::SimDuration;
+use mrm_workload::engine::DecodeEngine;
+use mrm_workload::model::{ModelConfig, Quantization};
+use serde::{Deserialize, Serialize};
+
+use crate::endurance::paper_requirements;
+
+/// Verdict on one provisioning dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The device provides far more than the workload needs (wasted cost /
+    /// energy).
+    Overprovisioned,
+    /// Provision roughly matches need.
+    Matched,
+    /// The device provides less than the workload wants.
+    Underprovisioned,
+}
+
+impl Verdict {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Overprovisioned => "OVER",
+            Verdict::Matched => "matched",
+            Verdict::Underprovisioned => "UNDER",
+        }
+    }
+}
+
+/// One scorecard dimension.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProvisionRow {
+    /// Dimension name.
+    pub dimension: String,
+    /// What the workload requires (human-readable).
+    pub required: String,
+    /// What the device provides.
+    pub provided: String,
+    /// Ratio provided/required where meaningful (>1 = surplus).
+    pub ratio: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+fn verdict_from_ratio(ratio: f64) -> Verdict {
+    if ratio > 10.0 {
+        Verdict::Overprovisioned
+    } else if ratio < 1.0 {
+        Verdict::Underprovisioned
+    } else {
+        Verdict::Matched
+    }
+}
+
+/// Builds the §2.2 scorecard for an HBM system serving a model.
+///
+/// Dimensions: write bandwidth, endurance, random access/byte
+/// addressability, retention vs. data lifetime, read bandwidth, capacity.
+pub fn hbm_scorecard(stack: &Technology, stacks: u32, model: &ModelConfig) -> Vec<ProvisionRow> {
+    let quant = Quantization::Fp16;
+    let engine = DecodeEngine::new(model.clone(), quant);
+    let batch = 32u32;
+    let cost = engine.batch_cost(&vec![2048u32; batch as usize]);
+
+    let read_bw = stack.read_bw * stacks as f64;
+    let write_bw = stack.write_bw * stacks as f64;
+    let capacity = stack.capacity_bytes * stacks as u64;
+
+    // Iteration time if fully memory bound: reads / read bandwidth.
+    let reads = (cost.weights_read + cost.kv_read + cost.activation_rw) as f64;
+    let iter_s = reads / read_bw;
+    let needed_write_bw = (cost.kv_write + cost.activation_rw) as f64 / iter_s;
+    let needed_read_bw = read_bw; // reads saturate whatever is provided
+
+    let req = paper_requirements();
+    let endurance_required = req.max_requirement();
+
+    // Data lifetime: KV caches live minutes-to-hours; weights hours-to-days.
+    let lifetime_needed = SimDuration::from_hours(12);
+
+    let footprint = model.weights_bytes(quant) + 40_000_000_000; // weights + KV working set
+
+    vec![
+        ProvisionRow {
+            dimension: "write bandwidth".into(),
+            required: format!("{:.1} GB/s (appends)", needed_write_bw / 1e9),
+            provided: format!("{:.0} GB/s", write_bw / 1e9),
+            ratio: write_bw / needed_write_bw,
+            verdict: verdict_from_ratio(write_bw / needed_write_bw),
+        },
+        ProvisionRow {
+            dimension: "endurance".into(),
+            required: format!("{:.1e} cycles/5y", endurance_required),
+            provided: format!("{:.1e} cycles", stack.endurance),
+            ratio: stack.endurance / endurance_required,
+            verdict: verdict_from_ratio(stack.endurance / endurance_required),
+        },
+        ProvisionRow {
+            dimension: "byte addressability".into(),
+            required: "block/sequential only (§2.2)".into(),
+            provided: if stack.byte_addressable {
+                "full random access".into()
+            } else {
+                "block".into()
+            },
+            ratio: if stack.byte_addressable { 64.0 } else { 1.0 },
+            verdict: if stack.byte_addressable {
+                Verdict::Overprovisioned
+            } else {
+                Verdict::Matched
+            },
+        },
+        ProvisionRow {
+            dimension: "retention".into(),
+            required: format!("{lifetime_needed} (data lifetime)"),
+            provided: format!("{} (then refresh)", stack.retention),
+            ratio: stack.retention.as_secs_f64() / lifetime_needed.as_secs_f64(),
+            verdict: verdict_from_ratio(
+                stack.retention.as_secs_f64() / lifetime_needed.as_secs_f64(),
+            ),
+        },
+        ProvisionRow {
+            dimension: "read bandwidth".into(),
+            required: format!("{:.1} TB/s (all of it)", needed_read_bw / 1e12),
+            provided: format!("{:.1} TB/s", read_bw / 1e12),
+            ratio: 1.0,
+            verdict: Verdict::Matched,
+        },
+        ProvisionRow {
+            dimension: "capacity".into(),
+            required: format!("{:.0} GB (weights+KV)", footprint as f64 / 1e9),
+            provided: format!("{:.0} GB", capacity as f64 / 1e9),
+            ratio: capacity as f64 / footprint as f64,
+            verdict: verdict_from_ratio(capacity as f64 / footprint as f64),
+        },
+    ]
+}
+
+/// The standard scorecard: B200-class HBM serving Llama2-70B.
+pub fn paper_scorecard() -> Vec<ProvisionRow> {
+    let (stack, n) = presets::b200_hbm_system();
+    hbm_scorecard(&stack, n, &ModelConfig::llama2_70b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(rows: &'a [ProvisionRow], dim: &str) -> &'a ProvisionRow {
+        rows.iter().find(|r| r.dimension == dim).unwrap()
+    }
+
+    #[test]
+    fn hbm_overprovisioned_on_writes_endurance_access() {
+        // The §2.2 argument: the general-purpose DRAM properties are wasted.
+        let rows = paper_scorecard();
+        assert_eq!(
+            get(&rows, "write bandwidth").verdict,
+            Verdict::Overprovisioned
+        );
+        assert_eq!(get(&rows, "endurance").verdict, Verdict::Overprovisioned);
+        assert_eq!(
+            get(&rows, "byte addressability").verdict,
+            Verdict::Overprovisioned
+        );
+    }
+
+    #[test]
+    fn hbm_underprovisioned_on_retention_and_capacity() {
+        let rows = paper_scorecard();
+        // 32 ms retention vs. hours of data lifetime.
+        assert_eq!(get(&rows, "retention").verdict, Verdict::Underprovisioned);
+        // 192 GB vs. 180 GB footprint: matched-to-tight; with KV growth it
+        // goes under — accept either but never "over".
+        assert_ne!(get(&rows, "capacity").verdict, Verdict::Overprovisioned);
+    }
+
+    #[test]
+    fn read_bandwidth_is_the_matched_dimension() {
+        let rows = paper_scorecard();
+        assert_eq!(get(&rows, "read bandwidth").verdict, Verdict::Matched);
+    }
+
+    #[test]
+    fn write_bandwidth_surplus_is_large() {
+        // §2.2: reads dominate 1000:1, so symmetric write bandwidth is
+        // mostly wasted: surplus > 100×.
+        let rows = paper_scorecard();
+        assert!(get(&rows, "write bandwidth").ratio > 100.0);
+    }
+
+    #[test]
+    fn scorecard_has_six_dimensions() {
+        assert_eq!(paper_scorecard().len(), 6);
+    }
+
+    #[test]
+    fn verdict_labels() {
+        assert_eq!(Verdict::Overprovisioned.label(), "OVER");
+        assert_eq!(Verdict::Underprovisioned.label(), "UNDER");
+        assert_eq!(Verdict::Matched.label(), "matched");
+    }
+}

@@ -1,0 +1,103 @@
+//! T2 (§2.2): the read:write ratio of decode traffic.
+//!
+//! "Each token generated during decode requires reading all the weights,
+//! and the entire KV cache, for one self-attention vector write ... which
+//! imply read:write ratios of over 1000:1." Batching amortizes the weight
+//! read but "do\[es\] not fundamentally change the heavily read-dominated
+//! nature of the workload."
+
+use mrm_workload::engine::DecodeEngine;
+use mrm_workload::model::{ModelConfig, Quantization};
+use serde::{Deserialize, Serialize};
+
+/// One T2 row: traffic at a batch size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RwRatioRow {
+    /// Model name.
+    pub model: String,
+    /// Decode batch size.
+    pub batch: u32,
+    /// Context length per request, tokens.
+    pub context_tokens: u32,
+    /// Bytes read per generated token.
+    pub reads_per_token: u64,
+    /// Bytes written per generated token.
+    pub writes_per_token: u64,
+    /// Read:write ratio.
+    pub ratio: f64,
+}
+
+/// Builds the ratio sweep for one model across batch sizes.
+pub fn rw_ratio_sweep(model: &ModelConfig, quant: Quantization, context: u32) -> Vec<RwRatioRow> {
+    let engine = DecodeEngine::new(model.clone(), quant);
+    [1u32, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&batch| {
+            let contexts = vec![context; batch as usize];
+            let cost = engine.batch_cost(&contexts);
+            let per = cost.per_token();
+            RwRatioRow {
+                model: model.name.clone(),
+                batch,
+                context_tokens: context,
+                reads_per_token: per.reads(),
+                writes_per_token: per.writes(),
+                ratio: cost.read_write_ratio(),
+            }
+        })
+        .collect()
+}
+
+/// The standard T2 dataset: Llama2-70B at fp16, 2k contexts.
+pub fn paper_rw_ratio() -> Vec<RwRatioRow> {
+    rw_ratio_sweep(&ModelConfig::llama2_70b(), Quantization::Fp16, 2048)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbatched_ratio_over_1000() {
+        let rows = paper_rw_ratio();
+        assert!(rows[0].ratio > 1000.0, "batch-1 ratio {}", rows[0].ratio);
+    }
+
+    #[test]
+    fn ratio_falls_with_batching_but_stays_read_dominated() {
+        let rows = paper_rw_ratio();
+        for w in rows.windows(2) {
+            assert!(w[1].ratio <= w[0].ratio, "ratio must fall with batch");
+        }
+        let last = rows.last().unwrap();
+        assert!(
+            last.ratio > 50.0,
+            "batch-128 ratio {} still read-dominated",
+            last.ratio
+        );
+    }
+
+    #[test]
+    fn writes_per_token_are_batch_invariant() {
+        let rows = paper_rw_ratio();
+        let w0 = rows[0].writes_per_token;
+        for r in &rows {
+            // Activation share varies slightly with batch; KV append does not.
+            assert!(
+                (r.writes_per_token as f64 / w0 as f64 - 1.0).abs() < 0.2,
+                "batch {} writes {}",
+                r.batch,
+                r.writes_per_token
+            );
+        }
+    }
+
+    #[test]
+    fn mha_model_even_more_read_heavy() {
+        let gqa = rw_ratio_sweep(&ModelConfig::llama2_70b(), Quantization::Fp16, 2048);
+        let mha = rw_ratio_sweep(&ModelConfig::gpt3_175b(), Quantization::Fp16, 2048);
+        // Bigger model: more weights read per token at batch 1.
+        assert!(mha[0].reads_per_token > gqa[0].reads_per_token);
+        assert!(mha[0].ratio > 100.0);
+    }
+}

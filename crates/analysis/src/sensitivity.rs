@@ -1,0 +1,186 @@
+//! Sensitivity analysis: how robust is Figure 1's conclusion?
+//!
+//! Every number in the endurance analysis is an estimate — token
+//! throughputs will grow, vector sizes vary by architecture, capacities
+//! scale, device lifetimes differ. A vision paper's argument should
+//! survive an order of magnitude of error in any single input; this module
+//! perturbs each input across a range and reports whether the two Figure-1
+//! observations still hold, tornado-style.
+
+use mrm_device::tech::presets;
+use serde::{Deserialize, Serialize};
+
+use crate::endurance::EnduranceRequirements;
+
+/// One perturbed scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SensitivityRow {
+    /// Which input was perturbed.
+    pub input: String,
+    /// Multiplier applied to it.
+    pub factor: f64,
+    /// Resulting KV-cache requirement (writes/cell over the lifetime).
+    pub kv_requirement: f64,
+    /// Observation 1 still holds: DRAM/HBM margin > 1e4×.
+    pub obs1_holds: bool,
+    /// Observation 2 still holds: SCM products below the band, potentials
+    /// above it.
+    pub obs2_holds: bool,
+}
+
+/// The baseline inputs of the Figure-1 computation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Figure1Inputs {
+    /// Aggregate token rate, tokens/s per memory system.
+    pub tokens_per_s: f64,
+    /// KV bytes appended per token.
+    pub kv_bytes_per_token: f64,
+    /// Memory-system capacity, bytes.
+    pub capacity_bytes: f64,
+    /// Device lifetime, years.
+    pub lifetime_years: f64,
+    /// Weight update period, seconds (for the intensive line).
+    pub weight_period_s: f64,
+}
+
+impl Figure1Inputs {
+    /// The paper's baseline: Splitwise Llama2-70B on a 192 GB system.
+    pub fn baseline() -> Self {
+        Figure1Inputs {
+            tokens_per_s: 8500.0,
+            kv_bytes_per_token: 327_680.0,
+            capacity_bytes: 192e9,
+            lifetime_years: 5.0,
+            weight_period_s: 1.0,
+        }
+    }
+
+    /// Evaluates the requirement set for these inputs.
+    pub fn requirements(&self) -> EnduranceRequirements {
+        let life_s = self.lifetime_years * 365.0 * 86_400.0;
+        let kv = self.tokens_per_s * self.kv_bytes_per_token * life_s / self.capacity_bytes;
+        EnduranceRequirements {
+            lifetime_years: self.lifetime_years,
+            weights_hourly: life_s / 3600.0,
+            weights_per_second: life_s / self.weight_period_s,
+            kv_cache: kv,
+            kv_cache_headroom: kv * 10.0,
+        }
+    }
+}
+
+/// Checks the two Figure-1 observations against a requirement set.
+pub fn observations_hold(req: &EnduranceRequirements) -> (bool, bool) {
+    let max_req = req.max_requirement();
+    let obs1 = presets::hbm3e().endurance / max_req > 1e4;
+    let products_below = [presets::rram_product(), presets::nand_slc()]
+        .iter()
+        .all(|t| t.endurance < max_req);
+    let potentials_above = [
+        presets::pcm_potential(),
+        presets::rram_potential(),
+        presets::stt_mram_potential(),
+    ]
+    .iter()
+    .all(|t| t.endurance >= req.kv_cache);
+    (obs1, products_below && potentials_above)
+}
+
+/// A named perturbation of one Figure-1 input.
+type Perturbation = (&'static str, fn(&mut Figure1Inputs, f64));
+
+/// Perturbs each input over `factors` (e.g. `[0.1, 0.3, 3.0, 10.0]`) and
+/// reports the outcome per scenario.
+pub fn tornado(factors: &[f64]) -> Vec<SensitivityRow> {
+    let base = Figure1Inputs::baseline();
+    let mut rows = Vec::new();
+    let inputs: [Perturbation; 4] = [
+        ("token throughput", |i, f| i.tokens_per_s *= f),
+        ("KV bytes/token", |i, f| i.kv_bytes_per_token *= f),
+        ("system capacity", |i, f| i.capacity_bytes *= f),
+        ("device lifetime", |i, f| i.lifetime_years *= f),
+    ];
+    for (name, apply) in inputs {
+        for &f in factors {
+            let mut scenario = base;
+            apply(&mut scenario, f);
+            let req = scenario.requirements();
+            let (o1, o2) = observations_hold(&req);
+            rows.push(SensitivityRow {
+                input: name.to_string(),
+                factor: f,
+                kv_requirement: req.kv_cache,
+                obs1_holds: o1,
+                obs2_holds: o2,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_the_endurance_module() {
+        let ours = Figure1Inputs::baseline().requirements();
+        let theirs = crate::endurance::paper_requirements();
+        assert!((ours.kv_cache / theirs.kv_cache - 1.0).abs() < 1e-9);
+        assert!((ours.weights_hourly - theirs.weights_hourly).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observations_hold_at_baseline() {
+        let (o1, o2) = observations_hold(&Figure1Inputs::baseline().requirements());
+        assert!(o1 && o2);
+    }
+
+    #[test]
+    fn conclusion_survives_order_of_magnitude_each_way() {
+        // The robustness claim: no single 10x input error flips either
+        // observation.
+        for row in tornado(&[0.1, 0.3, 3.0, 10.0]) {
+            assert!(
+                row.obs1_holds,
+                "{} x{}: HBM overprovisioning flipped",
+                row.input, row.factor
+            );
+            assert!(
+                row.obs2_holds,
+                "{} x{}: product/potential gap flipped",
+                row.input, row.factor
+            );
+        }
+    }
+
+    #[test]
+    fn requirement_directions_are_correct() {
+        let rows = tornado(&[0.1, 10.0]);
+        let get = |input: &str, f: f64| {
+            rows.iter()
+                .find(|r| r.input == input && r.factor == f)
+                .unwrap()
+                .kv_requirement
+        };
+        let base = Figure1Inputs::baseline().requirements().kv_cache;
+        // Throughput and vector size scale the requirement up.
+        assert!(get("token throughput", 10.0) > base);
+        assert!(get("KV bytes/token", 10.0) > base);
+        // Capacity scales it down.
+        assert!(get("system capacity", 10.0) < base);
+        // Lifetime scales it up (more years of writes).
+        assert!(get("device lifetime", 10.0) > base);
+    }
+
+    #[test]
+    fn extreme_100x_throughput_does_strain_products_only() {
+        // Even at 100x token rates the potentials still clear the *base*
+        // KV line; the band check is what eventually gives.
+        let mut i = Figure1Inputs::baseline();
+        i.tokens_per_s *= 100.0;
+        let req = i.requirements();
+        assert!(presets::stt_mram_potential().endurance > req.kv_cache);
+        assert!(presets::rram_product().endurance < req.kv_cache);
+    }
+}

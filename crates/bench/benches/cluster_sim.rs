@@ -1,0 +1,31 @@
+//! Criterion bench: end-to-end cluster simulation rate (E9 companion).
+//!
+//! Measures simulated-seconds-per-wall-second for each placement policy,
+//! so regressions in the control-plane hot paths show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrm_sim::time::SimDuration;
+use mrm_tiering::cluster::{run_cluster, ClusterConfig};
+use mrm_tiering::placement::PlacementPolicy;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_10s_2acc");
+    g.sample_size(10);
+    for policy in PlacementPolicy::all() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let mut cfg = ClusterConfig::llama70b(p, 2, 8.0);
+                    cfg.duration = SimDuration::from_secs(10);
+                    std::hint::black_box(run_cluster(cfg).tokens)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

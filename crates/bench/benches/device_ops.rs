@@ -1,0 +1,87 @@
+//! Criterion bench: device and kernel primitive costs.
+//!
+//! The building blocks every experiment leans on: timed device reads and
+//! retention-programmed writes, pool allocation, and event-queue churn.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mrm_core::pool::Pool;
+use mrm_device::device::MemoryDevice;
+use mrm_device::tech::presets;
+use mrm_sim::event::EventQueue;
+use mrm_sim::rng::SimRng;
+use mrm_sim::time::{SimDuration, SimTime};
+use mrm_sim::units::{GIB, MIB};
+
+fn bench_device_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device");
+    g.throughput(Throughput::Bytes(MIB));
+    g.bench_function("hbm_read_1mib", |b| {
+        let mut dev = MemoryDevice::new(presets::hbm3e());
+        b.iter(|| std::hint::black_box(dev.read(SimTime::ZERO, 0, MIB).unwrap()))
+    });
+    g.bench_function("mrm_write_with_retention_1mib", |b| {
+        let mut tech = presets::mrm_hours();
+        tech.capacity_bytes = GIB;
+        let mut dev = MemoryDevice::new(tech);
+        b.iter(|| {
+            std::hint::black_box(
+                dev.write_with_retention(SimTime::ZERO, 0, MIB, SimDuration::from_hours(6))
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    c.bench_function("pool_alloc_free_cycle", |b| {
+        let mut tech = presets::mrm_hours();
+        tech.capacity_bytes = GIB;
+        let mut pool = Pool::new(MemoryDevice::new(tech));
+        b.iter(|| {
+            let a = pool.alloc(4 * MIB).unwrap();
+            let c = pool.alloc(MIB).unwrap();
+            pool.free(a).unwrap();
+            let d = pool.alloc(2 * MIB).unwrap();
+            pool.free(c).unwrap();
+            pool.free(d).unwrap();
+            std::hint::black_box(pool.free_fragments())
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        let mut rng = SimRng::seed_from(9);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(rng.next_u64() % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("next_u64", |b| {
+        let mut rng = SimRng::seed_from(5);
+        b.iter(|| std::hint::black_box(rng.next_u64()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_device_io,
+    bench_pool,
+    bench_event_queue,
+    bench_rng
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: ECC codec throughput (E8 companion).
+//!
+//! Measures the real encode/decode cost of the SECDED baseline vs. the
+//! large-block BCH codes — the §4 observation is only useful if big-block
+//! decoding stays fast enough for the memory path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrm_ecc::bch::Bch;
+use mrm_ecc::hamming::Hamming;
+use mrm_sim::rng::SimRng;
+
+fn data_bits(k: usize, rng: &mut SimRng) -> Vec<u8> {
+    (0..k).map(|_| (rng.next_u64() & 1) as u8).collect()
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let code = Hamming::secded_72_64();
+    let mut rng = SimRng::seed_from(1);
+    let data = data_bits(64, &mut rng);
+    let cw = code.encode(&data);
+    let mut bad = cw.clone();
+    bad[17] ^= 1;
+
+    let mut g = c.benchmark_group("hamming_72_64");
+    g.throughput(Throughput::Bytes(8));
+    g.bench_function("encode", |b| {
+        b.iter(|| code.encode(std::hint::black_box(&data)))
+    });
+    g.bench_function("decode_clean", |b| {
+        b.iter(|| code.decode(std::hint::black_box(&cw)))
+    });
+    g.bench_function("decode_1err", |b| {
+        b.iter(|| code.decode(std::hint::black_box(&bad)))
+    });
+    g.finish();
+}
+
+fn bench_bch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bch");
+    for (m, t, k) in [(10u32, 4usize, 512usize), (13, 8, 4096)] {
+        let code = Bch::with_data_len(m, t, k);
+        let mut rng = SimRng::seed_from(2);
+        let data = data_bits(k, &mut rng);
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        for e in 0..t {
+            bad[(e * 97 + 13) % cw.len()] ^= 1;
+        }
+        g.throughput(Throughput::Bytes((k / 8) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("encode", format!("m{m}_t{t}_k{k}")),
+            &code,
+            |b, code| b.iter(|| code.encode(std::hint::black_box(&data))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("decode_clean", format!("m{m}_t{t}_k{k}")),
+            &code,
+            |b, code| b.iter(|| code.decode(std::hint::black_box(&cw)).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("decode_terrs", format!("m{m}_t{t}_k{k}")),
+            &code,
+            |b, code| b.iter(|| code.decode(std::hint::black_box(&bad)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hamming, bench_bch);
+criterion_main!(benches);

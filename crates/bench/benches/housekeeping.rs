@@ -1,0 +1,98 @@
+//! Criterion bench: housekeeping machinery costs (E6 companion).
+//!
+//! Measures the simulation-side cost of the three controller designs —
+//! DRAM refresh catch-up, FTL write/GC, and the MRM block controller's
+//! append path (which has no housekeeping at all).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mrm_controller::dram::DramController;
+use mrm_controller::ftl::{Ftl, FtlConfig};
+use mrm_controller::mrm_block::MrmBlockController;
+use mrm_device::device::MemoryDevice;
+use mrm_device::geometry::DeviceGeometry;
+use mrm_device::tech::presets;
+use mrm_sim::rng::SimRng;
+use mrm_sim::time::{SimDuration, SimTime};
+use mrm_sim::units::{GIB, MIB};
+
+fn bench_dram_refresh(c: &mut Criterion) {
+    c.bench_function("dram_refresh_one_second", |b| {
+        b.iter_with_setup(
+            || DramController::hbm_like(DeviceGeometry::hbm_like(GIB)),
+            |mut ctrl| {
+                ctrl.catch_up_refresh(SimTime::from_secs(1));
+                std::hint::black_box(ctrl.stats().refresh_energy_j)
+            },
+        )
+    });
+}
+
+fn bench_dram_sequential_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_sequential");
+    g.throughput(Throughput::Bytes(8 * MIB));
+    g.bench_function("read_8mib", |b| {
+        let mut ctrl = DramController::hbm_like(DeviceGeometry::hbm_like(GIB));
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now = ctrl.read(now, 0, 8 * MIB);
+            std::hint::black_box(now)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ftl_churn(c: &mut Criterion) {
+    c.bench_function("ftl_write_churn_1k", |b| {
+        b.iter_with_setup(
+            || {
+                let mut f = Ftl::new(FtlConfig::small());
+                let lp = f.config().logical_pages();
+                for i in 0..lp {
+                    f.write(i).unwrap();
+                }
+                (f, SimRng::seed_from(3))
+            },
+            |(mut f, mut rng)| {
+                let lp = f.config().logical_pages();
+                for _ in 0..1000 {
+                    f.write(rng.gen_range_u64(lp)).unwrap();
+                }
+                std::hint::black_box(f.stats().write_amplification())
+            },
+        )
+    });
+}
+
+fn bench_mrm_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mrm_block");
+    g.throughput(Throughput::Bytes(MIB));
+    g.bench_function("append_1mib", |b| {
+        let mut tech = presets::mrm_hours();
+        tech.capacity_bytes = GIB;
+        let mut ctrl = MrmBlockController::new(MemoryDevice::new(tech), 64 * MIB);
+        let mut z = ctrl.open_zone().unwrap();
+        b.iter(|| {
+            if ctrl
+                .append(SimTime::ZERO, z, MIB, SimDuration::from_hours(12))
+                .is_err()
+            {
+                // Zone full: recycle.
+                ctrl.reset_zone(z).unwrap();
+                z = ctrl.open_zone_least_worn().unwrap();
+                ctrl.append(SimTime::ZERO, z, MIB, SimDuration::from_hours(12))
+                    .unwrap();
+            }
+            std::hint::black_box(&ctrl);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dram_refresh,
+    bench_dram_sequential_read,
+    bench_ftl_churn,
+    bench_mrm_append
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! **A1** (ablation, §1/§3) — retention is a continuum: sweep the MRM
+//! retention target from seconds to ten years and watch every metric the
+//! paper trades move.
+//!
+//! Locates the paper's sweet spot: "As most of the inference data does not
+//! need to be persisted, retention can be relaxed to days or hours."
+
+use mrm_analysis::report::Table;
+use mrm_bench::{heading, save_json};
+use mrm_device::tech::presets;
+use mrm_sim::time::SimDuration;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepRow {
+    retention: String,
+    write_energy_pj_bit: f64,
+    write_latency_ns: f64,
+    endurance: f64,
+    scrubs_for_12h_data: u64,
+    survives_kv_5y: bool,
+}
+
+fn main() {
+    heading("A1 — MRM design-point sweep: retention target vs. everything it buys");
+    let targets = [
+        ("1s", SimDuration::from_secs(1)),
+        ("30s", SimDuration::from_secs(30)),
+        ("10m", SimDuration::from_mins(10)),
+        ("1h", SimDuration::from_hours(1)),
+        ("12h", SimDuration::from_hours(12)),
+        ("7d", SimDuration::from_days(7)),
+        ("3mo", SimDuration::from_days(90)),
+        ("1y", SimDuration::from_years(1)),
+        ("10y (SCM)", SimDuration::from_years(10)),
+    ];
+
+    // KV requirement per cell over 5 years on a 384 GB MRM system: from the
+    // Figure-1 math, ≈ 1.1e6; with 10x headroom 1.1e7.
+    let kv_requirement_5y = 1.2e7;
+    let data_lifetime = SimDuration::from_hours(12); // typical KV + cache window
+
+    // Sweep the RRAM-potential envelope: its endurance-retention power law
+    // is the best documented (Nail et al. [34]) and is not already pinned
+    // at the family ceiling, so the endurance column moves visibly.
+    let envelope = presets::rram_potential();
+    let tradeoff = envelope.tradeoff();
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(&[
+        "retention",
+        "write pJ/bit",
+        "write ns",
+        "endurance",
+        "scrubs for 12h data",
+        "5y KV endurance",
+    ]);
+    for (label, ret) in targets {
+        let p = tradeoff.at(ret);
+        let scrubs = (data_lifetime.as_nanos().div_ceil(ret.as_nanos().max(1))).saturating_sub(1);
+        let survives = p.endurance >= kv_requirement_5y;
+        t.row(&[
+            label,
+            &format!("{:.2}", p.write_energy_pj_bit),
+            &format!("{:.1}", p.write_latency_ns),
+            &format!("{:.1e}", p.endurance),
+            &scrubs.to_string(),
+            if survives { "ok" } else { "NO" },
+        ]);
+        rows.push(SweepRow {
+            retention: label.to_string(),
+            write_energy_pj_bit: p.write_energy_pj_bit,
+            write_latency_ns: p.write_latency_ns,
+            endurance: p.endurance,
+            scrubs_for_12h_data: scrubs,
+            survives_kv_5y: survives,
+        });
+    }
+    print!("{}", t.render());
+
+    heading("Reading the sweep");
+    println!("- retention below ~1h: cheapest writes, but 12h-lived data needs repeated scrubs");
+    println!("  (housekeeping returns through the back door).");
+    println!("- retention at 10y (the SCM mistake): every write pays the full thermal barrier —");
+    println!("  max energy, max latency, minimum endurance.");
+    println!("- the hours-to-days band needs zero scrubs for inference-lifetime data while");
+    println!("  recovering most of the write energy and all of the endurance: the paper's");
+    println!("  \"retention can be relaxed to days or hours\" sweet spot.");
+
+    // Machine checks of the shape.
+    let e = |label: &str| {
+        rows.iter()
+            .find(|r| r.retention.starts_with(label))
+            .unwrap()
+    };
+    assert!(e("12h").write_energy_pj_bit < e("10y").write_energy_pj_bit);
+    assert!(e("12h").scrubs_for_12h_data == 0);
+    assert!(e("10m").scrubs_for_12h_data > 0);
+    assert!(e("12h").endurance >= e("10y").endurance);
+    println!("\nPASS all ablation shape checks");
+
+    save_json("a1_retention_sweep", &rows);
+}

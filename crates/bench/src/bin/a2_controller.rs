@@ -1,0 +1,142 @@
+//! **A2** (ablation, §4) — lightweight block controller vs. full
+//! random-access DRAM controller under the inference access pattern.
+//!
+//! "The lack of random access requirements opens up a unique prospect of a
+//! block-level access memory controller." This ablation drives the §2.2
+//! access pattern (large sequential reads, append-only writes) through
+//! both controller designs and compares what the DRAM machinery was doing
+//! for that workload: row-buffer management (hit rates already near 100%
+//! on sequential sweeps) and refresh (pure overhead).
+
+use mrm_analysis::report::Table;
+use mrm_bench::{heading, save_json};
+use mrm_controller::dram::DramController;
+use mrm_controller::mrm_block::MrmBlockController;
+use mrm_device::device::MemoryDevice;
+use mrm_device::geometry::DeviceGeometry;
+use mrm_device::tech::presets;
+use mrm_sim::time::{SimDuration, SimTime};
+use mrm_sim::units::{GIB, MIB};
+
+fn main() {
+    let sweep_bytes = 64 * MIB;
+    let chunk = 256u64; // cache-line-scale commands within 1 KiB rows
+
+    heading("A2 — the decode access pattern through both controllers");
+
+    // DRAM controller: sequential sweeps (the weights/KV read pattern) in
+    // cache-line-scale commands — four column accesses per 1 KiB row, so
+    // the row buffer gets every chance to help. Refresh is then accounted
+    // over one full second of operation.
+    let mut dram = DramController::hbm_like(DeviceGeometry::hbm_like(GIB));
+    let mut now = SimTime::ZERO;
+    let mut dram_bytes = 0u64;
+    for _ in 0..2 {
+        let mut addr = 0u64;
+        while addr + chunk <= sweep_bytes {
+            now = dram.read(now, addr, chunk);
+            addr += chunk;
+            dram_bytes += chunk;
+        }
+    }
+    dram.catch_up_refresh(SimTime::from_secs(1));
+    let ds = dram.stats();
+
+    // MRM block controller: the same logical pattern as zone reads.
+    let mut tech = presets::mrm_hours();
+    tech.capacity_bytes = GIB;
+    let mut mrm = MrmBlockController::new(MemoryDevice::new(tech), 64 * MIB);
+    let zones: Vec<_> = (0..(sweep_bytes / (64 * MIB)))
+        .map(|_| {
+            let z = mrm.open_zone().unwrap();
+            mrm.append(SimTime::ZERO, z, 64 * MIB, SimDuration::from_hours(12))
+                .unwrap();
+            z
+        })
+        .collect();
+    let mut mnow = SimTime::ZERO;
+    let mut mrm_bytes = 0u64;
+    'outer: loop {
+        for &z in &zones {
+            let mut off = 0;
+            while off + chunk <= 64 * MIB {
+                let r = mrm.read(mnow, z, off, chunk).unwrap();
+                mnow = mnow.saturating_add(r.service_time);
+                off += chunk;
+                mrm_bytes += chunk;
+                if mnow >= SimTime::from_secs(1) {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    let mut t = Table::new(&[
+        "controller",
+        "bytes served",
+        "row hits",
+        "row misses/conflicts",
+        "hit rate",
+        "refreshes",
+        "refresh energy J",
+        "bank-time stolen",
+    ]);
+    t.row(&[
+        "DRAM (random-access)",
+        &format!("{:.1} GiB", dram_bytes as f64 / GIB as f64),
+        &ds.row_hits.to_string(),
+        &format!("{}", ds.row_misses + ds.row_conflicts),
+        &format!("{:.1}%", ds.hit_rate() * 100.0),
+        &ds.refreshes.to_string(),
+        &format!("{:.4}", ds.refresh_energy_j),
+        &format!(
+            "{:.3}%",
+            dram.refresh_time_fraction(SimDuration::from_secs(1)) * 100.0
+        ),
+    ]);
+    t.row(&[
+        "MRM block (zoned)",
+        &format!("{:.1} GiB", mrm_bytes as f64 / GIB as f64),
+        "n/a",
+        "n/a",
+        "n/a",
+        "0",
+        "0.0000",
+        "0%",
+    ]);
+    print!("{}", t.render());
+
+    heading("What the DRAM machinery bought for this workload");
+    println!(
+        "- row-buffer management: the sweep is {:.1}% row hits *because it is sequential* —",
+        ds.hit_rate() * 100.0
+    );
+    println!("  the open-row tracking, per-bank state machines and conflict scheduling");
+    println!("  exist for random access the workload never issues (§2.2); a stream");
+    println!("  prefetcher over a block interface captures the same locality for free.");
+    println!(
+        "- refresh: {} operations, {:.4} J, pure overhead the block controller never pays.",
+        ds.refreshes, ds.refresh_energy_j
+    );
+    println!("- the block controller's entire per-zone state is a write pointer, a deadline");
+    println!("  and a cycle counter — the \"extremely simple and energy efficient\" §4 design.");
+
+    // Shape checks.
+    assert!(
+        ds.hit_rate() > 0.5,
+        "sequential sweep must be row-hit dominated"
+    );
+    assert!(ds.refresh_energy_j > 0.0);
+    assert_eq!(mrm.energy().housekeeping_j, 0.0);
+
+    save_json(
+        "a2_controller",
+        &(
+            dram_bytes,
+            ds.row_hits,
+            ds.refreshes,
+            ds.refresh_energy_j,
+            mrm_bytes,
+        ),
+    );
+}

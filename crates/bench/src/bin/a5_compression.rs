@@ -1,0 +1,58 @@
+//! **A5** (ablation, §2.2 / \[27\]) — KV-cache compression sensitivity.
+//!
+//! CacheGen-style compression shrinks the KV stream by 2–8×. The paper's
+//! claim is that this "do\[es\] not fundamentally change the heavily
+//! read-dominated nature of the workload"; this ablation recomputes the
+//! read:write ratio, the Figure-1 endurance requirement, and the footprint
+//! under each ratio and checks the conclusion is insensitive.
+
+use mrm_analysis::compression::paper_compression_sweep;
+use mrm_analysis::report::Table;
+use mrm_bench::{heading, save_json};
+use mrm_sim::units::{format_bytes, format_sci};
+
+fn main() {
+    heading("A5 — KV compression sensitivity (Llama2-70B fp16, batch 32, 2k ctx)");
+    let rows = paper_compression_sweep();
+    let mut t = Table::new(&[
+        "compression",
+        "KV/token",
+        "KV @2k ctx",
+        "read:write",
+        "endurance req (5y)",
+        "read-dominated?",
+    ]);
+    for r in &rows {
+        t.row(&[
+            &format!("{:.0}x", r.ratio),
+            &format_bytes(r.kv_per_token),
+            &format_bytes(r.kv_footprint_2k),
+            &format!("{:.0}:1", r.rw_ratio),
+            &format_sci(r.endurance_requirement),
+            if r.still_read_dominated { "yes" } else { "NO" },
+        ]);
+    }
+    print!("{}", t.render());
+
+    heading("Reading the ablation");
+    println!("- compression shrinks the KV stream, so writes fall *faster* than reads");
+    println!("  (weights dominate reads): the read:write ratio goes UP, not down —");
+    println!("  compression makes the workload look even more MRM-shaped;");
+    println!("- the Figure-1 KV endurance requirement relaxes linearly with the ratio");
+    println!(
+        "  ({} -> {} at 8x), widening SCM-potential headroom;",
+        format_sci(rows[0].endurance_requirement),
+        format_sci(rows.last().unwrap().endurance_requirement)
+    );
+    println!("- capacity pressure relaxes the same way, but context-length growth in");
+    println!("  deployed models historically outruns it (the paper's \"limitations\").");
+
+    assert!(rows.iter().all(|r| r.still_read_dominated));
+    println!("\nPASS the §2.2 insensitivity claim holds at every ratio");
+
+    let json: Vec<(f64, f64, f64)> = rows
+        .iter()
+        .map(|r| (r.ratio, r.rw_ratio, r.endurance_requirement))
+        .collect();
+    save_json("a5_compression", &json);
+}

@@ -1,0 +1,146 @@
+//! **E6** (§3) — housekeeping energy from the retention ↔ lifetime
+//! mismatch: DRAM refresh vs. Flash FTL write amplification vs.
+//! retention-matched MRM.
+//!
+//! "DRAM's retention is too short, requiring frequent refreshes. Flash
+//! retention is too long ... requiring FTL mechanisms ... In contrast,
+//! matching retention to the lifetime of the data makes refresh, deletion,
+//! or wear-leveling unnecessary."
+//!
+//! Two views: (a) the analytic per-GB·hour table across technologies, and
+//! (b) a measured run — a DRAM controller's refresh ledger and a real FTL's
+//! write amplification vs. the MRM block controller's empty housekeeping
+//! ledger under the same logical workload.
+
+use mrm_analysis::energy::{housekeeping_row, paper_housekeeping};
+use mrm_analysis::report::Table;
+use mrm_bench::{heading, save_json};
+use mrm_controller::dram::DramController;
+use mrm_controller::ftl::{Ftl, FtlConfig};
+use mrm_controller::mrm_block::MrmBlockController;
+use mrm_device::device::MemoryDevice;
+use mrm_device::geometry::DeviceGeometry;
+use mrm_device::tech::presets;
+use mrm_sim::time::{SimDuration, SimTime};
+use mrm_sim::units::{GIB, MIB};
+
+fn main() {
+    heading("E6a — housekeeping energy storing 1 GB of KV-cache data for 6 hours");
+    let rows = paper_housekeeping();
+    let mut t = Table::new(&[
+        "technology",
+        "write J",
+        "housekeeping J",
+        "events",
+        "J per GB*hour",
+    ]);
+    for r in &rows {
+        t.row(&[
+            &r.tech,
+            &format!("{:.4}", r.write_j),
+            &format!("{:.4}", r.housekeeping_j),
+            &r.events.to_string(),
+            &format!("{:.5}", r.j_per_gb_hour),
+        ]);
+    }
+    print!("{}", t.render());
+
+    heading("E6b — lifetime sweep: who pays housekeeping when data lives L?");
+    let lifetimes = [
+        SimDuration::from_mins(1),
+        SimDuration::from_mins(10),
+        SimDuration::from_hours(1),
+        SimDuration::from_hours(6),
+        SimDuration::from_days(1),
+        SimDuration::from_days(7),
+    ];
+    let mut t = Table::new(&[
+        "lifetime",
+        "HBM3e J",
+        "NAND SLC J",
+        "MRM 10m J",
+        "MRM 12h J",
+        "MRM 7d J",
+    ]);
+    let gb = 1_000_000_000u64;
+    for life in lifetimes {
+        let f = |tech: &mrm_device::tech::Technology| {
+            format!(
+                "{:.3}",
+                housekeeping_row(tech, gb, life, 2.5).housekeeping_j
+            )
+        };
+        t.row(&[
+            &life.to_string(),
+            &f(&presets::hbm3e()),
+            &f(&presets::nand_slc()),
+            &f(&presets::mrm_minutes()),
+            &f(&presets::mrm_hours()),
+            &f(&presets::mrm_days()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("matched retention == zero housekeeping (the diagonal of zeros).");
+
+    heading("E6c — measured: controllers under one simulated second of service");
+    // DRAM controller: 1 GiB HBM-like device, sequential read traffic, one
+    // second of wall time: count refresh energy and stolen bank time.
+    let mut dram = DramController::hbm_like(DeviceGeometry::hbm_like(GIB));
+    let mut now = SimTime::ZERO;
+    while now < SimTime::from_secs(1) {
+        now = dram.read(now, (now.as_nanos() * 7919) % (GIB - 8 * MIB), 8 * MIB);
+    }
+    dram.catch_up_refresh(SimTime::from_secs(1));
+    let ds = dram.stats();
+    println!(
+        "DRAM ctrl:  {} refreshes, {:.4} J refresh energy, {:.3}% of bank-time stolen",
+        ds.refreshes,
+        ds.refresh_energy_j,
+        dram.refresh_time_fraction(SimDuration::from_secs(1)) * 100.0
+    );
+
+    // FTL: churn to steady state, report write amplification.
+    let mut ftl = Ftl::new(FtlConfig::small());
+    let lp = ftl.config().logical_pages();
+    let mut rng = mrm_sim::rng::SimRng::seed_from(7);
+    for i in 0..lp {
+        ftl.write(i).unwrap();
+    }
+    for _ in 0..lp * 2 {
+        ftl.write(rng.gen_range_u64(lp)).unwrap();
+    }
+    let fs = ftl.stats();
+    println!(
+        "Flash FTL:  WA = {:.2} ({} host writes, {} GC moves, {} erases) — every host byte costs {:.2}x write energy",
+        fs.write_amplification(),
+        fs.host_writes,
+        fs.gc_moves,
+        fs.erases,
+        fs.write_amplification()
+    );
+
+    // MRM block controller: same logical append volume, zero housekeeping.
+    let mut tech = presets::mrm_hours();
+    tech.capacity_bytes = GIB;
+    let mut mrm = MrmBlockController::new(MemoryDevice::new(tech), 16 * MIB);
+    let mut appended = 0u64;
+    let mut z = mrm.open_zone().unwrap();
+    while appended < 512 * MIB {
+        if mrm
+            .append(SimTime::ZERO, z, 4 * MIB, SimDuration::from_hours(12))
+            .is_err()
+        {
+            z = mrm.open_zone_least_worn().unwrap();
+            continue;
+        }
+        appended += 4 * MIB;
+    }
+    let e = mrm.energy();
+    println!(
+        "MRM block:  {:.4} J demand writes, {:.4} J housekeeping (none — retention matches lifetime)",
+        e.write_j, e.housekeeping_j
+    );
+    assert_eq!(e.housekeeping_j, 0.0);
+
+    save_json("e6_housekeeping", &rows);
+}

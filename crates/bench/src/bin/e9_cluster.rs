@@ -1,0 +1,166 @@
+//! **E9** (§4) — retention-aware placement & scheduling, end to end.
+//!
+//! The cluster simulation: Splitwise-style traffic against four memory
+//! systems (HBM-only, HBM+LPDDR, HBM+MRM fixed-retention, HBM+MRM with
+//! DCM), with the control plane tracking KV expiration deadlines and
+//! deciding refresh / migrate / drop. Reports tokens/s, J/token,
+//! housekeeping energy, cost efficiency, cache behaviour and latency.
+
+use mrm_analysis::report::Table;
+use mrm_bench::{heading, save_json};
+use mrm_sim::time::SimDuration;
+use mrm_sim::units::format_bytes;
+use mrm_tiering::cluster::{run_cluster, ClusterConfig, ClusterReport};
+use mrm_tiering::placement::PlacementPolicy;
+
+fn run(policy: PlacementPolicy, accelerators: u32, arrivals: f64, secs: u64) -> ClusterReport {
+    let mut cfg = ClusterConfig::llama70b(policy, accelerators, arrivals);
+    cfg.duration = SimDuration::from_secs(secs);
+    run_cluster(cfg)
+}
+
+fn print_reports(reports: &[ClusterReport]) {
+    let mut t = Table::new(&[
+        "system",
+        "tok/s",
+        "J/token",
+        "housekeeping J",
+        "cost",
+        "tok/s/kcost",
+        "KV capacity",
+        "p50 ms",
+        "p99 ms",
+        "hits",
+        "recomputes",
+        "scrubs",
+    ]);
+    for r in reports {
+        t.row(&[
+            &r.policy,
+            &format!("{:.0}", r.tokens_per_s),
+            &format!("{:.4}", r.j_per_token),
+            &format!("{:.1}", r.housekeeping_j),
+            &format!("{:.0}", r.cost_units),
+            &format!("{:.1}", r.tokens_per_s_per_kcost),
+            &format_bytes(r.kv_capacity_bytes),
+            &format!("{:.0}", r.p50_latency_ms),
+            &format!("{:.0}", r.p99_latency_ms),
+            &r.cache_hits.to_string(),
+            &r.recomputes.to_string(),
+            &r.scrubs.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn main() {
+    let accelerators = 4;
+    let secs = 120;
+
+    heading(&format!(
+        "E9 — cluster simulation: {accelerators} accelerators, Llama2-70B fp16, 120 s, 16 req/s"
+    ));
+    let reports: Vec<ClusterReport> = PlacementPolicy::all()
+        .iter()
+        .map(|&p| run(p, accelerators, 16.0, secs))
+        .collect();
+    print_reports(&reports);
+
+    let hbm = &reports[0];
+    let lpddr = &reports[1];
+    let mrm = &reports[2];
+    let dcm = &reports[3];
+
+    heading("Shape checks (§3/§4)");
+    let checks = [
+        (
+            format!(
+                "MRM matches/beats HBM throughput ({:.0} vs {:.0} tok/s)",
+                mrm.tokens_per_s, hbm.tokens_per_s
+            ),
+            mrm.tokens_per_s >= hbm.tokens_per_s * 0.95,
+        ),
+        (
+            format!(
+                "MRM cuts J/token ({:.4} vs {:.4})",
+                mrm.j_per_token, hbm.j_per_token
+            ),
+            mrm.j_per_token < hbm.j_per_token,
+        ),
+        (
+            format!(
+                "LPDDR tier costs throughput ({:.0} vs {:.0} tok/s)",
+                lpddr.tokens_per_s, hbm.tokens_per_s
+            ),
+            lpddr.tokens_per_s < hbm.tokens_per_s,
+        ),
+        (
+            format!(
+                "MRM housekeeping below DRAM refresh ({:.1} vs {:.1} J)",
+                mrm.housekeeping_j, hbm.housekeeping_j
+            ),
+            mrm.housekeeping_j < hbm.housekeeping_j,
+        ),
+        (
+            format!(
+                "MRM KV capacity headroom > 2x HBM ({} vs {})",
+                format_bytes(mrm.kv_capacity_bytes),
+                format_bytes(hbm.kv_capacity_bytes)
+            ),
+            mrm.kv_capacity_bytes > 2 * hbm.kv_capacity_bytes,
+        ),
+        (
+            format!(
+                "DCM keeps throughput within 5% of fixed MRM ({:.0} vs {:.0})",
+                dcm.tokens_per_s, mrm.tokens_per_s
+            ),
+            (dcm.tokens_per_s / mrm.tokens_per_s - 1.0).abs() < 0.05,
+        ),
+    ];
+    let mut ok = true;
+    for (desc, pass) in &checks {
+        println!("{} {desc}", if *pass { "PASS" } else { "FAIL" });
+        ok &= pass;
+    }
+
+    heading("E9b — load sweep: tokens/s under increasing arrival rates");
+    let mut t = Table::new(&["req/s", "HBM-only", "HBM+LPDDR", "HBM+MRM", "HBM+MRM(DCM)"]);
+    for rate in [4.0, 8.0, 16.0, 32.0] {
+        let row: Vec<String> = PlacementPolicy::all()
+            .iter()
+            .map(|&p| format!("{:.0}", run(p, 2, rate, 60).tokens_per_s))
+            .collect();
+        t.row_owned(std::iter::once(format!("{rate:.0}")).chain(row).collect());
+    }
+    print!("{}", t.render());
+
+    heading("E9c — per-tier energy breakdown (16 req/s run)");
+    let mut t = Table::new(&[
+        "system",
+        "tier",
+        "read",
+        "written",
+        "demand J",
+        "housekeeping J",
+        "idle J",
+    ]);
+    for r in &reports {
+        for tr in &r.tiers {
+            t.row(&[
+                &r.policy,
+                &tr.tier,
+                &format_bytes(tr.bytes_read),
+                &format_bytes(tr.bytes_written),
+                &format!("{:.1}", tr.energy.read_j + tr.energy.write_j),
+                &format!("{:.1}", tr.energy.housekeeping_j),
+                &format!("{:.1}", tr.energy.idle_j),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+
+    save_json("e9_cluster", &reports);
+    if !ok {
+        std::process::exit(1);
+    }
+}

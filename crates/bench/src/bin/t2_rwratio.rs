@@ -1,0 +1,51 @@
+//! **T2** (§2.2) — read:write ratio of decode traffic vs. batch size.
+//!
+//! "read:write ratios of over 1000:1"; batching amortizes only the weight
+//! read and "do\[es\] not fundamentally change the heavily read-dominated
+//! nature of the workload."
+
+use mrm_analysis::report::Table;
+use mrm_analysis::rwratio::{paper_rw_ratio, rw_ratio_sweep};
+use mrm_bench::{heading, save_json};
+use mrm_sim::units::format_bytes;
+use mrm_workload::model::{ModelConfig, Quantization};
+
+fn main() {
+    heading("T2 — Llama2-70B fp16, 2k contexts: read:write per decoded token");
+    let rows = paper_rw_ratio();
+    let mut t = Table::new(&["batch", "reads/token", "writes/token", "read:write"]);
+    for r in &rows {
+        t.row(&[
+            &r.batch.to_string(),
+            &format_bytes(r.reads_per_token),
+            &format_bytes(r.writes_per_token),
+            &format!("{:.0}:1", r.ratio),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "unbatched ratio {:.0}:1 (> 1000:1, §2.2); batch-128 still {:.0}:1",
+        rows[0].ratio,
+        rows.last().unwrap().ratio
+    );
+
+    heading("T2b — context-length sensitivity (batch 32)");
+    let model = ModelConfig::llama2_70b();
+    let mut t = Table::new(&["context", "read:write"]);
+    for ctx in [512u32, 1024, 2048, 4096] {
+        let sweep = rw_ratio_sweep(&model, Quantization::Fp16, ctx);
+        let b32 = sweep.iter().find(|r| r.batch == 32).unwrap();
+        t.row(&[&ctx.to_string(), &format!("{:.0}:1", b32.ratio)]);
+    }
+    print!("{}", t.render());
+
+    heading("T2c — model sensitivity (batch 1, 2k contexts)");
+    let mut t = Table::new(&["model", "read:write"]);
+    for m in ModelConfig::zoo() {
+        let sweep = rw_ratio_sweep(&m, Quantization::Fp16, 2048);
+        t.row(&[&m.name, &format!("{:.0}:1", sweep[0].ratio)]);
+    }
+    print!("{}", t.render());
+
+    save_json("t2_rwratio", &rows);
+}

@@ -1,0 +1,94 @@
+//! **T3** (§2.1) — the curse of HBM, quantified: memory's share of
+//! accelerator power, refresh burn at idle, stacking yield and thermals,
+//! and the HBM4 density outlook.
+
+use mrm_analysis::energy::{accelerator_energy, b200_energy};
+use mrm_analysis::report::Table;
+use mrm_bench::{heading, save_json};
+use mrm_device::hbm::{layer_sweep, HbmStackModel};
+use mrm_device::tech::presets;
+use mrm_sim::units::format_bytes;
+
+fn main() {
+    heading("T3a — memory share of accelerator power (B200-class, 8x HBM3e, 1000 W board)");
+    let mut t = Table::new(&[
+        "bw utilization",
+        "IO W",
+        "refresh W",
+        "idle W",
+        "memory share",
+    ]);
+    for util in [0.0, 0.25, 0.5, 0.8, 1.0] {
+        let e = accelerator_energy(&presets::hbm3e(), 8, util, 1000.0);
+        t.row(&[
+            &format!("{:.0}%", util * 100.0),
+            &format!("{:.1}", e.memory_io_w),
+            &format!("{:.1}", e.refresh_w),
+            &format!("{:.1}", e.idle_w),
+            &format!("{:.1}%", e.memory_fraction * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+    let nominal = b200_energy();
+    println!(
+        "at the memory-bound operating point: {:.0}% — \"approximately a third of the energy\" (§2.1)",
+        nominal.memory_fraction * 100.0
+    );
+    println!(
+        "refresh burns {:.1} W per package even when idle (§2.1 \"consuming power even when the memory is idle\")",
+        nominal.refresh_w
+    );
+
+    heading("T3b — 3D stacking: capacity vs. yield vs. thermals (HBM3e-class process)");
+    let base = HbmStackModel::hbm3e();
+    let rows = layer_sweep(&base, 16);
+    let mut t = Table::new(&[
+        "layers",
+        "capacity",
+        "stack yield",
+        "cost multiplier",
+        "refresh W",
+        "thermal resistance",
+    ]);
+    for (layers, cap, yld, cost, refresh, therm) in &rows {
+        t.row(&[
+            &layers.to_string(),
+            &format_bytes(*cap),
+            &format!("{:.1}%", yld * 100.0),
+            &format!("{cost:.2}x"),
+            &format!("{refresh:.2}"),
+            &format!("{therm:.2}"),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "yield decays geometrically with stack height (§2.1 \"significantly reduces the yield\");"
+    );
+    println!("the industry does not expect stacking beyond 16 layers [50].");
+
+    heading("T3c — HBM4 outlook: +30% per layer (§2.1 / [50])");
+    let h3 = presets::hbm3e();
+    let h4 = presets::hbm4();
+    let mut t = Table::new(&[
+        "generation",
+        "layers",
+        "capacity/stack",
+        "GB/layer",
+        "read bw",
+    ]);
+    for h in [&h3, &h4] {
+        t.row(&[
+            &h.name,
+            &h.layers.to_string(),
+            &format_bytes(h.capacity_bytes),
+            &format!("{:.2}", h.capacity_bytes as f64 / h.layers as f64 / 1e9),
+            &format!("{:.1} TB/s", h.read_bw / 1e12),
+        ]);
+    }
+    print!("{}", t.render());
+    let gain = (h4.capacity_bytes as f64 / h4.layers as f64)
+        / (h3.capacity_bytes as f64 / h3.layers as f64);
+    println!("per-layer capacity gain: {:.0}% (paper: \"only expected to increase capacity per layer by 30%\")", (gain - 1.0) * 100.0);
+
+    save_json("t3_hbm", &(nominal, rows));
+}

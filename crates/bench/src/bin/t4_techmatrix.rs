@@ -1,0 +1,119 @@
+//! **T4** (§3) — the technology comparison matrix: every memory technology
+//! the paper discusses, on the metrics that matter for inference.
+//!
+//! Checks the §3 claim that the resistive technologies "have read
+//! performance and energy on par or better than DRAM or even SRAM" while
+//! trading write performance, and that MRM design points beat HBM on read
+//! energy, density and cost while giving up writes and long retention.
+
+use mrm_analysis::report::Table;
+use mrm_bench::{heading, save_json};
+use mrm_device::tech::presets;
+use mrm_sim::units::{format_bytes, format_sci};
+
+fn main() {
+    heading("T4 — technology matrix");
+    let mut t = Table::new(&[
+        "technology",
+        "maturity",
+        "read lat",
+        "write lat",
+        "read bw/dev",
+        "write bw/dev",
+        "rd pJ/b",
+        "wr pJ/b",
+        "retention",
+        "endurance",
+        "capacity/dev",
+        "$/GB rel",
+        "refresh",
+    ]);
+    let all = presets::all();
+    for tech in &all {
+        t.row(&[
+            &tech.name,
+            tech.maturity.label(),
+            &format!("{:.0} ns", tech.read_latency_ns),
+            &format!("{:.0} ns", tech.write_latency_ns),
+            &format!("{:.1} GB/s", tech.read_bw / 1e9),
+            &format!("{:.1} GB/s", tech.write_bw / 1e9),
+            &format!("{:.1}", tech.read_energy_pj_bit),
+            &format!("{:.1}", tech.write_energy_pj_bit),
+            &tech.retention.to_string(),
+            &format_sci(tech.endurance),
+            &format_bytes(tech.capacity_bytes),
+            &format!("{:.2}", tech.cost_per_gb_rel),
+            if tech.refresh_interval.is_some() {
+                "yes"
+            } else {
+                "no"
+            },
+        ]);
+    }
+    print!("{}", t.render());
+
+    heading("Claim checks (§3)");
+    let hbm = presets::hbm3e();
+    let mrm = presets::mrm_hours();
+    let stt = presets::stt_mram_potential();
+    let rram = presets::rram_potential();
+
+    let checks: Vec<(String, bool)> = vec![
+        (
+            format!(
+                "resistive potentials read energy <= DRAM-class ({:.1}/{:.1} vs {:.1} pJ/b)",
+                stt.read_energy_pj_bit, rram.read_energy_pj_bit, hbm.read_energy_pj_bit
+            ),
+            stt.read_energy_pj_bit <= hbm.read_energy_pj_bit
+                && rram.read_energy_pj_bit <= hbm.read_energy_pj_bit,
+        ),
+        (
+            format!(
+                "MRM read energy beats HBM ({:.1} vs {:.1} pJ/b)",
+                mrm.read_energy_pj_bit, hbm.read_energy_pj_bit
+            ),
+            mrm.read_energy_pj_bit < hbm.read_energy_pj_bit,
+        ),
+        (
+            format!(
+                "MRM capacity/stack >= 2x HBM ({} vs {})",
+                format_bytes(mrm.capacity_bytes),
+                format_bytes(hbm.capacity_bytes)
+            ),
+            mrm.capacity_bytes >= 2 * hbm.capacity_bytes,
+        ),
+        (
+            format!(
+                "MRM $/GB below HBM ({:.2} vs {:.2})",
+                mrm.cost_per_gb_rel, hbm.cost_per_gb_rel
+            ),
+            mrm.cost_per_gb_rel < hbm.cost_per_gb_rel,
+        ),
+        (
+            format!(
+                "MRM trades write bandwidth ({:.0} vs {:.0} GB/s)",
+                mrm.write_bw / 1e9,
+                hbm.write_bw / 1e9
+            ),
+            mrm.write_bw < hbm.write_bw,
+        ),
+        (
+            "MRM needs no refresh".to_string(),
+            mrm.refresh_interval.is_none(),
+        ),
+        (
+            "Flash writes are orders of magnitude too slow for in-package KV appends".to_string(),
+            presets::nand_slc().write_latency_ns > 1000.0 * hbm.write_latency_ns,
+        ),
+    ];
+    let mut ok = true;
+    for (desc, pass) in &checks {
+        println!("{} {}", if *pass { "PASS" } else { "FAIL" }, desc);
+        ok &= pass;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+
+    save_json("t4_techmatrix", &all);
+}

@@ -1,0 +1,79 @@
+//! **T5** (§2.2/§3) — memory-system comparison: HBM-only vs. HBM+LPDDR vs.
+//! HBM+MRM.
+//!
+//! The §3 claim under test: an LPDDR cold tier "would reduce the overall
+//! hardware cost but also reduce the bandwidth at which the data is
+//! available to the GPU, and fundamentally not improve the HBM's read
+//! energy efficiency" — whereas MRM improves capacity, bulk bandwidth, and
+//! per-bit read energy together.
+
+use mrm_analysis::report::Table;
+use mrm_analysis::tco::system_comparison;
+use mrm_bench::{heading, save_json};
+use mrm_sim::units::format_bytes;
+
+fn main() {
+    heading("T5 — memory systems at B200-ish scale (bulk tier = where weights+KV live)");
+    let rows = system_comparison();
+    let mut t = Table::new(&[
+        "system",
+        "capacity",
+        "bulk read bw",
+        "bulk rd pJ/b",
+        "refresh W",
+        "cost units",
+        "GB/cost",
+    ]);
+    for r in &rows {
+        t.row(&[
+            &r.system,
+            &format_bytes(r.capacity_bytes),
+            &format!("{:.1} TB/s", r.bulk_read_bw / 1e12),
+            &format!("{:.1}", r.bulk_read_pj_bit),
+            &format!("{:.1}", r.refresh_w),
+            &format!("{:.0}", r.cost_units),
+            &format!("{:.2}", r.gb_per_cost),
+        ]);
+    }
+    print!("{}", t.render());
+
+    heading("Shape checks");
+    let hbm = &rows[0];
+    let lpddr = &rows[1];
+    let mrm = &rows[2];
+    let checks = [
+        (
+            "LPDDR raises GB/cost (cheaper capacity)",
+            lpddr.gb_per_cost > hbm.gb_per_cost,
+        ),
+        (
+            "LPDDR slashes bulk bandwidth (the §3 objection)",
+            lpddr.bulk_read_bw < hbm.bulk_read_bw / 5.0,
+        ),
+        (
+            "LPDDR does not improve read energy",
+            lpddr.bulk_read_pj_bit >= hbm.bulk_read_pj_bit,
+        ),
+        (
+            "MRM raises capacity, bandwidth AND energy efficiency together",
+            mrm.capacity_bytes > hbm.capacity_bytes
+                && mrm.bulk_read_bw > hbm.bulk_read_bw
+                && mrm.bulk_read_pj_bit < hbm.bulk_read_pj_bit,
+        ),
+        (
+            "MRM cuts always-on refresh by >2x",
+            mrm.refresh_w < hbm.refresh_w / 2.0,
+        ),
+        ("MRM raises GB/cost", mrm.gb_per_cost > hbm.gb_per_cost),
+    ];
+    let mut ok = true;
+    for (desc, pass) in checks {
+        println!("{} {desc}", if pass { "PASS" } else { "FAIL" });
+        ok &= pass;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+
+    save_json("t5_hybrid", &rows);
+}

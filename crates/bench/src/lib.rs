@@ -1,0 +1,89 @@
+//! # `mrm-bench` — the experiment harness
+//!
+//! One binary per paper experiment (see `DESIGN.md` §4 for the experiment
+//! index) plus criterion benches. Each binary prints the table/series the
+//! paper reports and drops a machine-readable JSON record under
+//! `target/experiments/` for `EXPERIMENTS.md` bookkeeping.
+//!
+//! Run them all with:
+//!
+//! ```text
+//! for b in fig1_endurance t1_footprint t2_rwratio t3_hbm t4_techmatrix \
+//!          t5_hybrid e6_housekeeping e7_dcm e8_ecc e9_cluster e10_wear \
+//!          a1_retention_sweep a2_controller; do
+//!     cargo run --release -p mrm-bench --bin $b
+//! done
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Directory where experiment JSON records are written.
+pub fn experiments_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(target).join("experiments")
+}
+
+/// Serializes an experiment record to `target/experiments/<id>.json`.
+/// Failures are reported but non-fatal (the printed tables are the primary
+/// artifact).
+pub fn save_json<T: Serialize>(id: &str, record: &T) {
+    let dir = experiments_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(record) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+    }
+}
+
+/// Prints a section heading.
+pub fn heading(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Renders a log10-scale ASCII bar for quantities spanning many decades
+/// (endurance counts): one `#` per decade, `min_decade`-anchored.
+pub fn log_bar(value: f64, min_decade: i32, max_decade: i32) -> String {
+    if value <= 0.0 {
+        return String::new();
+    }
+    let decades = value.log10();
+    let filled = ((decades - min_decade as f64).max(0.0)).round() as usize;
+    let width = (max_decade - min_decade).max(1) as usize;
+    let filled = filled.min(width);
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_bar_scales() {
+        assert_eq!(log_bar(1e5, 0, 10), "#####.....");
+        assert_eq!(log_bar(1e10, 0, 10), "##########");
+        assert_eq!(log_bar(1e15, 0, 10), "##########"); // clamped
+        assert_eq!(log_bar(0.0, 0, 10), "");
+        assert_eq!(log_bar(1.0, 0, 4), "....");
+    }
+
+    #[test]
+    fn experiments_dir_is_under_target() {
+        let d = experiments_dir();
+        assert!(d.ends_with("experiments"));
+    }
+}

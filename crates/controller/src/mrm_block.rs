@@ -1,0 +1,526 @@
+//! The paper's lightweight MRM block controller.
+//!
+//! §4, "Lightweight memory controllers": "The lack of random access
+//! requirements opens up a unique prospect of a block-level access memory
+//! controller ... Much of the functionality that is typically handled on the
+//! device, such as refresh and wear-levelling can be left up to a software
+//! control plane higher up in the stack ... akin to zoned storage interfaces
+//! for Flash."
+//!
+//! [`MrmBlockController`] therefore exposes:
+//!
+//! * zones with strictly append-only write pointers (KV caches are
+//!   append-only; weights are bulk-sequential) — no random writes, no
+//!   device-side mapping;
+//! * a **retention-deadline registry**: every append is stamped with its
+//!   retention target, and the controller reports which zones are
+//!   approaching expiry so the *software* control plane can decide to
+//!   scrub, migrate, or drop (§4 "Retention-aware data placement");
+//! * software-visible per-zone write-cycle counters for control-plane wear
+//!   levelling;
+//! * **no** internal refresh, GC, or wear-levelling machinery at all —
+//!   that absence is the point, and the energy ledger shows it.
+
+use mrm_device::device::{DeviceError, MemoryDevice, OpResult};
+use mrm_device::energy::EnergyBreakdown;
+use mrm_sim::time::{SimDuration, SimTime};
+
+/// Zone identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZoneId(pub u32);
+
+/// Zone lifecycle state (zoned-storage style).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZoneState {
+    /// Unwritten and available.
+    Empty,
+    /// Open for appends.
+    Open,
+    /// Finished: read-only until reset.
+    Full,
+}
+
+/// Errors from the block controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZoneError {
+    /// No such zone.
+    InvalidZone,
+    /// Operation requires an open zone.
+    NotOpen,
+    /// Append would exceed the zone capacity.
+    ZoneOverflow,
+    /// Read beyond the write pointer.
+    ReadBeyondWritePointer,
+    /// No empty zone available.
+    NoEmptyZones,
+    /// Underlying device error.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for ZoneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZoneError::InvalidZone => write!(f, "invalid zone id"),
+            ZoneError::NotOpen => write!(f, "zone is not open"),
+            ZoneError::ZoneOverflow => write!(f, "append exceeds zone capacity"),
+            ZoneError::ReadBeyondWritePointer => write!(f, "read beyond write pointer"),
+            ZoneError::NoEmptyZones => write!(f, "no empty zones available"),
+            ZoneError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZoneError {}
+
+impl From<DeviceError> for ZoneError {
+    fn from(e: DeviceError) -> Self {
+        ZoneError::Device(e)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Zone {
+    state: ZoneState,
+    /// Bytes appended so far.
+    write_ptr: u64,
+    /// Earliest retention deadline across the zone's appends.
+    deadline: SimTime,
+    /// Software-visible cumulative full-zone write cycles.
+    write_cycles: u64,
+}
+
+impl Zone {
+    fn new() -> Self {
+        Zone {
+            state: ZoneState::Empty,
+            write_ptr: 0,
+            deadline: SimTime::MAX,
+            write_cycles: 0,
+        }
+    }
+}
+
+/// The lightweight block-level MRM controller.
+///
+/// # Examples
+///
+/// ```
+/// use mrm_controller::mrm_block::MrmBlockController;
+/// use mrm_device::device::MemoryDevice;
+/// use mrm_device::tech::presets;
+/// use mrm_sim::time::{SimDuration, SimTime};
+///
+/// let dev = MemoryDevice::new(presets::mrm_hours());
+/// let mut ctrl = MrmBlockController::new(dev, 256 * 1024 * 1024);
+/// let z = ctrl.open_zone().unwrap();
+/// ctrl.append(SimTime::ZERO, z, 4096, SimDuration::from_hours(12)).unwrap();
+/// let res = ctrl.read(SimTime::ZERO, z, 0, 4096).unwrap();
+/// assert!(!res.expired);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MrmBlockController {
+    device: MemoryDevice,
+    zone_bytes: u64,
+    zones: Vec<Zone>,
+}
+
+impl MrmBlockController {
+    /// Creates a controller dividing `device` into zones of `zone_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone_bytes` is zero or larger than the device.
+    pub fn new(device: MemoryDevice, zone_bytes: u64) -> Self {
+        assert!(zone_bytes > 0, "zone size must be positive");
+        let n = device.capacity_bytes() / zone_bytes;
+        assert!(n > 0, "zone larger than device");
+        MrmBlockController {
+            device,
+            zone_bytes,
+            zones: (0..n).map(|_| Zone::new()).collect(),
+        }
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Zone capacity, bytes.
+    pub fn zone_bytes(&self) -> u64 {
+        self.zone_bytes
+    }
+
+    /// The underlying device (for energy/wear inspection).
+    pub fn device(&self) -> &MemoryDevice {
+        &self.device
+    }
+
+    /// Accumulated device energy.
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.device.energy()
+    }
+
+    /// The state of a zone.
+    pub fn zone_state(&self, z: ZoneId) -> Result<ZoneState, ZoneError> {
+        Ok(self.zone(z)?.state)
+    }
+
+    /// The write pointer of a zone.
+    pub fn write_pointer(&self, z: ZoneId) -> Result<u64, ZoneError> {
+        Ok(self.zone(z)?.write_ptr)
+    }
+
+    /// The earliest retention deadline of data in the zone
+    /// ([`SimTime::MAX`] if empty).
+    pub fn deadline(&self, z: ZoneId) -> Result<SimTime, ZoneError> {
+        Ok(self.zone(z)?.deadline)
+    }
+
+    /// Software-visible write-cycle count of the zone.
+    pub fn write_cycles(&self, z: ZoneId) -> Result<u64, ZoneError> {
+        Ok(self.zone(z)?.write_cycles)
+    }
+
+    fn zone(&self, z: ZoneId) -> Result<&Zone, ZoneError> {
+        self.zones.get(z.0 as usize).ok_or(ZoneError::InvalidZone)
+    }
+
+    fn zone_mut(&mut self, z: ZoneId) -> Result<&mut Zone, ZoneError> {
+        self.zones
+            .get_mut(z.0 as usize)
+            .ok_or(ZoneError::InvalidZone)
+    }
+
+    fn base(&self, z: ZoneId) -> u64 {
+        z.0 as u64 * self.zone_bytes
+    }
+
+    /// Opens the lowest-numbered empty zone. Control-plane wear levelling
+    /// should prefer [`MrmBlockController::open_zone_least_worn`].
+    pub fn open_zone(&mut self) -> Result<ZoneId, ZoneError> {
+        let idx = self
+            .zones
+            .iter()
+            .position(|zn| zn.state == ZoneState::Empty)
+            .ok_or(ZoneError::NoEmptyZones)?;
+        self.zones[idx].state = ZoneState::Open;
+        Ok(ZoneId(idx as u32))
+    }
+
+    /// Opens the empty zone with the fewest write cycles — the software
+    /// wear-levelling primitive (§4: wear-levelling "left up to a software
+    /// control plane").
+    pub fn open_zone_least_worn(&mut self) -> Result<ZoneId, ZoneError> {
+        let idx = self
+            .zones
+            .iter()
+            .enumerate()
+            .filter(|(_, zn)| zn.state == ZoneState::Empty)
+            .min_by_key(|(_, zn)| zn.write_cycles)
+            .map(|(i, _)| i)
+            .ok_or(ZoneError::NoEmptyZones)?;
+        self.zones[idx].state = ZoneState::Open;
+        Ok(ZoneId(idx as u32))
+    }
+
+    /// Appends `bytes` to an open zone, programming the cells for
+    /// `retention`. Returns the device-level timing/reliability result.
+    pub fn append(
+        &mut self,
+        now: SimTime,
+        z: ZoneId,
+        bytes: u64,
+        retention: SimDuration,
+    ) -> Result<OpResult, ZoneError> {
+        let zone_bytes = self.zone_bytes;
+        let base = self.base(z);
+        let zone = self.zone_mut(z)?;
+        if zone.state != ZoneState::Open {
+            return Err(ZoneError::NotOpen);
+        }
+        if zone.write_ptr + bytes > zone_bytes {
+            return Err(ZoneError::ZoneOverflow);
+        }
+        let addr = base + zone.write_ptr;
+        let deadline = now.saturating_add(retention);
+        let res = self
+            .device
+            .write_with_retention(now, addr, bytes, retention)?;
+        let zone = self.zone_mut(z)?;
+        zone.write_ptr += bytes;
+        zone.deadline = zone.deadline.min(deadline);
+        if zone.write_ptr == zone_bytes {
+            zone.state = ZoneState::Full;
+        }
+        Ok(res)
+    }
+
+    /// Reads `[offset, offset+len)` of a zone. Fails if the range is beyond
+    /// the write pointer. The returned [`OpResult`] carries the expected
+    /// RBER/expiry of the data.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        z: ZoneId,
+        offset: u64,
+        len: u64,
+    ) -> Result<OpResult, ZoneError> {
+        let base = self.base(z);
+        let zone = self.zone(z)?;
+        if zone.state == ZoneState::Empty {
+            return Err(ZoneError::NotOpen);
+        }
+        if offset + len > zone.write_ptr {
+            return Err(ZoneError::ReadBeyondWritePointer);
+        }
+        Ok(self.device.read(now, base + offset, len)?)
+    }
+
+    /// Marks an open zone full (no further appends).
+    pub fn finish_zone(&mut self, z: ZoneId) -> Result<(), ZoneError> {
+        let zone = self.zone_mut(z)?;
+        if zone.state != ZoneState::Open {
+            return Err(ZoneError::NotOpen);
+        }
+        zone.state = ZoneState::Full;
+        Ok(())
+    }
+
+    /// Resets a zone to empty (data dropped — fine for soft state, §4).
+    /// A reset of a written zone completes one reuse cycle, which is what
+    /// the software wear-leveller counts.
+    pub fn reset_zone(&mut self, z: ZoneId) -> Result<(), ZoneError> {
+        let zone = self.zone_mut(z)?;
+        if zone.write_ptr > 0 {
+            zone.write_cycles += 1;
+        }
+        zone.state = ZoneState::Empty;
+        zone.write_ptr = 0;
+        zone.deadline = SimTime::MAX;
+        Ok(())
+    }
+
+    /// Zones whose earliest retention deadline falls before `horizon`,
+    /// soonest first — the control plane's scrub/migrate/drop work list.
+    pub fn zones_expiring_before(&self, horizon: SimTime) -> Vec<(ZoneId, SimTime)> {
+        let mut v: Vec<(ZoneId, SimTime)> = self
+            .zones
+            .iter()
+            .enumerate()
+            .filter(|(_, zn)| zn.state != ZoneState::Empty && zn.deadline <= horizon)
+            .map(|(i, zn)| (ZoneId(i as u32), zn.deadline))
+            .collect();
+        v.sort_by_key(|&(_, d)| d);
+        v
+    }
+
+    /// Scrubs a zone: rewrites its contents in place with a fresh
+    /// `retention` target, charged as housekeeping on the device ledger.
+    /// This is the *software-initiated* refresh the paper moves out of the
+    /// device.
+    pub fn scrub_zone(
+        &mut self,
+        now: SimTime,
+        z: ZoneId,
+        retention: SimDuration,
+    ) -> Result<u64, ZoneError> {
+        let base = self.base(z);
+        let (written, state) = {
+            let zone = self.zone(z)?;
+            (zone.write_ptr, zone.state)
+        };
+        if state == ZoneState::Empty {
+            return Err(ZoneError::NotOpen);
+        }
+        if written == 0 {
+            return Ok(0);
+        }
+        let bytes = self.device.refresh_range(now, base, written)?;
+        let zone = self.zone_mut(z)?;
+        zone.deadline = now.saturating_add(retention);
+        zone.write_cycles += 1;
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrm_device::tech::presets;
+    use mrm_sim::units::MIB;
+
+    fn ctrl() -> MrmBlockController {
+        let mut tech = presets::mrm_hours();
+        tech.capacity_bytes = 64 * MIB; // small for tests
+        MrmBlockController::new(MemoryDevice::new(tech), 4 * MIB)
+    }
+
+    #[test]
+    fn zone_lifecycle() {
+        let mut c = ctrl();
+        assert_eq!(c.zone_count(), 16);
+        let z = c.open_zone().unwrap();
+        assert_eq!(c.zone_state(z).unwrap(), ZoneState::Open);
+        c.append(SimTime::ZERO, z, MIB, SimDuration::from_hours(12))
+            .unwrap();
+        assert_eq!(c.write_pointer(z).unwrap(), MIB);
+        c.finish_zone(z).unwrap();
+        assert_eq!(c.zone_state(z).unwrap(), ZoneState::Full);
+        c.reset_zone(z).unwrap();
+        assert_eq!(c.zone_state(z).unwrap(), ZoneState::Empty);
+        assert_eq!(c.write_pointer(z).unwrap(), 0);
+    }
+
+    #[test]
+    fn appends_are_strictly_sequential() {
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, 1000, SimDuration::from_hours(1))
+            .unwrap();
+        c.append(SimTime::ZERO, z, 1000, SimDuration::from_hours(1))
+            .unwrap();
+        assert_eq!(c.write_pointer(z).unwrap(), 2000);
+        // Reads below the pointer succeed; beyond it fail.
+        assert!(c.read(SimTime::ZERO, z, 0, 2000).is_ok());
+        assert_eq!(
+            c.read(SimTime::ZERO, z, 1000, 1001).unwrap_err(),
+            ZoneError::ReadBeyondWritePointer
+        );
+    }
+
+    #[test]
+    fn zone_overflow_rejected() {
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        assert_eq!(
+            c.append(SimTime::ZERO, z, 5 * MIB, SimDuration::from_hours(1))
+                .unwrap_err(),
+            ZoneError::ZoneOverflow
+        );
+    }
+
+    #[test]
+    fn full_zone_rejects_appends() {
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, 4 * MIB, SimDuration::from_hours(1))
+            .unwrap();
+        assert_eq!(c.zone_state(z).unwrap(), ZoneState::Full);
+        assert_eq!(
+            c.append(SimTime::ZERO, z, 1, SimDuration::from_hours(1))
+                .unwrap_err(),
+            ZoneError::NotOpen
+        );
+    }
+
+    #[test]
+    fn deadline_registry_tracks_earliest() {
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        let t0 = SimTime::ZERO;
+        c.append(t0, z, 1000, SimDuration::from_hours(12)).unwrap();
+        c.append(t0, z, 1000, SimDuration::from_hours(1)).unwrap(); // earlier deadline
+        let d = c.deadline(z).unwrap();
+        assert_eq!(d, t0 + SimDuration::from_hours(1));
+        let expiring = c.zones_expiring_before(t0 + SimDuration::from_hours(2));
+        assert_eq!(expiring, vec![(z, d)]);
+        assert!(c
+            .zones_expiring_before(t0 + SimDuration::from_mins(30))
+            .is_empty());
+    }
+
+    #[test]
+    fn scrub_extends_deadline_and_is_housekeeping() {
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        let t0 = SimTime::ZERO;
+        c.append(t0, z, MIB, SimDuration::from_hours(1)).unwrap();
+        let t1 = t0 + SimDuration::from_mins(50);
+        let bytes = c.scrub_zone(t1, z, SimDuration::from_hours(1)).unwrap();
+        assert!(bytes >= MIB);
+        assert_eq!(c.deadline(z).unwrap(), t1 + SimDuration::from_hours(1));
+        assert!(c.energy().housekeeping_j > 0.0);
+        assert_eq!(c.write_cycles(z).unwrap(), 1);
+        // Data read after the original deadline is now fine.
+        let r = c.read(t0 + SimDuration::from_mins(70), z, 0, MIB).unwrap();
+        assert!(!r.expired);
+    }
+
+    #[test]
+    fn expired_zone_read_is_flagged() {
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, MIB, SimDuration::from_mins(10))
+            .unwrap();
+        let r = c
+            .read(SimTime::ZERO + SimDuration::from_mins(30), z, 0, MIB)
+            .unwrap();
+        assert!(
+            r.expired,
+            "reads past the retention deadline must be flagged"
+        );
+    }
+
+    #[test]
+    fn least_worn_zone_selection() {
+        let mut c = ctrl();
+        let z0 = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z0, MIB, SimDuration::from_hours(1))
+            .unwrap();
+        // Wear z0 via scrubs, then free it.
+        for _ in 0..5 {
+            c.scrub_zone(SimTime::ZERO, z0, SimDuration::from_hours(1))
+                .unwrap();
+        }
+        c.reset_zone(z0).unwrap();
+        // Least-worn must now avoid z0.
+        let z = c.open_zone_least_worn().unwrap();
+        assert_ne!(z, z0);
+        // Plain open_zone (lowest-numbered) would have picked z0 again.
+        let mut c2 = ctrl();
+        let a = c2.open_zone().unwrap();
+        c2.reset_zone(a).unwrap();
+        assert_eq!(c2.open_zone().unwrap(), a);
+    }
+
+    #[test]
+    fn no_empty_zones_error() {
+        let mut c = ctrl();
+        for _ in 0..16 {
+            c.open_zone().unwrap();
+        }
+        assert_eq!(c.open_zone().unwrap_err(), ZoneError::NoEmptyZones);
+    }
+
+    #[test]
+    fn invalid_zone_id() {
+        let mut c = ctrl();
+        assert_eq!(
+            c.zone_state(ZoneId(999)).unwrap_err(),
+            ZoneError::InvalidZone
+        );
+        assert_eq!(
+            c.append(SimTime::ZERO, ZoneId(999), 1, SimDuration::from_secs(1))
+                .unwrap_err(),
+            ZoneError::InvalidZone
+        );
+    }
+
+    #[test]
+    fn no_device_side_housekeeping_when_idle() {
+        // The controller performs zero internal refresh/GC: an idle
+        // controller accrues no housekeeping energy.
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, MIB, SimDuration::from_hours(12))
+            .unwrap();
+        let before = c.energy().housekeeping_j;
+        // A day of "idle" — nothing happens unless software asks.
+        let r = c
+            .read(SimTime::ZERO + SimDuration::from_hours(6), z, 0, MIB)
+            .unwrap();
+        assert!(!r.expired);
+        assert_eq!(c.energy().housekeeping_j, before);
+    }
+}

@@ -1,0 +1,207 @@
+//! Shared scheduling machinery: a deficit-weighted round-robin queue.
+//!
+//! §4: inference serving mixes "tight latency SLAs (e.g., user-in-the-loop
+//! conversation)", "throughput hungry" batch jobs, and "background
+//! best-effort jobs". The control plane needs a scheduler that gives each
+//! service class a configurable share without starving anyone —
+//! deficit-weighted round robin (DRR) is the standard answer and is what
+//! the tiering crate uses to order expiry-handling and request dispatch.
+
+use std::collections::VecDeque;
+
+/// Service class for queued work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QosClass {
+    /// Latency-sensitive interactive work.
+    Interactive,
+    /// Throughput-oriented batch work.
+    Batch,
+    /// Best-effort background work.
+    BestEffort,
+}
+
+impl QosClass {
+    /// All classes in priority order.
+    pub fn all() -> [QosClass; 3] {
+        [QosClass::Interactive, QosClass::Batch, QosClass::BestEffort]
+    }
+}
+
+/// A deficit-weighted round-robin queue over the three QoS classes.
+///
+/// Each class has a weight (its quantum); [`DrrQueue::pop`] serves classes
+/// in rotation, allowing each to dequeue while its deficit counter lasts.
+/// A higher weight therefore yields a proportionally larger share of
+/// dequeues under contention, while empty classes donate their share.
+///
+/// # Examples
+///
+/// ```
+/// use mrm_controller::sched::{DrrQueue, QosClass};
+///
+/// let mut q = DrrQueue::new([4, 2, 1]);
+/// q.push(QosClass::Interactive, "a");
+/// q.push(QosClass::BestEffort, "b");
+/// assert_eq!(q.pop(), Some((QosClass::Interactive, "a")));
+/// assert_eq!(q.pop(), Some((QosClass::BestEffort, "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DrrQueue<T> {
+    queues: [VecDeque<T>; 3],
+    weights: [u32; 3],
+    deficits: [u32; 3],
+    cursor: usize,
+}
+
+impl<T> DrrQueue<T> {
+    /// Creates a queue with per-class weights `[interactive, batch,
+    /// best_effort]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is zero.
+    pub fn new(weights: [u32; 3]) -> Self {
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        DrrQueue {
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            weights,
+            deficits: [0; 3],
+            cursor: 0,
+        }
+    }
+
+    fn index(class: QosClass) -> usize {
+        match class {
+            QosClass::Interactive => 0,
+            QosClass::Batch => 1,
+            QosClass::BestEffort => 2,
+        }
+    }
+
+    /// Enqueues an item in its class.
+    pub fn push(&mut self, class: QosClass, item: T) {
+        self.queues[Self::index(class)].push_back(item);
+    }
+
+    /// Total queued items.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// True if all classes are empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Queue depth of one class.
+    pub fn class_len(&self, class: QosClass) -> usize {
+        self.queues[Self::index(class)].len()
+    }
+
+    /// Dequeues the next item under DRR.
+    pub fn pop(&mut self) -> Option<(QosClass, T)> {
+        if self.is_empty() {
+            // Reset deficits so an idle period doesn't bank credit.
+            self.deficits = [0; 3];
+            return None;
+        }
+        loop {
+            let i = self.cursor;
+            if self.queues[i].is_empty() {
+                self.deficits[i] = 0;
+                self.cursor = (self.cursor + 1) % 3;
+                continue;
+            }
+            if self.deficits[i] == 0 {
+                self.deficits[i] = self.weights[i];
+            }
+            if self.deficits[i] > 0 {
+                self.deficits[i] -= 1;
+                let item = self.queues[i].pop_front().unwrap();
+                let class = QosClass::all()[i];
+                if self.deficits[i] == 0 {
+                    self.cursor = (self.cursor + 1) % 3;
+                }
+                return Some((class, item));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_class_fifo() {
+        let mut q = DrrQueue::new([1, 1, 1]);
+        for i in 0..5 {
+            q.push(QosClass::Batch, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, x)| x)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weights_set_share_under_contention() {
+        let mut q = DrrQueue::new([6, 3, 1]);
+        for i in 0..1000 {
+            q.push(QosClass::Interactive, i);
+            q.push(QosClass::Batch, i);
+            q.push(QosClass::BestEffort, i);
+        }
+        let mut counts = [0u32; 3];
+        for _ in 0..600 {
+            let (c, _) = q.pop().unwrap();
+            counts[DrrQueue::<i32>::index(c)] += 1;
+        }
+        // Shares ≈ 6:3:1 of 600 = 360/180/60.
+        assert!((counts[0] as i32 - 360).abs() <= 12, "{counts:?}");
+        assert!((counts[1] as i32 - 180).abs() <= 12, "{counts:?}");
+        assert!((counts[2] as i32 - 60).abs() <= 12, "{counts:?}");
+    }
+
+    #[test]
+    fn no_starvation() {
+        let mut q = DrrQueue::new([100, 1, 1]);
+        q.push(QosClass::BestEffort, -1);
+        for i in 0..500 {
+            q.push(QosClass::Interactive, i);
+        }
+        let mut popped_bg_at = None;
+        for n in 0..501 {
+            let (c, _) = q.pop().unwrap();
+            if c == QosClass::BestEffort {
+                popped_bg_at = Some(n);
+                break;
+            }
+        }
+        assert!(popped_bg_at.is_some(), "best-effort item starved");
+    }
+
+    #[test]
+    fn empty_classes_donate() {
+        let mut q = DrrQueue::new([1, 1, 1]);
+        for i in 0..10 {
+            q.push(QosClass::BestEffort, i);
+        }
+        // Only one class present: all pops come from it back to back.
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((QosClass::BestEffort, i)));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn lens() {
+        let mut q = DrrQueue::new([1, 1, 1]);
+        assert!(q.is_empty());
+        q.push(QosClass::Interactive, 1);
+        q.push(QosClass::Interactive, 2);
+        q.push(QosClass::Batch, 3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.class_len(QosClass::Interactive), 2);
+        assert_eq!(q.class_len(QosClass::BestEffort), 0);
+    }
+}

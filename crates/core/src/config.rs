@@ -1,0 +1,150 @@
+//! MRM device configuration.
+
+use mrm_device::tech::{presets, Technology};
+use mrm_sim::units::MIB;
+use serde::{Deserialize, Serialize};
+
+/// ECC configuration for an MRM device: a shortened BCH code per data block
+/// plus the delivered-reliability target the scrub scheduler enforces.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EccConfig {
+    /// GF(2^m) field degree of the BCH code.
+    pub gf_m: u32,
+    /// Correctable errors per codeword.
+    pub t: usize,
+    /// Data bits per codeword.
+    pub data_bits: usize,
+    /// Maximum acceptable codeword failure probability at read time.
+    pub target_cw_fail: f64,
+}
+
+impl EccConfig {
+    /// The default large-block MRM code: 4 KiB data codewords with t = 8
+    /// over GF(2^13) — ≈ 0.3% overhead, the §4 "larger code words and less
+    /// overhead" regime.
+    pub fn large_block() -> Self {
+        EccConfig {
+            gf_m: 13,
+            t: 8,
+            data_bits: 4096 * 8,
+            target_cw_fail: 1e-12,
+        }
+    }
+
+    /// A DRAM-style small-word baseline for comparisons: (72,64) SECDED
+    /// equivalent strength expressed as t = 1 over 72-bit words.
+    pub fn secded_baseline() -> Self {
+        EccConfig {
+            gf_m: 7,
+            t: 1,
+            data_bits: 64,
+            target_cw_fail: 1e-12,
+        }
+    }
+
+    /// Codeword length in bits (data + BCH parity ≈ m·t).
+    pub fn codeword_bits(&self) -> usize {
+        self.data_bits + self.gf_m as usize * self.t
+    }
+
+    /// Parity overhead fraction.
+    pub fn overhead(&self) -> f64 {
+        (self.gf_m as usize * self.t) as f64 / self.codeword_bits() as f64
+    }
+}
+
+/// Configuration of one MRM device.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MrmConfig {
+    /// The device technology (normally an MRM preset; any retention-tunable
+    /// technology works).
+    pub tech: Technology,
+    /// Zone size, bytes.
+    pub zone_bytes: u64,
+    /// Whether per-write retention programming (DCM, §4) is enabled. When
+    /// disabled every write uses the technology's native retention.
+    pub dcm: bool,
+    /// Safety margin multiplied into lifetime hints when choosing a
+    /// retention class.
+    pub lifetime_margin: f64,
+    /// ECC configuration.
+    pub ecc: EccConfig,
+    /// Scrub when data age reaches this fraction of its retention target
+    /// (the control plane may scrub earlier; reads past this are flagged
+    /// degraded even if ECC still copes).
+    pub scrub_margin: f64,
+}
+
+impl MrmConfig {
+    /// An hours-class MRM device (12 h retention — the paper's KV-cache
+    /// sweet spot) of the given capacity.
+    pub fn hours_class(capacity_bytes: u64) -> Self {
+        let mut tech = presets::mrm_hours();
+        tech.capacity_bytes = capacity_bytes;
+        MrmConfig {
+            tech,
+            zone_bytes: 64 * MIB,
+            dcm: true,
+            lifetime_margin: 1.25,
+            ecc: EccConfig::large_block(),
+            scrub_margin: 0.7,
+        }
+    }
+
+    /// A days-class MRM device (7 d retention — weights between
+    /// deployments).
+    pub fn days_class(capacity_bytes: u64) -> Self {
+        let mut tech = presets::mrm_days();
+        tech.capacity_bytes = capacity_bytes;
+        MrmConfig {
+            tech,
+            ..Self::hours_class(capacity_bytes)
+        }
+    }
+
+    /// A fixed-retention (non-DCM) variant of any config.
+    pub fn without_dcm(mut self) -> Self {
+        self.dcm = false;
+        self
+    }
+
+    /// Overrides the zone size.
+    pub fn with_zone_bytes(mut self, zone_bytes: u64) -> Self {
+        self.zone_bytes = zone_bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrm_sim::units::GIB;
+
+    #[test]
+    fn large_block_ecc_overhead_is_small() {
+        let e = EccConfig::large_block();
+        assert!(e.overhead() < 0.005, "overhead {}", e.overhead());
+        assert_eq!(e.codeword_bits(), 4096 * 8 + 104);
+    }
+
+    #[test]
+    fn secded_baseline_overhead_is_dram_like() {
+        let e = EccConfig::secded_baseline();
+        // 7 parity bits over 71-bit words ≈ 10%: the small-word regime.
+        assert!(e.overhead() > 0.08, "overhead {}", e.overhead());
+    }
+
+    #[test]
+    fn presets_build() {
+        let h = MrmConfig::hours_class(GIB);
+        assert_eq!(h.tech.capacity_bytes, GIB);
+        assert!(h.dcm);
+        assert_eq!(h.tech.retention, mrm_sim::time::SimDuration::from_hours(12));
+        let d = MrmConfig::days_class(GIB);
+        assert_eq!(d.tech.retention, mrm_sim::time::SimDuration::from_days(7));
+        let fixed = MrmConfig::hours_class(GIB).without_dcm();
+        assert!(!fixed.dcm);
+        let z = MrmConfig::hours_class(GIB).with_zone_bytes(1 << 20);
+        assert_eq!(z.zone_bytes, 1 << 20);
+    }
+}

@@ -1,0 +1,371 @@
+//! A first-fit range allocator over a [`MemoryDevice`].
+//!
+//! The tiering control plane composes one [`Pool`] per memory tier (HBM,
+//! MRM, LPDDR) and places data structures by lifetime and access pattern
+//! (§4, "Retention-aware data placement and scheduling"). The pool keeps a
+//! coalescing free list, tracks occupancy, and forwards timed reads/writes
+//! (with retention hints) to the device.
+
+use mrm_device::device::{DeviceError, MemoryDevice, OpResult};
+use mrm_device::energy::EnergyBreakdown;
+use mrm_sim::time::{SimDuration, SimTime};
+
+/// A live allocation: base address and length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base byte address in the pool's device.
+    pub addr: u64,
+    /// Length, bytes.
+    pub len: u64,
+}
+
+/// Pool errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// Not enough contiguous free space.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Total free bytes (may be fragmented).
+        free: u64,
+    },
+    /// The freed range was not an active allocation.
+    InvalidFree,
+    /// Zero-byte allocation.
+    ZeroSize,
+    /// Underlying device error.
+    Device(DeviceError),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::OutOfMemory { requested, free } => {
+                write!(f, "out of memory: requested {requested}, free {free}")
+            }
+            PoolError::InvalidFree => write!(f, "invalid free"),
+            PoolError::ZeroSize => write!(f, "zero-size allocation"),
+            PoolError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<DeviceError> for PoolError {
+    fn from(e: DeviceError) -> Self {
+        PoolError::Device(e)
+    }
+}
+
+/// A first-fit, coalescing range allocator over a device.
+///
+/// # Examples
+///
+/// ```
+/// use mrm_core::pool::Pool;
+/// use mrm_device::device::MemoryDevice;
+/// use mrm_device::tech::presets;
+///
+/// let mut pool = Pool::new(MemoryDevice::new(presets::hbm3e()));
+/// let a = pool.alloc(1 << 20).unwrap();
+/// assert_eq!(pool.used_bytes(), 1 << 20);
+/// pool.free(a).unwrap();
+/// assert_eq!(pool.used_bytes(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pool {
+    device: MemoryDevice,
+    /// Sorted, disjoint, coalesced free ranges `(addr, len)`.
+    free: Vec<(u64, u64)>,
+    /// Active allocations (sorted by addr) for free() validation.
+    live: Vec<Allocation>,
+    used: u64,
+}
+
+impl Pool {
+    /// Creates a pool spanning the whole device.
+    pub fn new(device: MemoryDevice) -> Self {
+        let cap = device.capacity_bytes();
+        Pool {
+            device,
+            free: vec![(0, cap)],
+            live: Vec::new(),
+            used: 0,
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &MemoryDevice {
+        &self.device
+    }
+
+    /// Pool capacity, bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.device.capacity_bytes()
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free (possibly fragmented).
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes() - self.used
+    }
+
+    /// Occupancy fraction.
+    pub fn occupancy(&self) -> f64 {
+        self.used as f64 / self.capacity_bytes().max(1) as f64
+    }
+
+    /// Energy consumed by the pool's device.
+    pub fn energy(&self) -> EnergyBreakdown {
+        self.device.energy()
+    }
+
+    /// Allocates `len` contiguous bytes (first fit).
+    pub fn alloc(&mut self, len: u64) -> Result<Allocation, PoolError> {
+        if len == 0 {
+            return Err(PoolError::ZeroSize);
+        }
+        let slot = self.free.iter().position(|&(_, flen)| flen >= len);
+        match slot {
+            None => Err(PoolError::OutOfMemory {
+                requested: len,
+                free: self.free_bytes(),
+            }),
+            Some(i) => {
+                let (addr, flen) = self.free[i];
+                if flen == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (addr + len, flen - len);
+                }
+                let a = Allocation { addr, len };
+                let pos = self.live.partition_point(|x| x.addr < addr);
+                self.live.insert(pos, a);
+                self.used += len;
+                Ok(a)
+            }
+        }
+    }
+
+    /// Frees an allocation, coalescing adjacent free ranges.
+    pub fn free(&mut self, a: Allocation) -> Result<(), PoolError> {
+        let pos = self.live.binary_search_by_key(&a.addr, |x| x.addr);
+        let Ok(pos) = pos else {
+            return Err(PoolError::InvalidFree);
+        };
+        if self.live[pos] != a {
+            return Err(PoolError::InvalidFree);
+        }
+        self.live.remove(pos);
+        self.used -= a.len;
+        // Insert into the free list and coalesce neighbours.
+        let i = self.free.partition_point(|&(addr, _)| addr < a.addr);
+        self.free.insert(i, (a.addr, a.len));
+        // Coalesce with next.
+        if i + 1 < self.free.len() {
+            let (naddr, nlen) = self.free[i + 1];
+            if a.addr + a.len == naddr {
+                self.free[i].1 += nlen;
+                self.free.remove(i + 1);
+            }
+        }
+        // Coalesce with previous.
+        if i > 0 {
+            let (paddr, plen) = self.free[i - 1];
+            if paddr + plen == self.free[i].0 {
+                self.free[i - 1].1 += self.free[i].1;
+                self.free.remove(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Timed read of an allocation (or a sub-range via `offset`/`len`).
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        a: &Allocation,
+        offset: u64,
+        len: u64,
+    ) -> Result<OpResult, PoolError> {
+        assert!(offset + len <= a.len, "read outside allocation");
+        Ok(self.device.read(now, a.addr + offset, len)?)
+    }
+
+    /// Timed write of an allocation sub-range with a retention hint.
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        a: &Allocation,
+        offset: u64,
+        len: u64,
+        retention: SimDuration,
+    ) -> Result<OpResult, PoolError> {
+        assert!(offset + len <= a.len, "write outside allocation");
+        Ok(self
+            .device
+            .write_with_retention(now, a.addr + offset, len, retention)?)
+    }
+
+    /// Number of fragments in the free list (fragmentation metric).
+    pub fn free_fragments(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrm_device::tech::presets;
+    use mrm_sim::units::MIB;
+
+    fn pool() -> Pool {
+        let mut tech = presets::mrm_hours();
+        tech.capacity_bytes = 64 * MIB;
+        Pool::new(MemoryDevice::new(tech))
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut p = pool();
+        let a = p.alloc(MIB).unwrap();
+        let b = p.alloc(2 * MIB).unwrap();
+        assert_eq!(p.used_bytes(), 3 * MIB);
+        assert_ne!(a.addr, b.addr);
+        p.free(a).unwrap();
+        p.free(b).unwrap();
+        assert_eq!(p.used_bytes(), 0);
+        assert_eq!(p.free_fragments(), 1, "must coalesce back to one range");
+    }
+
+    #[test]
+    fn first_fit_reuses_holes() {
+        let mut p = pool();
+        let a = p.alloc(MIB).unwrap();
+        let _b = p.alloc(MIB).unwrap();
+        p.free(a).unwrap();
+        let c = p.alloc(MIB / 2).unwrap();
+        assert_eq!(c.addr, a.addr, "first fit should land in the hole");
+    }
+
+    #[test]
+    fn out_of_memory_reports_free() {
+        let mut p = pool();
+        let _a = p.alloc(60 * MIB).unwrap();
+        match p.alloc(8 * MIB) {
+            Err(PoolError::OutOfMemory { requested, free }) => {
+                assert_eq!(requested, 8 * MIB);
+                assert_eq!(free, 4 * MIB);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fragmentation_then_coalesce() {
+        let mut p = pool();
+        let allocs: Vec<Allocation> = (0..8).map(|_| p.alloc(MIB).unwrap()).collect();
+        // Free every other one: fragments.
+        for a in allocs.iter().step_by(2) {
+            p.free(*a).unwrap();
+        }
+        assert!(p.free_fragments() >= 4);
+        // Free the rest: everything coalesces.
+        for a in allocs.iter().skip(1).step_by(2) {
+            p.free(*a).unwrap();
+        }
+        assert_eq!(p.free_fragments(), 1);
+        assert_eq!(p.used_bytes(), 0);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut p = pool();
+        let a = p.alloc(MIB).unwrap();
+        p.free(a).unwrap();
+        assert_eq!(p.free(a).unwrap_err(), PoolError::InvalidFree);
+    }
+
+    #[test]
+    fn bogus_free_rejected() {
+        let mut p = pool();
+        let _a = p.alloc(MIB).unwrap();
+        assert_eq!(
+            p.free(Allocation {
+                addr: 12345,
+                len: 10
+            })
+            .unwrap_err(),
+            PoolError::InvalidFree
+        );
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        assert_eq!(pool().alloc(0).unwrap_err(), PoolError::ZeroSize);
+    }
+
+    #[test]
+    fn timed_io_goes_through() {
+        let mut p = pool();
+        let a = p.alloc(MIB).unwrap();
+        let w = p
+            .write(SimTime::ZERO, &a, 0, MIB, SimDuration::from_hours(1))
+            .unwrap();
+        let r = p.read(SimTime::ZERO, &a, 0, MIB).unwrap();
+        assert!(w.service_time > SimDuration::ZERO);
+        assert!(r.service_time > SimDuration::ZERO);
+        assert!(p.energy().write_j > 0.0);
+        assert!(p.energy().read_j > 0.0);
+    }
+
+    #[test]
+    fn occupancy() {
+        let mut p = pool();
+        assert_eq!(p.occupancy(), 0.0);
+        let _ = p.alloc(32 * MIB).unwrap();
+        assert!((p.occupancy() - 0.5).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mrm_device::tech::presets;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn allocations_never_overlap_and_accounting_balances(
+            ops in proptest::collection::vec((1u64..512, prop::bool::ANY), 1..200)
+        ) {
+            let mut tech = presets::mrm_hours();
+            tech.capacity_bytes = 1 << 20;
+            let mut p = Pool::new(mrm_device::device::MemoryDevice::new(tech));
+            let mut live: Vec<Allocation> = Vec::new();
+            for (size, do_free) in ops {
+                if do_free && !live.is_empty() {
+                    let a = live.swap_remove(0);
+                    p.free(a).unwrap();
+                } else if let Ok(a) = p.alloc(size * 1024) {
+                    live.push(a);
+                }
+                // No two live allocations overlap.
+                let mut sorted = live.clone();
+                sorted.sort_by_key(|a| a.addr);
+                for w in sorted.windows(2) {
+                    prop_assert!(w[0].addr + w[0].len <= w[1].addr);
+                }
+                let used: u64 = live.iter().map(|a| a.len).sum();
+                prop_assert_eq!(p.used_bytes(), used);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Transistor-less crossbar array modelling.
+//!
+//! §3: resistive cells "can be organized into high-density, transistor-less
+//! crossbar layouts \[56\]" — that is where MRM's density advantage over
+//! capacitor-DRAM comes from. But crossbars are not free: Xu et al.
+//! (HPCA'15, the paper's \[56\]) catalogue the two constraints that bound
+//! array size, and with it how much periphery the density win must
+//! amortize:
+//!
+//! * **Sneak currents.** Reading one cell half-selects every other cell on
+//!   the same row/column; their leakage adds a background current that
+//!   grows with array size `n` and is suppressed only by the selector's
+//!   nonlinearity `K` (on/off ratio at half bias). Read margin ∝ `K / n`,
+//!   and the wasted sneak energy adds a `n / K` term per read.
+//! * **IR drop.** Wire resistance accumulates along rows/columns; the
+//!   worst-corner cell sees its write voltage reduced by a term ∝
+//!   `n · r_wire / R_cell`, capping the array size that still switches
+//!   reliably.
+//!
+//! Bigger arrays amortize the peripheral drivers/sense-amps better
+//! (density ↑) until the sneak/IR walls, so there is an optimal `n` — and
+//! better selectors move it outward. [`CrossbarModel::sweep`] exposes that
+//! trade for the analysis layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of a crossbar design.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CrossbarModel {
+    /// Selector nonlinearity: half-bias on/off ratio (10²–10⁶ in practice).
+    pub selector_nonlinearity: f64,
+    /// Wire resistance per cell pitch, ohms.
+    pub wire_ohm_per_cell: f64,
+    /// Low-resistance-state cell resistance, ohms.
+    pub cell_lrs_ohm: f64,
+    /// Peripheral (driver + sense amp) area per row/column, in units of
+    /// cell areas.
+    pub periphery_cells_per_line: f64,
+    /// Minimum acceptable read margin (signal / sneak background).
+    pub min_read_margin: f64,
+    /// Maximum acceptable worst-corner IR drop as a fraction of the write
+    /// voltage.
+    pub max_ir_drop: f64,
+}
+
+impl CrossbarModel {
+    /// A conservative HfOx-RRAM-with-selector design point.
+    pub fn rram_with_selector() -> Self {
+        CrossbarModel {
+            selector_nonlinearity: 1e4,
+            wire_ohm_per_cell: 2.5,
+            cell_lrs_ohm: 1e5,
+            periphery_cells_per_line: 20.0,
+            min_read_margin: 10.0,
+            max_ir_drop: 0.10,
+        }
+    }
+
+    /// A selector-less (cell-nonlinearity-only) design point.
+    pub fn selectorless() -> Self {
+        CrossbarModel {
+            selector_nonlinearity: 50.0,
+            ..Self::rram_with_selector()
+        }
+    }
+
+    /// Read margin for an `n × n` array: selector nonlinearity over the
+    /// sneak-path count.
+    pub fn read_margin(&self, n: u32) -> f64 {
+        self.selector_nonlinearity / n.max(1) as f64
+    }
+
+    /// Energy multiplier on reads from sneak leakage: `1 + n/K`.
+    pub fn sneak_energy_factor(&self, n: u32) -> f64 {
+        1.0 + n as f64 / self.selector_nonlinearity
+    }
+
+    /// Worst-corner IR drop fraction for an `n × n` array: to first order
+    /// the selected line carries `≈ V/R_lrs`, dropping
+    /// `n · r_wire · I / V = n · r_wire / R_lrs` over its length (row and
+    /// column each contribute half at the worst corner).
+    pub fn ir_drop_fraction(&self, n: u32) -> f64 {
+        n as f64 * self.wire_ohm_per_cell / self.cell_lrs_ohm
+    }
+
+    /// Array-level area efficiency: cell area over cell + periphery area.
+    /// Grows with `n` (periphery is per-line, cells are per-line²).
+    pub fn area_efficiency(&self, n: u32) -> f64 {
+        let n = n as f64;
+        let cells = n * n;
+        let periphery = 2.0 * n * self.periphery_cells_per_line;
+        cells / (cells + periphery)
+    }
+
+    /// Whether an `n × n` array meets both reliability constraints.
+    pub fn feasible(&self, n: u32) -> bool {
+        self.read_margin(n) >= self.min_read_margin && self.ir_drop_fraction(n) <= self.max_ir_drop
+    }
+
+    /// The largest feasible power-of-two array size (0 if none).
+    pub fn max_array_size(&self) -> u32 {
+        let mut best = 0;
+        let mut n = 8u32;
+        while n <= 1 << 16 {
+            if self.feasible(n) {
+                best = n;
+            }
+            n *= 2;
+        }
+        best
+    }
+
+    /// Effective density score of the best feasible array: area efficiency
+    /// at [`CrossbarModel::max_array_size`] (0 if nothing is feasible).
+    pub fn best_density(&self) -> f64 {
+        match self.max_array_size() {
+            0 => 0.0,
+            n => self.area_efficiency(n),
+        }
+    }
+
+    /// Sweeps power-of-two array sizes; returns
+    /// `(n, margin, sneak_factor, ir_drop, area_eff, feasible)` rows.
+    pub fn sweep(&self, max_n: u32) -> Vec<(u32, f64, f64, f64, f64, bool)> {
+        let mut rows = Vec::new();
+        let mut n = 8u32;
+        while n <= max_n {
+            rows.push((
+                n,
+                self.read_margin(n),
+                self.sneak_energy_factor(n),
+                self.ir_drop_fraction(n),
+                self.area_efficiency(n),
+                self.feasible(n),
+            ));
+            n *= 2;
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_move_the_right_way() {
+        let m = CrossbarModel::rram_with_selector();
+        assert!(m.read_margin(64) > m.read_margin(1024));
+        assert!(m.sneak_energy_factor(64) < m.sneak_energy_factor(1024));
+        assert!(m.ir_drop_fraction(64) < m.ir_drop_fraction(1024));
+        assert!(m.area_efficiency(64) < m.area_efficiency(1024));
+    }
+
+    #[test]
+    fn good_selector_allows_useful_arrays() {
+        let m = CrossbarModel::rram_with_selector();
+        let n = m.max_array_size();
+        assert!(n >= 256, "selector design should reach >=256x256, got {n}");
+        assert!(n <= 2048, "sneak/IR walls must bind somewhere, got {n}");
+        assert!(
+            m.area_efficiency(n) > 0.8,
+            "periphery must be well amortized"
+        );
+    }
+
+    #[test]
+    fn selectorless_arrays_are_tiny() {
+        // [56]'s core finding: without a selector the sneak paths cap the
+        // array at sizes whose periphery swamps the density win.
+        let weak = CrossbarModel::selectorless();
+        let good = CrossbarModel::rram_with_selector();
+        assert!(weak.max_array_size() < good.max_array_size() / 32);
+        assert!(weak.best_density() < good.best_density());
+    }
+
+    #[test]
+    fn ir_drop_binds_even_with_perfect_selectors() {
+        let mut m = CrossbarModel::rram_with_selector();
+        m.selector_nonlinearity = 1e12; // margin never binds
+        let n = m.max_array_size();
+        assert!(
+            m.ir_drop_fraction(n * 2) > m.max_ir_drop,
+            "IR drop must be the active wall"
+        );
+    }
+
+    #[test]
+    fn sweep_is_consistent_with_predicates() {
+        let m = CrossbarModel::rram_with_selector();
+        for (n, margin, sneak, ir, eff, feasible) in m.sweep(1 << 14) {
+            assert_eq!(margin, m.read_margin(n));
+            assert_eq!(sneak, m.sneak_energy_factor(n));
+            assert_eq!(ir, m.ir_drop_fraction(n));
+            assert_eq!(eff, m.area_efficiency(n));
+            assert_eq!(feasible, m.feasible(n));
+        }
+    }
+
+    #[test]
+    fn density_optimum_exists_under_constraints() {
+        // Among feasible sizes, the largest is densest (monotone area
+        // efficiency), so best_density is achieved at max_array_size.
+        let m = CrossbarModel::rram_with_selector();
+        let n = m.max_array_size();
+        for (sz, _, _, _, eff, feasible) in m.sweep(n) {
+            if feasible {
+                assert!(eff <= m.best_density() + 1e-12, "n={sz}");
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Energy accounting.
+//!
+//! The paper's §2.1 observation — "approximately a third of the energy usage
+//! for an AI accelerator is the memory" — and §3's "power efficiency is
+//! perhaps the most important metric" make energy a first-class output of
+//! every simulation. [`EnergyMeter`] decomposes consumption into the four
+//! components the paper argues about: useful reads, useful writes,
+//! housekeeping (refresh / wear-levelling / GC traffic), and idle leakage.
+
+use serde::{Deserialize, Serialize};
+
+use mrm_sim::time::SimDuration;
+
+/// Decomposed energy totals, joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy spent on demand reads.
+    pub read_j: f64,
+    /// Energy spent on demand writes.
+    pub write_j: f64,
+    /// Energy spent on housekeeping: refresh, wear-levelling moves, GC
+    /// rewrites, scrubbing — everything §3 calls "housekeeping operations
+    /// internal to the memory device".
+    pub housekeeping_j: f64,
+    /// Standby/leakage energy.
+    pub idle_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.read_j + self.write_j + self.housekeeping_j + self.idle_j
+    }
+
+    /// Fraction of total energy that did useful data movement.
+    ///
+    /// Returns 1.0 for a zero-energy breakdown (nothing was wasted).
+    pub fn useful_fraction(&self) -> f64 {
+        let total = self.total_j();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        (self.read_j + self.write_j) / total
+    }
+
+    /// Element-wise sum.
+    pub fn merged(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            read_j: self.read_j + other.read_j,
+            write_j: self.write_j + other.write_j,
+            housekeeping_j: self.housekeeping_j + other.housekeeping_j,
+            idle_j: self.idle_j + other.idle_j,
+        }
+    }
+}
+
+/// A mutable energy accumulator with per-bit rates baked in.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    read_energy_j_per_byte: f64,
+    write_energy_j_per_byte: f64,
+    idle_w: f64,
+    totals: EnergyBreakdown,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the given per-bit access energies (pJ/bit) and
+    /// idle power (watts).
+    pub fn new(read_pj_bit: f64, write_pj_bit: f64, idle_w: f64) -> Self {
+        EnergyMeter {
+            read_energy_j_per_byte: read_pj_bit * 1e-12 * 8.0,
+            write_energy_j_per_byte: write_pj_bit * 1e-12 * 8.0,
+            idle_w,
+            totals: EnergyBreakdown::default(),
+        }
+    }
+
+    /// Accounts a demand read of `bytes`.
+    pub fn read(&mut self, bytes: u64) {
+        self.totals.read_j += bytes as f64 * self.read_energy_j_per_byte;
+    }
+
+    /// Accounts a demand write of `bytes`.
+    pub fn write(&mut self, bytes: u64) {
+        self.totals.write_j += bytes as f64 * self.write_energy_j_per_byte;
+    }
+
+    /// Accounts a housekeeping read-modify-write of `bytes` (refresh, GC
+    /// move, scrub rewrite): charged at read + write cost.
+    pub fn housekeeping_rmw(&mut self, bytes: u64) {
+        self.totals.housekeeping_j +=
+            bytes as f64 * (self.read_energy_j_per_byte + self.write_energy_j_per_byte);
+    }
+
+    /// Accounts raw housekeeping energy, joules (e.g. DRAM refresh charged
+    /// at its own lower per-bit rate).
+    pub fn housekeeping_j(&mut self, joules: f64) {
+        self.totals.housekeeping_j += joules;
+    }
+
+    /// Accounts standby energy over an elapsed span.
+    pub fn idle(&mut self, elapsed: SimDuration) {
+        self.totals.idle_j += self.idle_w * elapsed.as_secs_f64();
+    }
+
+    /// The accumulated breakdown.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.totals
+    }
+
+    /// Resets accumulated totals to zero (rates are kept).
+    pub fn reset(&mut self) {
+        self.totals = EnergyBreakdown::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrm_sim::units::GB;
+
+    #[test]
+    fn read_write_accounting() {
+        let mut m = EnergyMeter::new(4.0, 8.0, 0.0);
+        m.read(GB);
+        m.write(GB);
+        let b = m.breakdown();
+        // 1 GB = 8e9 bits; 4 pJ/bit → 32 mJ; 8 pJ/bit → 64 mJ.
+        assert!((b.read_j - 0.032).abs() < 1e-6);
+        assert!((b.write_j - 0.064).abs() < 1e-6);
+        assert_eq!(b.housekeeping_j, 0.0);
+    }
+
+    #[test]
+    fn housekeeping_rmw_charges_both_directions() {
+        let mut m = EnergyMeter::new(4.0, 8.0, 0.0);
+        m.housekeeping_rmw(GB);
+        let b = m.breakdown();
+        assert!((b.housekeeping_j - 0.096).abs() < 1e-6);
+        assert_eq!(b.read_j, 0.0);
+    }
+
+    #[test]
+    fn idle_integrates_power() {
+        let mut m = EnergyMeter::new(0.0, 0.0, 2.0);
+        m.idle(SimDuration::from_secs(10));
+        assert!((m.breakdown().idle_j - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn useful_fraction() {
+        let mut m = EnergyMeter::new(1.0, 1.0, 0.0);
+        m.read(GB);
+        m.housekeeping_rmw(GB / 2);
+        let f = m.breakdown().useful_fraction();
+        assert!(f > 0.49 && f < 0.51, "useful fraction {f}");
+        assert_eq!(EnergyBreakdown::default().useful_fraction(), 1.0);
+    }
+
+    #[test]
+    fn merged_and_reset() {
+        let mut a = EnergyMeter::new(1.0, 1.0, 1.0);
+        a.read(GB);
+        let mut b = EnergyMeter::new(2.0, 2.0, 1.0);
+        b.write(GB);
+        let merged = a.breakdown().merged(&b.breakdown());
+        assert!(merged.read_j > 0.0 && merged.write_j > 0.0);
+        assert!(
+            (merged.total_j() - (a.breakdown().total_j() + b.breakdown().total_j())).abs() < 1e-12
+        );
+        a.reset();
+        assert_eq!(a.breakdown(), EnergyBreakdown::default());
+    }
+}

@@ -1,0 +1,156 @@
+//! Multi-level-cell (MLC) encoding for MRM.
+//!
+//! §3: "STT-MRAM and RRAM cells have already demonstrated potential for
+//! multi-level encoding \[10\]" — storing 2–3 bits per cell multiplies
+//! density (and divides $/GB) at the cost of tighter resistance margins:
+//! slower, more careful program-verify writes, lower endurance, a higher
+//! error floor, and effectively shorter retention for the same thermal
+//! stability (the margins between adjacent levels shrink).
+//!
+//! [`apply_mlc`] derives an MLC variant of any retention-tunable
+//! [`Technology`]; the scaling factors follow the NAND MLC/TLC precedent
+//! (each extra bit/cell costs roughly an order of magnitude of endurance
+//! and a 2–4× program-time penalty) adapted to resistive cells.
+
+use crate::tech::Technology;
+
+/// Bits stored per cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellLevels {
+    /// Single-level cell: 1 bit (the baseline all presets use).
+    Slc,
+    /// Multi-level cell: 2 bits.
+    Mlc,
+    /// Triple-level cell: 3 bits.
+    Tlc,
+}
+
+impl CellLevels {
+    /// Bits per cell.
+    pub fn bits(self) -> u32 {
+        match self {
+            CellLevels::Slc => 1,
+            CellLevels::Mlc => 2,
+            CellLevels::Tlc => 3,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellLevels::Slc => "SLC",
+            CellLevels::Mlc => "MLC",
+            CellLevels::Tlc => "TLC",
+        }
+    }
+
+    /// All levels, densest last.
+    pub fn all() -> [CellLevels; 3] {
+        [CellLevels::Slc, CellLevels::Mlc, CellLevels::Tlc]
+    }
+}
+
+/// Derives the MLC variant of a technology.
+///
+/// Scaling per extra bit beyond SLC (calibrated to the NAND
+/// SLC→MLC→TLC progression and resistive-MLC demonstrations \[10\]):
+///
+/// * capacity ×2 (that is the point);
+/// * cost/GB ÷2 at equal die cost;
+/// * write latency ×2.5 (program-verify over 2× the levels);
+/// * write energy ×1.6 (verify passes);
+/// * read latency ×1.3 and read energy ×1.2 (finer sensing);
+/// * endurance ÷12 (margin loss dominates wear budget);
+/// * retention ÷4 (the same drift crosses a narrower level gap sooner);
+/// * write bandwidth ÷2 (program time dominates).
+pub fn apply_mlc(base: &Technology, levels: CellLevels) -> Technology {
+    let extra = (levels.bits() - 1) as i32;
+    if extra == 0 {
+        let mut t = base.clone();
+        t.name = format!("{} [SLC]", base.name);
+        return t;
+    }
+    let f = |x: f64, per_bit: f64| x * per_bit.powi(extra);
+    let mut t = base.clone();
+    t.name = format!("{} [{}]", base.name, levels.label());
+    t.capacity_bytes = base.capacity_bytes * (levels.bits() as u64);
+    t.cost_per_gb_rel = base.cost_per_gb_rel / levels.bits() as f64;
+    t.write_latency_ns = f(base.write_latency_ns, 2.5);
+    t.write_energy_pj_bit = f(base.write_energy_pj_bit, 1.6);
+    t.read_latency_ns = f(base.read_latency_ns, 1.3);
+    t.read_energy_pj_bit = f(base.read_energy_pj_bit, 1.2);
+    t.endurance = base.endurance / 12f64.powi(extra);
+    t.retention = base.retention.mul_f64(0.25f64.powi(extra));
+    t.write_bw = base.write_bw / 2f64.powi(extra);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::presets;
+
+    #[test]
+    fn slc_is_identity_except_label() {
+        let base = presets::mrm_hours();
+        let slc = apply_mlc(&base, CellLevels::Slc);
+        assert_eq!(slc.capacity_bytes, base.capacity_bytes);
+        assert_eq!(slc.endurance, base.endurance);
+        assert!(slc.name.contains("[SLC]"));
+    }
+
+    #[test]
+    fn density_and_cost_scale_with_bits() {
+        let base = presets::mrm_hours();
+        let mlc = apply_mlc(&base, CellLevels::Mlc);
+        let tlc = apply_mlc(&base, CellLevels::Tlc);
+        assert_eq!(mlc.capacity_bytes, 2 * base.capacity_bytes);
+        assert_eq!(tlc.capacity_bytes, 3 * base.capacity_bytes);
+        assert!((mlc.cost_per_gb_rel - base.cost_per_gb_rel / 2.0).abs() < 1e-12);
+        assert!((tlc.cost_per_gb_rel - base.cost_per_gb_rel / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_penalty_moves_the_right_way() {
+        let base = presets::mrm_hours();
+        let mlc = apply_mlc(&base, CellLevels::Mlc);
+        assert!(mlc.write_latency_ns > base.write_latency_ns);
+        assert!(mlc.write_energy_pj_bit > base.write_energy_pj_bit);
+        assert!(mlc.read_latency_ns > base.read_latency_ns);
+        assert!(mlc.read_energy_pj_bit > base.read_energy_pj_bit);
+        assert!(mlc.endurance < base.endurance);
+        assert!(mlc.retention < base.retention);
+        assert!(mlc.write_bw < base.write_bw);
+        // Reads stay cheap in absolute terms: still below HBM's 3.9 pJ/bit.
+        assert!(mlc.read_energy_pj_bit < 3.9);
+    }
+
+    #[test]
+    fn tlc_compounds_mlc() {
+        let base = presets::mrm_hours();
+        let mlc = apply_mlc(&base, CellLevels::Mlc);
+        let tlc = apply_mlc(&base, CellLevels::Tlc);
+        assert!(tlc.endurance < mlc.endurance);
+        assert!(tlc.retention < mlc.retention);
+        assert!((tlc.endurance - base.endurance / 144.0).abs() < base.endurance * 1e-9);
+    }
+
+    #[test]
+    fn mlc_mrm_still_meets_kv_endurance() {
+        // The §3 claim that MLC is *potential*, not fantasy: a 2-bit MRM
+        // at the STT ceiling still clears the KV requirement band (~1e8
+        // with headroom and per-second weights).
+        let base = presets::mrm_hours();
+        let mlc = apply_mlc(&base, CellLevels::Mlc);
+        assert!(mlc.endurance > 1e9, "MLC endurance {}", mlc.endurance);
+    }
+
+    #[test]
+    fn retention_shrink_interacts_with_dcm_ladder() {
+        // A 12 h SLC class becomes a 3 h MLC class: still hours-scale,
+        // still covering typical KV lifetimes.
+        let base = presets::mrm_hours();
+        let mlc = apply_mlc(&base, CellLevels::Mlc);
+        assert_eq!(mlc.retention, mrm_sim::time::SimDuration::from_hours(3));
+    }
+}

@@ -1,0 +1,170 @@
+//! Block interleaving: spreading burst errors across codewords.
+//!
+//! MRM's failure modes are spatially correlated — a marginal wordline, a
+//! die-level defect, a disturbed crossbar row — which shows up as *burst*
+//! errors. Interleaving `depth` codewords bit-by-bit converts a burst of
+//! length `L` into at most `⌈L/depth⌉` errors per codeword, letting modest
+//! per-codeword `t` survive long bursts. This is standard practice in NAND
+//! controllers and equally applicable to the paper's block-level MRM
+//! controller.
+
+/// A bit-level block interleaver over `depth` codewords of `len` bits each.
+#[derive(Clone, Copy, Debug)]
+pub struct Interleaver {
+    depth: usize,
+    len: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver for `depth` codewords of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(depth: usize, len: usize) -> Self {
+        assert!(
+            depth > 0 && len > 0,
+            "interleaver dimensions must be positive"
+        );
+        Interleaver { depth, len }
+    }
+
+    /// Number of interleaved codewords.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Bits per codeword.
+    pub fn codeword_len(&self) -> usize {
+        self.len
+    }
+
+    /// Total bits in one interleaved frame.
+    pub fn frame_len(&self) -> usize {
+        self.depth * self.len
+    }
+
+    /// Interleaves `depth` codewords into one frame: frame position
+    /// `i·depth + j` holds bit `i` of codeword `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly `depth` codewords of `len` bits are supplied.
+    pub fn interleave(&self, codewords: &[Vec<u8>]) -> Vec<u8> {
+        assert_eq!(codewords.len(), self.depth, "codeword count mismatch");
+        for cw in codewords {
+            assert_eq!(cw.len(), self.len, "codeword length mismatch");
+        }
+        let mut frame = vec![0u8; self.frame_len()];
+        for (j, cw) in codewords.iter().enumerate() {
+            for (i, &bit) in cw.iter().enumerate() {
+                frame[i * self.depth + j] = bit;
+            }
+        }
+        frame
+    }
+
+    /// De-interleaves a frame back into `depth` codewords.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame length is wrong.
+    pub fn deinterleave(&self, frame: &[u8]) -> Vec<Vec<u8>> {
+        assert_eq!(frame.len(), self.frame_len(), "frame length mismatch");
+        let mut out = vec![vec![0u8; self.len]; self.depth];
+        for (pos, &bit) in frame.iter().enumerate() {
+            out[pos % self.depth][pos / self.depth] = bit;
+        }
+        out
+    }
+
+    /// The worst-case number of errors any single codeword sees from a
+    /// contiguous burst of `burst_len` flipped frame bits.
+    pub fn errors_per_codeword(&self, burst_len: usize) -> usize {
+        burst_len.div_ceil(self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bch::Bch;
+
+    fn codewords(depth: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..depth)
+            .map(|j| (0..len).map(|i| ((i * 7 + j * 13) % 2) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let il = Interleaver::new(8, 63);
+        let cws = codewords(8, 63);
+        let frame = il.interleave(&cws);
+        assert_eq!(frame.len(), 8 * 63);
+        assert_eq!(il.deinterleave(&frame), cws);
+    }
+
+    #[test]
+    fn burst_spreads_evenly() {
+        let il = Interleaver::new(4, 16);
+        let cws = codewords(4, 16);
+        let mut frame = il.interleave(&cws);
+        // Burst of 8 consecutive bits: each codeword sees exactly 2 errors.
+        for bit in frame.iter_mut().skip(10).take(8) {
+            *bit ^= 1;
+        }
+        let out = il.deinterleave(&frame);
+        for (j, cw) in out.iter().enumerate() {
+            let errors = cw.iter().zip(&cws[j]).filter(|(a, b)| a != b).count();
+            assert_eq!(errors, 2, "codeword {j}");
+        }
+        assert_eq!(il.errors_per_codeword(8), 2);
+        assert_eq!(il.errors_per_codeword(9), 3);
+    }
+
+    #[test]
+    fn interleaved_bch_survives_long_bursts() {
+        // t=2 BCH codewords, depth-8 interleaving: a 16-bit burst (far more
+        // than any single codeword could take) decodes cleanly.
+        let code = Bch::new(6, 2); // (63, 51)
+        let data: Vec<Vec<u8>> = (0..8)
+            .map(|j| (0..51).map(|i| ((i + j) % 2) as u8).collect())
+            .collect();
+        let cws: Vec<Vec<u8>> = data.iter().map(|d| code.encode(d)).collect();
+        let il = Interleaver::new(8, 63);
+        let mut frame = il.interleave(&cws);
+        for bit in frame.iter_mut().skip(100).take(16) {
+            *bit ^= 1;
+        }
+        let received = il.deinterleave(&frame);
+        for (j, cw) in received.iter().enumerate() {
+            let (out, _fixed) = code.decode(cw).unwrap_or_else(|e| {
+                panic!("codeword {j} failed: {e}");
+            });
+            assert_eq!(out, data[j], "codeword {j}");
+        }
+    }
+
+    #[test]
+    fn without_interleaving_the_same_burst_kills_a_codeword() {
+        let code = Bch::new(6, 2);
+        let data: Vec<u8> = (0..51).map(|i| (i % 2) as u8).collect();
+        let mut cw = code.encode(&data);
+        for bit in cw.iter_mut().skip(10).take(16) {
+            *bit ^= 1;
+        }
+        // 16 errors >> t=2: must not silently return the original data.
+        match code.decode(&cw) {
+            Err(_) => {}
+            Ok((out, _)) => assert_ne!(out, data, "16-bit burst cannot be transparently fixed"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "codeword count mismatch")]
+    fn wrong_count_panics() {
+        let il = Interleaver::new(4, 8);
+        il.interleave(&codewords(3, 8));
+    }
+}

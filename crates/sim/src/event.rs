@@ -1,0 +1,224 @@
+//! Deterministic event queue and simulation driver.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs ordered by time
+//! with FIFO tie-breaking, so two events scheduled for the same instant pop in
+//! the order they were scheduled — a requirement for reproducible simulations.
+//!
+//! Higher layers own their event loop: they define an event enum, pop events,
+//! and mutate their own state. This keeps borrow-checker friction low compared
+//! with a callback-based kernel, and lets each simulation choose its own state
+//! shape.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: ordering key is `(time, seq)` — earliest first, then FIFO.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use mrm_sim::event::EventQueue;
+/// use mrm_sim::time::SimTime;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick, Tock }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(10), Ev::Tock);
+/// q.schedule(SimTime::from_nanos(10), Ev::Tick); // same instant: FIFO
+/// q.schedule(SimTime::from_nanos(5), Ev::Tick);
+/// assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(5), Ev::Tick));
+/// assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(10), Ev::Tock));
+/// assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(10), Ev::Tick));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event,
+    /// or [`SimTime::ZERO`] before any event has been popped.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; the queue
+    /// tolerates it (the event pops immediately) but debug builds assert.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling event in the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` `delay` after the current simulation time.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "time went backwards");
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3u32);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(100);
+        for i in 0..1000u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(2), "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_nanos(7), ());
+        q.schedule(SimTime::from_nanos(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(3)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        // Two identical runs produce identical sequences.
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            q.schedule(SimTime::from_nanos(1), 0u64);
+            let mut k = 1u64;
+            while let Some((t, e)) = q.pop() {
+                out.push((t, e));
+                if k < 50 {
+                    q.schedule(t + SimDuration::from_nanos(k % 3), k);
+                    q.schedule(t + SimDuration::from_nanos(k % 5), k + 100);
+                    k += 1;
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the simulation kernel.
+//!
+//! The kernel's correctness properties are what every downstream simulation
+//! silently assumes: the event queue is a stable total order, time
+//! arithmetic never goes backwards, distributions respect their supports,
+//! and statistics merging is order-insensitive.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::dist::{Distribution, Empirical, Exponential, LogNormal, Uniform};
+use crate::event::EventQueue;
+use crate::rng::SimRng;
+use crate::stats::{LogHistogram, StreamingStats};
+use crate::time::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_stable(
+        times in proptest::collection::vec(0u64..1_000, 1..500)
+    ) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, seq));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, seq))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            if let Some((lt, lseq)) = last {
+                // Total order by time; FIFO within equal timestamps.
+                prop_assert!(t > lt || (t == lt && seq > lseq), "order violated");
+            }
+            last = Some((t, seq));
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        let sum = da + db;
+        prop_assert_eq!(sum.as_nanos(), a + b);
+        prop_assert_eq!(sum - db, da);
+        prop_assert_eq!((SimTime::ZERO + da + db) - (SimTime::ZERO + db), da);
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn duration_float_roundtrip(ns in 1u64..1u64 << 50) {
+        let d = SimDuration::from_nanos(ns);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        // f64 has 52 bits of mantissa: allow 1-in-2^50 relative error.
+        let err = back.as_nanos().abs_diff(ns);
+        prop_assert!(err <= 1 + (ns >> 40), "ns {} back {}", ns, back.as_nanos());
+    }
+
+    #[test]
+    fn rng_ranges_hold(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            let x = rng.gen_range(lo, lo + width);
+            prop_assert!(x >= lo && x < lo + width);
+        }
+    }
+
+    #[test]
+    fn exponential_support_positive(seed in any::<u64>(), mean in 0.001f64..1e6) {
+        let d = Exponential::with_mean(mean);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_support_positive(seed in any::<u64>(), median in 0.1f64..1e6, sigma in 0.01f64..3.0) {
+        let d = LogNormal::from_median(median, sigma);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_support(seed in any::<u64>(), lo in -1e6f64..1e6, width in 0.001f64..1e6) {
+        let d = Uniform::new(lo, lo + width);
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x < lo + width);
+        }
+    }
+
+    #[test]
+    fn empirical_quantile_is_monotone(
+        mut points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1e6), 2..10)
+    ) {
+        // Sort values so the quantile table is valid.
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut vals: Vec<f64> = points.iter().map(|p| p.1).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let table: Vec<(f64, f64)> =
+            points.iter().zip(&vals).map(|(p, &v)| (p.0, v)).collect();
+        prop_assume!(table.windows(2).all(|w| w[0].0 < w[1].0));
+        let d = Empirical::from_quantiles(table);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = d.quantile(q);
+            prop_assert!(v >= last, "quantile not monotone at {}", q);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn welford_merge_is_order_insensitive(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split_at in 0usize..200,
+    ) {
+        let at = split_at.min(xs.len());
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = StreamingStats::new();
+        let mut right = StreamingStats::new();
+        for &x in &xs[..at] {
+            left.record(x);
+        }
+        for &x in &xs[at..] {
+            right.record(x);
+        }
+        let mut ab = left.clone();
+        ab.merge(&right);
+        let mut ba = right;
+        ba.merge(&left);
+        prop_assert_eq!(ab.count(), whole.count());
+        prop_assert!((ab.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        prop_assert_eq!(ab.min(), whole.min());
+        prop_assert_eq!(ab.max(), whole.max());
+    }
+
+    #[test]
+    fn log_histogram_percentiles_are_monotone(
+        xs in proptest::collection::vec(1.0f64..1e12, 1..300)
+    ) {
+        let mut h = LogHistogram::new(16);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut last = 0.0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "p{} = {} < {}", p, v, last);
+            last = v;
+        }
+        // Percentiles bracket the data (to bucket resolution).
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(h.percentile(100.0) <= max * 1.1);
+    }
+}

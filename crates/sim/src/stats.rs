@@ -1,0 +1,494 @@
+//! Streaming statistics: Welford moments, histograms, time-weighted averages.
+//!
+//! Simulations in this workspace run for billions of simulated events, so all
+//! statistics are single-pass and constant-memory (histograms use fixed
+//! logarithmic bucketing in the style of HDR histograms).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use mrm_sim::stats::StreamingStats;
+///
+/// let mut s = StreamingStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than one observation).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 if fewer than two).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A log-scale histogram for positive values spanning many decades.
+///
+/// Values are bucketed by `log2` with `sub` sub-buckets per octave, giving a
+/// bounded relative error of `2^(1/sub) - 1` on percentile queries. Suitable
+/// for latencies (ns..hours) and endurance counts (1..1e18).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// `sub` buckets per power of two.
+    sub: u32,
+    /// Bucket counts, indexed by `octave * sub + sub_index`, octave offset 0
+    /// corresponds to values in `[1, 2)`. Values below 1 go to bucket 0's
+    /// underflow counter.
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    stats: StreamingStats,
+}
+
+impl LogHistogram {
+    /// Maximum representable octave (`2^63`).
+    const OCTAVES: u32 = 64;
+
+    /// Creates a histogram with `sub` sub-buckets per octave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` is zero or greater than 256.
+    pub fn new(sub: u32) -> Self {
+        assert!((1..=256).contains(&sub), "sub-bucket count out of range");
+        LogHistogram {
+            sub,
+            counts: vec![0; (Self::OCTAVES * sub) as usize],
+            underflow: 0,
+            total: 0,
+            stats: StreamingStats::new(),
+        }
+    }
+
+    fn bucket_of(&self, x: f64) -> Option<usize> {
+        if x < 1.0 {
+            return None;
+        }
+        let lg = x.log2();
+        let octave = lg.floor();
+        let frac = lg - octave;
+        let idx = octave as u32 * self.sub + (frac * self.sub as f64) as u32;
+        Some((idx as usize).min(self.counts.len() - 1))
+    }
+
+    /// Records one value. Non-finite or negative values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x < 0.0 {
+            return;
+        }
+        self.total += 1;
+        self.stats.record(x);
+        match self.bucket_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.underflow += 1,
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> f64 {
+        self.stats.min()
+    }
+
+    /// The value at percentile `p ∈ \[0, 100\]`, accurate to the bucket width.
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.stats.min().max(0.0);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Geometric midpoint of the bucket.
+                let octave = (i as u32 / self.sub) as f64;
+                let subi = (i as u32 % self.sub) as f64;
+                let lo = octave + subi / self.sub as f64;
+                let hi = octave + (subi + 1.0) / self.sub as f64;
+                return 2f64.powf(0.5 * (lo + hi));
+            }
+        }
+        self.stats.max()
+    }
+
+    /// Merges another histogram with identical bucketing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-bucket counts differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.sub, other.sub, "histogram bucketing mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.stats.merge(&other.stats);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new(16)
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue depth,
+/// power draw, occupied capacity).
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    elapsed: SimDuration,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Creates a tracker with initial value `v0` at time `t0`.
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            last_time: t0,
+            last_value: v0,
+            weighted_sum: 0.0,
+            elapsed: SimDuration::ZERO,
+            max: v0,
+        }
+    }
+
+    /// Records that the signal changed to `v` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t` precedes the previous update.
+    pub fn update(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_time, "time went backwards");
+        let dt = t.duration_since(self.last_time);
+        self.weighted_sum += self.last_value * dt.as_secs_f64();
+        self.elapsed += dt;
+        self.last_time = t;
+        self.last_value = v;
+        self.max = self.max.max(v);
+    }
+
+    /// The time-weighted average up to time `t` (the signal is assumed to
+    /// have held its last value until `t`).
+    pub fn average_at(&self, t: SimTime) -> f64 {
+        let dt = t.duration_since(self.last_time);
+        let total = self.elapsed + dt;
+        if total.is_zero() {
+            return self.last_value;
+        }
+        (self.weighted_sum + self.last_value * dt.as_secs_f64()) / total.as_secs_f64()
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// The maximum value the signal has taken.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// A monotonically increasing named counter set, for cheap bulk accounting.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Counters {
+    entries: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.entries.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name` (0 if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_basics() {
+        let mut s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        for x in 1..=100 {
+            s.record(x as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.sample_variance() - 841.6666667).abs() < 1e-4);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut all = StreamingStats::new();
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for i in 0..1000 {
+            let x = (i as f64).sin() * 10.0 + 5.0;
+            all.record(x);
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = StreamingStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn log_histogram_percentiles() {
+        let mut h = LogHistogram::new(32);
+        for x in 1..=10_000u64 {
+            h.record(x as f64);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!((p50 / 5_000.0 - 1.0).abs() < 0.05, "p50 {p50}");
+        assert!((p99 / 9_900.0 - 1.0).abs() < 0.05, "p99 {p99}");
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn log_histogram_wide_dynamic_range() {
+        let mut h = LogHistogram::new(16);
+        // Endurance-style values spanning 15 decades.
+        for exp in 0..=15 {
+            h.record(10f64.powi(exp));
+        }
+        assert_eq!(h.count(), 16);
+        let p100 = h.percentile(100.0);
+        assert!(p100 > 5e14 && p100 < 2e15, "p100 {p100}");
+    }
+
+    #[test]
+    fn log_histogram_ignores_garbage() {
+        let mut h = LogHistogram::new(8);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-5.0);
+        assert_eq!(h.count(), 0);
+        h.record(0.5); // underflow bucket
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(50.0), 0.5);
+    }
+
+    #[test]
+    fn log_histogram_merge() {
+        let mut a = LogHistogram::new(16);
+        let mut b = LogHistogram::new(16);
+        for x in 1..=500u64 {
+            a.record(x as f64);
+        }
+        for x in 501..=1000u64 {
+            b.record(x as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        let p50 = a.percentile(50.0);
+        assert!((p50 / 500.0 - 1.0).abs() < 0.1, "p50 {p50}");
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let t = SimTime::from_secs;
+        let mut w = TimeWeighted::new(t(0), 0.0);
+        w.update(t(10), 100.0); // 0 for 10 s
+        w.update(t(20), 0.0); // 100 for 10 s
+        let avg = w.average_at(t(20));
+        assert!((avg - 50.0).abs() < 1e-9, "avg {avg}");
+        assert_eq!(w.max(), 100.0);
+        // Holding the last value extends the integral.
+        let avg30 = w.average_at(t(40));
+        assert!((avg30 - 25.0).abs() < 1e-9, "avg30 {avg30}");
+    }
+
+    #[test]
+    fn time_weighted_empty_window() {
+        let w = TimeWeighted::new(SimTime::from_secs(5), 7.0);
+        assert_eq!(w.average_at(SimTime::from_secs(5)), 7.0);
+        assert_eq!(w.current(), 7.0);
+    }
+
+    #[test]
+    fn counters() {
+        let mut c = Counters::new();
+        c.inc("reads");
+        c.add("reads", 9);
+        c.add("writes", 2);
+        assert_eq!(c.get("reads"), 10);
+        assert_eq!(c.get("writes"), 2);
+        assert_eq!(c.get("absent"), 0);
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["reads", "writes"]);
+    }
+}

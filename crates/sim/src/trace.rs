@@ -1,0 +1,161 @@
+//! Lightweight trace recording for simulations.
+//!
+//! A [`Trace`] is a bounded ring buffer of timestamped records plus total
+//! counts, so a simulation can keep the most recent N events for inspection
+//! without unbounded memory growth, and dump them as CSV for the experiment
+//! harness.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// A record that knows how to render itself as CSV fields.
+pub trait TraceRecord {
+    /// The CSV header (comma-separated field names, no trailing newline).
+    fn csv_header() -> &'static str;
+    /// The CSV row for this record (no trailing newline).
+    fn csv_row(&self) -> String;
+}
+
+/// A bounded ring buffer of timestamped trace records.
+///
+/// # Examples
+///
+/// ```
+/// use mrm_sim::trace::{Trace, TraceRecord};
+/// use mrm_sim::time::SimTime;
+///
+/// struct Op(u64);
+/// impl TraceRecord for Op {
+///     fn csv_header() -> &'static str { "addr" }
+///     fn csv_row(&self) -> String { self.0.to_string() }
+/// }
+///
+/// let mut t = Trace::with_capacity(2);
+/// t.push(SimTime::from_nanos(1), Op(10));
+/// t.push(SimTime::from_nanos(2), Op(20));
+/// t.push(SimTime::from_nanos(3), Op(30)); // evicts Op(10)
+/// assert_eq!(t.total_pushed(), 3);
+/// assert_eq!(t.len(), 2);
+/// ```
+pub struct Trace<R> {
+    buf: VecDeque<(SimTime, R)>,
+    capacity: usize,
+    total: u64,
+}
+
+impl<R: TraceRecord> Trace<R> {
+    /// Creates a trace retaining at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, at: SimTime, record: R) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((at, record));
+        self.total += 1;
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total number of records ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates retained records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, R)> {
+        self.buf.iter()
+    }
+
+    /// Renders the retained records as CSV with a `time_ns` first column.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "time_ns,{}", R::csv_header());
+        for (t, r) in &self.buf {
+            let _ = writeln!(out, "{},{}", t.as_nanos(), r.csv_row());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rec {
+        kind: &'static str,
+        bytes: u64,
+    }
+
+    impl TraceRecord for Rec {
+        fn csv_header() -> &'static str {
+            "kind,bytes"
+        }
+        fn csv_row(&self) -> String {
+            format!("{},{}", self.kind, self.bytes)
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5u64 {
+            t.push(
+                SimTime::from_nanos(i),
+                Rec {
+                    kind: "rd",
+                    bytes: i,
+                },
+            );
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_pushed(), 5);
+        let firsts: Vec<u64> = t.iter().map(|(_, r)| r.bytes).collect();
+        assert_eq!(firsts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Trace::with_capacity(4);
+        t.push(
+            SimTime::from_nanos(100),
+            Rec {
+                kind: "wr",
+                bytes: 4096,
+            },
+        );
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time_ns,kind,bytes"));
+        assert_eq!(lines.next(), Some("100,wr,4096"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: Trace<Rec> = Trace::with_capacity(0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Expected-lifetime estimation per data class.
+//!
+//! §4: "Fine-grained understanding of lifetime and access patterns of the
+//! data will be required to lay out the data." The estimator turns what the
+//! serving stack already knows — expected output length, decode rate,
+//! follow-up caching policy, model deployment cadence — into the lifetime
+//! hints that drive DCM retention classes and placement.
+
+use mrm_sim::time::SimDuration;
+use mrm_workload::access::DataClass;
+use serde::{Deserialize, Serialize};
+
+/// Lifetime estimator parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LifetimeEstimator {
+    /// Expected decode rate per request, tokens/second.
+    pub decode_tokens_per_s: f64,
+    /// How long a completed context's KV cache is kept for potential
+    /// follow-up turns.
+    pub followup_window: SimDuration,
+    /// Expected time between model (weight) redeployments.
+    pub weight_deployment_period: SimDuration,
+    /// Duration of one forward pass (activation lifetime).
+    pub forward_pass: SimDuration,
+}
+
+impl LifetimeEstimator {
+    /// Defaults matching the cluster simulation: ~30 tokens/s/request
+    /// decode, 10-minute follow-up caching, daily weight refresh, 50 ms
+    /// forward pass.
+    pub fn default_serving() -> Self {
+        LifetimeEstimator {
+            decode_tokens_per_s: 30.0,
+            followup_window: SimDuration::from_mins(10),
+            weight_deployment_period: SimDuration::from_days(1),
+            forward_pass: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Expected remaining lifetime of a KV cache with `remaining_tokens`
+    /// still to decode: the decode tail plus the follow-up window.
+    pub fn kv_lifetime(&self, remaining_tokens: u32) -> SimDuration {
+        let decode_tail =
+            SimDuration::from_secs_f64(remaining_tokens as f64 / self.decode_tokens_per_s);
+        decode_tail + self.followup_window
+    }
+
+    /// Expected lifetime for a data class at write time.
+    pub fn lifetime(&self, class: DataClass, remaining_tokens: u32) -> SimDuration {
+        match class {
+            DataClass::Weights => self.weight_deployment_period,
+            DataClass::KvCache => self.kv_lifetime(remaining_tokens),
+            DataClass::Activation => self.forward_pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_lifetime_scales_with_remaining_tokens() {
+        let e = LifetimeEstimator::default_serving();
+        let short = e.kv_lifetime(10);
+        let long = e.kv_lifetime(1000);
+        assert!(long > short);
+        // 1000 tokens at 30 tok/s ≈ 33 s + 10 min window.
+        let expected = SimDuration::from_secs(633);
+        assert!((long.as_secs() as i64 - expected.as_secs() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn class_lifetimes_are_ordered() {
+        let e = LifetimeEstimator::default_serving();
+        let act = e.lifetime(DataClass::Activation, 0);
+        let kv = e.lifetime(DataClass::KvCache, 100);
+        let w = e.lifetime(DataClass::Weights, 0);
+        assert!(act < kv, "activations die first");
+        assert!(kv < w, "weights live longest");
+    }
+
+    #[test]
+    fn zero_remaining_tokens_is_just_the_window() {
+        let e = LifetimeEstimator::default_serving();
+        assert_eq!(e.kv_lifetime(0), e.followup_window);
+    }
+}

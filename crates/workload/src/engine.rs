@@ -1,0 +1,327 @@
+//! The per-token memory-traffic engine.
+//!
+//! §2.2's arithmetic, made executable: "each token generated during decode
+//! requires reading all the weights, and the entire KV cache, for one
+//! self-attention vector write ... which impl\[ies\] read:write ratios of over
+//! 1000:1." Batching "allows weight reuse across requests" but "is limited
+//! by latency requirements" — the engine models both.
+
+use serde::{Deserialize, Serialize};
+
+use mrm_sim::time::SimDuration;
+
+use crate::access::{DataClass, MemOp};
+use crate::model::{ModelConfig, Quantization};
+use crate::request::{InferenceRequest, RequestId};
+
+/// Memory traffic for generating one token for one request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TokenCost {
+    /// Weight bytes read (after batch amortization).
+    pub weights_read: u64,
+    /// KV-cache bytes read (the entire context's cache).
+    pub kv_read: u64,
+    /// KV-cache bytes appended (one self-attention vector).
+    pub kv_write: u64,
+    /// Activation bytes written then read back within the pass.
+    pub activation_rw: u64,
+}
+
+impl TokenCost {
+    /// Total bytes read.
+    pub fn reads(&self) -> u64 {
+        self.weights_read + self.kv_read + self.activation_rw
+    }
+
+    /// Total bytes written.
+    pub fn writes(&self) -> u64 {
+        self.kv_write + self.activation_rw
+    }
+
+    /// Read:write ratio.
+    pub fn read_write_ratio(&self) -> f64 {
+        self.reads() as f64 / self.writes().max(1) as f64
+    }
+
+    /// Element-wise sum.
+    pub fn merged(&self, other: &TokenCost) -> TokenCost {
+        TokenCost {
+            weights_read: self.weights_read + other.weights_read,
+            kv_read: self.kv_read + other.kv_read,
+            kv_write: self.kv_write + other.kv_write,
+            activation_rw: self.activation_rw + other.activation_rw,
+        }
+    }
+}
+
+/// Memory traffic for one batched decode iteration (one token for each of
+/// `batch` requests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchTokenCost {
+    /// Requests in the batch.
+    pub batch: u32,
+    /// Weight bytes read once for the whole iteration.
+    pub weights_read: u64,
+    /// Sum of all requests' KV-cache reads.
+    pub kv_read: u64,
+    /// Sum of all requests' KV appends.
+    pub kv_write: u64,
+    /// Activation traffic for the batch.
+    pub activation_rw: u64,
+}
+
+impl BatchTokenCost {
+    /// Per-token average cost across the batch.
+    pub fn per_token(&self) -> TokenCost {
+        let b = self.batch.max(1) as u64;
+        TokenCost {
+            weights_read: self.weights_read / b,
+            kv_read: self.kv_read / b,
+            kv_write: self.kv_write / b,
+            activation_rw: self.activation_rw / b,
+        }
+    }
+
+    /// Read:write ratio of the whole iteration.
+    pub fn read_write_ratio(&self) -> f64 {
+        let reads = self.weights_read + self.kv_read + self.activation_rw;
+        let writes = self.kv_write + self.activation_rw;
+        reads as f64 / writes.max(1) as f64
+    }
+}
+
+/// The per-token memory-traffic engine for one model deployment.
+#[derive(Clone, Debug)]
+pub struct DecodeEngine {
+    model: ModelConfig,
+    quant: Quantization,
+}
+
+impl DecodeEngine {
+    /// Creates an engine for `model` served at quantization `quant`.
+    pub fn new(model: ModelConfig, quant: Quantization) -> Self {
+        DecodeEngine { model, quant }
+    }
+
+    /// The model configuration.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// The serving quantization.
+    pub fn quant(&self) -> Quantization {
+        self.quant
+    }
+
+    /// Traffic to decode one token for a single (unbatched) request whose
+    /// context currently holds `context_tokens` tokens.
+    pub fn token_cost(&self, context_tokens: u32) -> TokenCost {
+        TokenCost {
+            weights_read: self.model.weights_bytes(self.quant),
+            kv_read: self.model.kv_cache_bytes(context_tokens as u64, self.quant),
+            kv_write: self.model.kv_bytes_per_token(self.quant),
+            activation_rw: self.model.activation_bytes(1, self.quant),
+        }
+    }
+
+    /// Traffic for one batched decode iteration over requests with the
+    /// given context sizes: weights are read **once** and amortized (§2.2
+    /// "batching allows weight reuse across requests").
+    pub fn batch_cost(&self, context_tokens: &[u32]) -> BatchTokenCost {
+        let batch = context_tokens.len() as u32;
+        let kv_read: u64 = context_tokens
+            .iter()
+            .map(|&c| self.model.kv_cache_bytes(c as u64, self.quant))
+            .sum();
+        BatchTokenCost {
+            batch,
+            weights_read: self.model.weights_bytes(self.quant),
+            kv_read,
+            kv_write: batch as u64 * self.model.kv_bytes_per_token(self.quant),
+            activation_rw: self.model.activation_bytes(batch.max(1), self.quant),
+        }
+    }
+
+    /// Traffic for the prefill pass of a prompt of `prompt_tokens` tokens:
+    /// one pass over the weights, one pass over the (growing) KV cache
+    /// modelled as a single full read, and the whole prompt's KV vectors
+    /// appended.
+    pub fn prefill_cost(&self, prompt_tokens: u32) -> TokenCost {
+        TokenCost {
+            weights_read: self.model.weights_bytes(self.quant),
+            kv_read: self.model.kv_cache_bytes(prompt_tokens as u64, self.quant),
+            kv_write: self.model.kv_cache_bytes(prompt_tokens as u64, self.quant),
+            activation_rw: self
+                .model
+                .activation_bytes(prompt_tokens.max(1), self.quant),
+        }
+    }
+
+    /// Emits the [`MemOp`] stream for one decode iteration of `request`,
+    /// with `lifetime_hint` carrying the expected remaining lifetime of the
+    /// appended KV vector (the §4 DCM input).
+    pub fn decode_ops(&self, request: &InferenceRequest, lifetime_hint: SimDuration) -> Vec<MemOp> {
+        self.decode_ops_for(request.id, request.context_tokens, lifetime_hint)
+    }
+
+    /// As [`DecodeEngine::decode_ops`], from raw fields.
+    pub fn decode_ops_for(
+        &self,
+        id: RequestId,
+        context_tokens: u32,
+        lifetime_hint: SimDuration,
+    ) -> Vec<MemOp> {
+        let c = self.token_cost(context_tokens);
+        vec![
+            MemOp::read(DataClass::Weights, c.weights_read),
+            MemOp::read(DataClass::KvCache, c.kv_read),
+            MemOp::append(DataClass::KvCache, id, c.kv_write, lifetime_hint),
+            MemOp::write(
+                DataClass::Activation,
+                c.activation_rw,
+                SimDuration::from_millis(100),
+            ),
+        ]
+    }
+
+    /// The bulk weight-load op stream for a model (re)deployment (§2: "When
+    /// a new model is deployed, the cluster ... loads weights for the new
+    /// model"), with the expected deployment lifetime as the hint.
+    pub fn weight_load_ops(&self, deployment_lifetime: SimDuration) -> Vec<MemOp> {
+        vec![MemOp::write(
+            DataClass::Weights,
+            self.model.weights_bytes(self.quant),
+            deployment_lifetime,
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::TraceKind;
+    use mrm_sim::time::SimTime;
+    use mrm_sim::units::GB;
+
+    fn engine() -> DecodeEngine {
+        DecodeEngine::new(ModelConfig::llama2_70b(), Quantization::Fp16)
+    }
+
+    #[test]
+    fn unbatched_ratio_exceeds_1000_to_1() {
+        // §2.2: "read:write ratios of over 1000:1."
+        let c = engine().token_cost(2048);
+        assert!(
+            c.read_write_ratio() > 1000.0,
+            "ratio {}",
+            c.read_write_ratio()
+        );
+    }
+
+    #[test]
+    fn weights_dominate_unbatched_reads() {
+        let c = engine().token_cost(2048);
+        assert!(c.weights_read > c.kv_read);
+        assert_eq!(c.weights_read, 140 * GB);
+    }
+
+    #[test]
+    fn batching_amortizes_weights_only() {
+        let e = engine();
+        let contexts = vec![2048u32; 32];
+        let b = e.batch_cost(&contexts);
+        let per = b.per_token();
+        let solo = e.token_cost(2048);
+        // Weights amortize 32x; KV reads do not amortize at all.
+        assert_eq!(per.weights_read, solo.weights_read / 32);
+        assert_eq!(per.kv_read, solo.kv_read);
+        assert_eq!(per.kv_write, solo.kv_write);
+    }
+
+    #[test]
+    fn batched_workload_is_still_read_dominated() {
+        // Even at batch 64, the ratio stays far above storage-like levels —
+        // §2.2: batching "do[es] not fundamentally change the heavily
+        // read-dominated nature."
+        let e = engine();
+        let b = e.batch_cost(&vec![2048u32; 64]);
+        assert!(
+            b.read_write_ratio() > 100.0,
+            "ratio {}",
+            b.read_write_ratio()
+        );
+    }
+
+    #[test]
+    fn kv_read_grows_with_context() {
+        let e = engine();
+        assert!(e.token_cost(4096).kv_read > e.token_cost(1024).kv_read);
+        assert_eq!(e.token_cost(0).kv_read, 0);
+    }
+
+    #[test]
+    fn prefill_writes_whole_prompt_kv() {
+        let e = engine();
+        let p = e.prefill_cost(1020);
+        assert_eq!(
+            p.kv_write,
+            e.model().kv_cache_bytes(1020, Quantization::Fp16)
+        );
+        assert!(p.weights_read > 0);
+    }
+
+    #[test]
+    fn decode_ops_cover_all_classes() {
+        let e = engine();
+        let mut r = InferenceRequest::new(
+            RequestId(9),
+            TraceKind::Conversation,
+            SimTime::ZERO,
+            100,
+            10,
+        );
+        r.begin_prefill();
+        r.begin_decode();
+        let ops = e.decode_ops(&r, SimDuration::from_mins(5));
+        assert_eq!(ops.len(), 4);
+        let classes: Vec<DataClass> = ops.iter().map(|o| o.class).collect();
+        assert!(classes.contains(&DataClass::Weights));
+        assert!(classes.contains(&DataClass::KvCache));
+        assert!(classes.contains(&DataClass::Activation));
+        let append = ops
+            .iter()
+            .find(|o| o.kind == crate::access::MemOpKind::Append)
+            .unwrap();
+        assert_eq!(append.lifetime_hint, SimDuration::from_mins(5));
+        assert_eq!(append.request, Some(RequestId(9)));
+    }
+
+    #[test]
+    fn weight_load_is_one_bulk_write() {
+        let e = engine();
+        let ops = e.weight_load_ops(SimDuration::from_hours(1));
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].bytes, 140 * GB);
+        assert!(ops[0].is_write());
+    }
+
+    #[test]
+    fn merged_costs_add() {
+        let e = engine();
+        let a = e.token_cost(100);
+        let b = e.token_cost(200);
+        let m = a.merged(&b);
+        assert_eq!(m.kv_read, a.kv_read + b.kv_read);
+        assert_eq!(m.weights_read, a.weights_read + b.weights_read);
+    }
+
+    #[test]
+    fn quantization_cuts_traffic() {
+        let fp16 = DecodeEngine::new(ModelConfig::llama2_70b(), Quantization::Fp16);
+        let int4 = DecodeEngine::new(ModelConfig::llama2_70b(), Quantization::Int4);
+        assert_eq!(
+            int4.token_cost(1024).weights_read * 4,
+            fp16.token_cost(1024).weights_read
+        );
+    }
+}

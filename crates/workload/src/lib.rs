@@ -1,0 +1,40 @@
+//! # `mrm-workload` — foundation-model inference as a memory workload
+//!
+//! §2 of the MRM paper characterizes foundation-model inference by its three
+//! in-memory data structures — **model weights** (non-mutable, read every
+//! token), the **KV cache** (append-only, read entirely every decode step),
+//! and **activations** (transient, an order of magnitude smaller) — and by
+//! its access pattern: "very large, predictable memory reads, while writes
+//! are smaller and mostly append only."
+//!
+//! This crate turns that characterization into an executable workload:
+//!
+//! * [`model`] — transformer configurations and their derived memory
+//!   footprints (weights bytes, KV bytes/token, activation bytes).
+//! * [`traces`] — request populations with the published Splitwise
+//!   distribution parameters (conversation and coding medians) and Poisson
+//!   arrivals.
+//! * [`replay`] — request-trace recording and CSV replay (drop-in for real
+//!   production traces when available).
+//! * [`request`] — inference request/context state through prefill & decode.
+//! * [`sessions`] — multi-turn conversation sessions with think-time gaps
+//!   (the intervals KV retention must cover).
+//! * [`engine`] — the per-token memory-traffic generator: what is read,
+//!   appended and written for every generated token, with batching.
+//! * [`access`] — the emitted [`access::MemOp`] stream with data-lifetime
+//!   hints, consumed by the tiering control plane and the analysis layer.
+
+pub mod access;
+pub mod engine;
+pub mod model;
+pub mod replay;
+pub mod request;
+pub mod sessions;
+pub mod traces;
+
+pub use access::{DataClass, MemOp, MemOpKind};
+pub use engine::{BatchTokenCost, DecodeEngine, TokenCost};
+pub use model::{ModelConfig, Quantization};
+pub use replay::{RequestTrace, TraceEntry};
+pub use request::{InferenceRequest, Phase, RequestId};
+pub use traces::{RequestSampler, TraceKind, TraceMix};

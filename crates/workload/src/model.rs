@@ -1,0 +1,284 @@
+//! Transformer model configurations and derived memory footprints.
+//!
+//! The paper's §2 quantities all derive from a handful of architecture
+//! parameters: "large models have (well) over 500 billion weights,
+//! representing between 250 GB and over 1 TB of data depending on the weight
+//! quantization"; "each [self-attention] vector is typically a few MBs, so
+//! the KV cache usually grows to a few tens of GBs"; activations are "an
+//! order of magnitude smaller than both". [`ModelConfig`] computes each from
+//! first principles so the analysis crate can regenerate the claims.
+
+use serde::{Deserialize, Serialize};
+
+/// Weight/KV quantization formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quantization {
+    /// 16-bit floating point (2 bytes per value).
+    Fp16,
+    /// 8-bit formats (1 byte per value).
+    Int8,
+    /// 4-bit formats (half a byte per value).
+    Int4,
+}
+
+impl Quantization {
+    /// Bytes per stored value.
+    pub fn bytes_per_value(self) -> f64 {
+        match self {
+            Quantization::Fp16 => 2.0,
+            Quantization::Int8 => 1.0,
+            Quantization::Int4 => 0.5,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Quantization::Fp16 => "fp16",
+            Quantization::Int8 => "int8",
+            Quantization::Int4 => "int4",
+        }
+    }
+
+    /// All supported formats.
+    pub fn all() -> [Quantization; 3] {
+        [Quantization::Fp16, Quantization::Int8, Quantization::Int4]
+    }
+}
+
+/// A decoder-only transformer architecture.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model name, e.g. `"Llama2-70B"`.
+    pub name: String,
+    /// Total parameter count.
+    pub n_params: u64,
+    /// Transformer layers.
+    pub n_layers: u32,
+    /// Model (embedding) dimension.
+    pub d_model: u32,
+    /// Attention heads.
+    pub n_heads: u32,
+    /// KV heads (< `n_heads` under grouped-query attention).
+    pub n_kv_heads: u32,
+    /// Maximum supported context length, tokens.
+    pub max_context: u32,
+}
+
+impl ModelConfig {
+    /// Head dimension (`d_model / n_heads`).
+    pub fn head_dim(&self) -> u32 {
+        self.d_model / self.n_heads
+    }
+
+    /// Total weight bytes at the given quantization.
+    pub fn weights_bytes(&self, q: Quantization) -> u64 {
+        (self.n_params as f64 * q.bytes_per_value()) as u64
+    }
+
+    /// Bytes appended to the KV cache per generated token (the paper's
+    /// "self-attention vector"): K and V, per layer, per KV head, per head
+    /// dimension.
+    pub fn kv_bytes_per_token(&self, q: Quantization) -> u64 {
+        let values = 2u64 // K and V
+            * self.n_layers as u64
+            * self.n_kv_heads as u64
+            * self.head_dim() as u64;
+        (values as f64 * q.bytes_per_value()) as u64
+    }
+
+    /// KV cache size for a context of `tokens` tokens.
+    pub fn kv_cache_bytes(&self, tokens: u64, q: Quantization) -> u64 {
+        tokens * self.kv_bytes_per_token(q)
+    }
+
+    /// Peak transient activation bytes for one forward pass at the given
+    /// batch size: the live working set between layers (hidden states plus
+    /// the MLP intermediate, which dominates at ~4× d_model), not the sum
+    /// over layers — activations are freed as the pass proceeds (§2:
+    /// "only stored during the forward pass computation").
+    pub fn activation_bytes(&self, batch: u32, q: Quantization) -> u64 {
+        let per_token = (1 + 4) * self.d_model as u64; // hidden + MLP intermediate
+        (batch as u64 * per_token) * 2 // fp16 accumulation regardless of weight q
+            + (batch as u64 * self.d_model as u64 * q.bytes_per_value() as u64)
+    }
+
+    /// Llama2-7B.
+    pub fn llama2_7b() -> Self {
+        ModelConfig {
+            name: "Llama2-7B".into(),
+            n_params: 7_000_000_000,
+            n_layers: 32,
+            d_model: 4096,
+            n_heads: 32,
+            n_kv_heads: 32,
+            max_context: 4096,
+        }
+    }
+
+    /// Llama2-13B.
+    pub fn llama2_13b() -> Self {
+        ModelConfig {
+            name: "Llama2-13B".into(),
+            n_params: 13_000_000_000,
+            n_layers: 40,
+            d_model: 5120,
+            n_heads: 40,
+            n_kv_heads: 40,
+            max_context: 4096,
+        }
+    }
+
+    /// Llama2-70B — the model Splitwise (paper ref \[37\]) reports, and the
+    /// model the paper's Figure-1 KV-cache endurance line is computed for.
+    /// Uses grouped-query attention with 8 KV heads.
+    pub fn llama2_70b() -> Self {
+        ModelConfig {
+            name: "Llama2-70B".into(),
+            n_params: 70_000_000_000,
+            n_layers: 80,
+            d_model: 8192,
+            n_heads: 64,
+            n_kv_heads: 8,
+            max_context: 4096,
+        }
+    }
+
+    /// GPT-3-175B-class dense model with full multi-head attention — the
+    /// "few MBs" self-attention-vector regime.
+    pub fn gpt3_175b() -> Self {
+        ModelConfig {
+            name: "GPT3-175B".into(),
+            n_params: 175_000_000_000,
+            n_layers: 96,
+            d_model: 12288,
+            n_heads: 96,
+            n_kv_heads: 96,
+            max_context: 8192,
+        }
+    }
+
+    /// A frontier-class model at the paper's "well over 500 billion
+    /// weights" scale.
+    pub fn frontier_500b() -> Self {
+        ModelConfig {
+            name: "Frontier-500B".into(),
+            n_params: 500_000_000_000,
+            n_layers: 120,
+            d_model: 16384,
+            n_heads: 128,
+            n_kv_heads: 16,
+            max_context: 32768,
+        }
+    }
+
+    /// A 1-trillion-parameter frontier model (the "over 1 TB" end of the
+    /// paper's weight-footprint range at fp16).
+    pub fn frontier_1t() -> Self {
+        ModelConfig {
+            name: "Frontier-1T".into(),
+            n_params: 1_000_000_000_000,
+            n_layers: 140,
+            d_model: 20480,
+            n_heads: 160,
+            n_kv_heads: 16,
+            max_context: 65536,
+        }
+    }
+
+    /// The standard model zoo used across experiments.
+    pub fn zoo() -> Vec<ModelConfig> {
+        vec![
+            Self::llama2_7b(),
+            Self::llama2_13b(),
+            Self::llama2_70b(),
+            Self::gpt3_175b(),
+            Self::frontier_500b(),
+            Self::frontier_1t(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrm_sim::units::{GB, MB, TB};
+
+    #[test]
+    fn paper_weight_range_holds() {
+        // §2: 500B+ weights are 250 GB (int4) to over 1 TB (fp16).
+        let m = ModelConfig::frontier_500b();
+        assert_eq!(m.weights_bytes(Quantization::Int4), 250 * GB);
+        assert_eq!(m.weights_bytes(Quantization::Fp16), TB);
+        let big = ModelConfig::frontier_1t();
+        assert!(big.weights_bytes(Quantization::Fp16) > TB);
+    }
+
+    #[test]
+    fn llama70b_kv_vector_size() {
+        // GQA: 2 × 80 layers × 8 KV heads × 128 dims × 2 B = 320 KiB/token.
+        let m = ModelConfig::llama2_70b();
+        assert_eq!(m.head_dim(), 128);
+        assert_eq!(m.kv_bytes_per_token(Quantization::Fp16), 327_680);
+    }
+
+    #[test]
+    fn mha_kv_vector_is_a_few_mb() {
+        // §2.2: "self-attention vector size is usually at most a few MBs" —
+        // that is the full-MHA regime.
+        let m = ModelConfig::gpt3_175b();
+        let v = m.kv_bytes_per_token(Quantization::Fp16);
+        assert!(v > 4 * MB && v < 5 * MB, "vector {v} bytes");
+    }
+
+    #[test]
+    fn kv_cache_grows_to_tens_of_gb() {
+        // §2: "the KV cache usually grows to a few tens of GBs until the
+        // context size limit is reached."
+        let m = ModelConfig::gpt3_175b();
+        let cache = m.kv_cache_bytes(8192, Quantization::Fp16);
+        assert!(cache > 30 * GB && cache < 50 * GB, "cache {cache}");
+    }
+
+    #[test]
+    fn activations_order_of_magnitude_smaller() {
+        // §2: activations "are typically an order of magnitude smaller than
+        // both the weights and the KV cache."
+        let m = ModelConfig::llama2_70b();
+        let act = m.activation_bytes(32, Quantization::Fp16);
+        let kv = m.kv_cache_bytes(2048, Quantization::Fp16);
+        let w = m.weights_bytes(Quantization::Fp16);
+        assert!(act * 10 < kv, "act {act} vs kv {kv}");
+        assert!(act * 10 < w);
+    }
+
+    #[test]
+    fn quantization_scales_linearly() {
+        let m = ModelConfig::llama2_70b();
+        let fp16 = m.weights_bytes(Quantization::Fp16);
+        let int8 = m.weights_bytes(Quantization::Int8);
+        let int4 = m.weights_bytes(Quantization::Int4);
+        assert_eq!(fp16, 2 * int8);
+        assert_eq!(int8, 2 * int4);
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_versus_mha() {
+        let gqa = ModelConfig::llama2_70b();
+        let mut mha = gqa.clone();
+        mha.n_kv_heads = mha.n_heads;
+        assert_eq!(
+            mha.kv_bytes_per_token(Quantization::Fp16),
+            8 * gqa.kv_bytes_per_token(Quantization::Fp16)
+        );
+    }
+
+    #[test]
+    fn zoo_is_ordered_by_size() {
+        let zoo = ModelConfig::zoo();
+        for w in zoo.windows(2) {
+            assert!(w[0].n_params < w[1].n_params);
+        }
+        assert_eq!(zoo.len(), 6);
+    }
+}

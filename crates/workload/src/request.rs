@@ -1,0 +1,166 @@
+//! Inference requests and their lifecycle.
+//!
+//! §2: "An inference query is a sequence of input tokens, in response to
+//! which the foundation model generates a sequence of output tokens. A
+//! context is composed of all the tokens from the user and the corresponding
+//! responses." The KV cache "is created during the prefill phase"; "in the
+//! decode phase the model iteratively generates response tokens", reading
+//! the entire KV cache and appending one vector per token.
+
+use serde::{Deserialize, Serialize};
+
+use mrm_sim::time::SimTime;
+
+use crate::traces::TraceKind;
+
+/// Opaque request identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// Lifecycle phase of an inference request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Waiting to be scheduled.
+    Queued,
+    /// Prefill: ingesting the prompt, building the KV cache.
+    Prefill,
+    /// Decode: autoregressive generation, one token per iteration.
+    Decode,
+    /// All output tokens generated.
+    Complete,
+}
+
+/// One inference request and its context state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Identifier.
+    pub id: RequestId,
+    /// Workload population the request was drawn from.
+    pub kind: TraceKind,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Prompt length, tokens.
+    pub prompt_tokens: u32,
+    /// Output length to generate, tokens.
+    pub output_tokens: u32,
+    /// Tokens currently in the context (prompt ingested + generated so far).
+    pub context_tokens: u32,
+    /// Output tokens generated so far.
+    pub generated: u32,
+    /// Current phase.
+    pub phase: Phase,
+}
+
+impl InferenceRequest {
+    /// Creates a queued request.
+    pub fn new(
+        id: RequestId,
+        kind: TraceKind,
+        arrival: SimTime,
+        prompt_tokens: u32,
+        output_tokens: u32,
+    ) -> Self {
+        InferenceRequest {
+            id,
+            kind,
+            arrival,
+            prompt_tokens: prompt_tokens.max(1),
+            output_tokens: output_tokens.max(1),
+            context_tokens: 0,
+            generated: 0,
+            phase: Phase::Queued,
+        }
+    }
+
+    /// Final context size when the request completes, tokens.
+    pub fn final_context_tokens(&self) -> u32 {
+        self.prompt_tokens + self.output_tokens
+    }
+
+    /// Starts prefill: the whole prompt enters the context (chunked
+    /// prefill is modelled as instantaneous occupancy for memory purposes).
+    pub fn begin_prefill(&mut self) {
+        debug_assert_eq!(self.phase, Phase::Queued);
+        self.phase = Phase::Prefill;
+        self.context_tokens = self.prompt_tokens;
+    }
+
+    /// Completes prefill and enters decode.
+    pub fn begin_decode(&mut self) {
+        debug_assert_eq!(self.phase, Phase::Prefill);
+        self.phase = Phase::Decode;
+    }
+
+    /// Generates one token. Returns `true` when the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if called outside the decode phase.
+    pub fn decode_step(&mut self) -> bool {
+        debug_assert_eq!(self.phase, Phase::Decode);
+        self.generated += 1;
+        self.context_tokens += 1;
+        if self.generated >= self.output_tokens {
+            self.phase = Phase::Complete;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remaining output tokens.
+    pub fn remaining_tokens(&self) -> u32 {
+        self.output_tokens.saturating_sub(self.generated)
+    }
+
+    /// Whether the request has finished.
+    pub fn is_complete(&self) -> bool {
+        self.phase == Phase::Complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> InferenceRequest {
+        InferenceRequest::new(RequestId(1), TraceKind::Conversation, SimTime::ZERO, 100, 3)
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut r = req();
+        assert_eq!(r.phase, Phase::Queued);
+        assert_eq!(r.context_tokens, 0);
+
+        r.begin_prefill();
+        assert_eq!(r.phase, Phase::Prefill);
+        assert_eq!(r.context_tokens, 100);
+
+        r.begin_decode();
+        assert!(!r.decode_step());
+        assert!(!r.decode_step());
+        assert_eq!(r.remaining_tokens(), 1);
+        assert!(r.decode_step());
+        assert!(r.is_complete());
+        assert_eq!(r.context_tokens, 103);
+        assert_eq!(r.final_context_tokens(), 103);
+    }
+
+    #[test]
+    fn zero_lengths_are_clamped() {
+        let r = InferenceRequest::new(RequestId(2), TraceKind::Coding, SimTime::ZERO, 0, 0);
+        assert_eq!(r.prompt_tokens, 1);
+        assert_eq!(r.output_tokens, 1);
+    }
+
+    #[test]
+    fn context_grows_by_one_per_decode() {
+        let mut r = req();
+        r.begin_prefill();
+        r.begin_decode();
+        let before = r.context_tokens;
+        r.decode_step();
+        assert_eq!(r.context_tokens, before + 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Memory-planner scenario: size a memory system for a model deployment.
+//!
+//! Given a model, a quantization and a target context load, walk the
+//! paper's analysis: footprint (§2), the HBM provisioning scorecard (§2.2),
+//! endurance requirements vs. candidate technologies (Figure 1), and the
+//! housekeeping bill (§3) — ending with a recommended tier layout (§4).
+//!
+//! Run with: `cargo run --release --example memory_planner`
+
+use mrm::analysis::endurance::{figure1_row, paper_requirements};
+use mrm::analysis::energy::housekeeping_row;
+use mrm::analysis::provisioning::paper_scorecard;
+use mrm::analysis::report::Table;
+use mrm::device::tech::presets;
+use mrm::sim::time::SimDuration;
+use mrm::sim::units::{format_bytes, format_sci};
+use mrm::workload::model::{ModelConfig, Quantization};
+
+fn main() {
+    let model = ModelConfig::llama2_70b();
+    let quant = Quantization::Fp16;
+    let contexts = 128u64;
+    let ctx_tokens = 2048u64;
+
+    println!(
+        "planning memory for {} at {}, {} concurrent 2k contexts\n",
+        model.name,
+        quant.label(),
+        contexts
+    );
+
+    // Step 1: footprint.
+    let weights = model.weights_bytes(quant);
+    let kv_total = contexts * model.kv_cache_bytes(ctx_tokens, quant);
+    let act = model.activation_bytes(contexts as u32, quant);
+    let mut t = Table::new(&["structure", "bytes", "access pattern", "lifetime"]);
+    t.row(&[
+        "weights",
+        &format_bytes(weights),
+        "sequential read, every token",
+        "deployment (hours-days)",
+    ]);
+    t.row(&[
+        "KV caches",
+        &format_bytes(kv_total),
+        "sequential read + append",
+        "context (minutes-hours)",
+    ]);
+    t.row(&[
+        "activations",
+        &format_bytes(act),
+        "write + read back",
+        "one forward pass (ms)",
+    ]);
+    print!("{}", t.render());
+
+    // Step 2: what HBM wastes on this workload.
+    println!();
+    let mut t = Table::new(&["dimension", "required", "HBM provides", "verdict"]);
+    for row in paper_scorecard() {
+        t.row(&[
+            &row.dimension,
+            &row.required,
+            &row.provided,
+            row.verdict.label(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Step 3: endurance screening of candidate bulk-tier technologies.
+    println!();
+    let req = paper_requirements();
+    let mut t = Table::new(&["candidate", "endurance", "meets 5y requirement band?"]);
+    for tech in [
+        presets::nand_slc(),
+        presets::pcm_optane_product(),
+        presets::rram_potential(),
+        presets::stt_mram_potential(),
+        presets::mrm_hours(),
+    ] {
+        let row = figure1_row(&tech, &req);
+        t.row(&[
+            &row.name,
+            &format_sci(row.endurance),
+            if row.margin_vs_max >= 1.0 {
+                "yes"
+            } else {
+                "no"
+            },
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Step 4: the housekeeping bill for the KV working set (6 h lifetime).
+    println!();
+    let mut t = Table::new(&["bulk tier", "housekeeping J per GB over 6h"]);
+    for tech in [presets::hbm3e(), presets::nand_slc(), presets::mrm_hours()] {
+        let hk = housekeeping_row(&tech, 1_000_000_000, SimDuration::from_hours(6), 2.5);
+        t.row(&[&hk.tech, &format!("{:.3}", hk.housekeeping_j)]);
+    }
+    print!("{}", t.render());
+
+    // Step 5: the recommendation.
+    println!();
+    println!("recommended layout (§4):");
+    println!(
+        "  HBM   (2 stacks, {}): activations — write-heavy, ms lifetime",
+        format_bytes(2 * presets::hbm3e().capacity_bytes)
+    );
+    println!(
+        "  MRM   (8 pkgs, {}): weights + KV caches — read-dominated, hours lifetime,",
+        format_bytes(8 * presets::mrm_hours().capacity_bytes)
+    );
+    println!("         retention classes per stream via DCM, software scrub before deadlines");
+    println!("  (LPDDR optional as an archival prefix-cache tier)");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: the MRM device API in five minutes.
+//!
+//! Creates an hours-class Managed-Retention Memory device, writes a KV-cache
+//! stream with a lifetime hint (DCM picks the retention class), reads it back
+//! with ECC-qualified integrity, watches it degrade toward its retention
+//! deadline, scrubs it, and deletes it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mrm::core::config::MrmConfig;
+use mrm::core::device::{MrmDevice, ReadIntegrity};
+use mrm::sim::time::{SimDuration, SimTime};
+use mrm::sim::units::{format_bytes, GIB, MIB};
+
+fn main() {
+    // A 4 GiB hours-class MRM device (12 h native retention, DCM enabled,
+    // large-block BCH ECC).
+    let mut dev = MrmDevice::new(MrmConfig::hours_class(4 * GIB));
+    println!(
+        "device: {} capacity, retention class ladder via DCM, ECC overhead {:.2}%",
+        format_bytes(dev.stats().capacity_bytes),
+        dev.config().ecc.overhead() * 100.0
+    );
+
+    // A KV cache expected to live ~25 minutes (decode tail + follow-up
+    // window). DCM quantizes the hint onto the hardware retention ladder.
+    let t0 = SimTime::ZERO;
+    let stream = dev.create_stream(SimDuration::from_mins(25)).unwrap();
+    println!(
+        "\ncreated stream at retention class {:?}",
+        dev.stream_class(stream).unwrap()
+    );
+
+    // Append self-attention vectors as decode proceeds.
+    for _ in 0..8 {
+        dev.append(t0, stream, 4 * MIB).unwrap();
+    }
+    println!("appended {}", format_bytes(dev.stream_len(stream).unwrap()));
+
+    // Read during the healthy window: clean.
+    let r = dev
+        .read(t0 + SimDuration::from_mins(10), stream, 0, 16 * MIB)
+        .unwrap();
+    println!(
+        "read @10min: integrity {:?}, rber {:.1e}, codeword failure {:.1e}",
+        r.integrity, r.rber, r.cw_fail_prob
+    );
+    assert_eq!(r.integrity, ReadIntegrity::Clean);
+
+    // Near the deadline the control plane sees it degraded (scrub overdue).
+    let late = t0 + SimDuration::from_mins(50); // 1 h class, 70% margin
+    let r = dev.read(late, stream, 0, 16 * MIB).unwrap();
+    println!(
+        "read @50min: integrity {:?} — scrub is overdue",
+        r.integrity
+    );
+
+    // The deadline registry drives the §4 refresh decision.
+    let expiring = dev.streams_expiring_before(t0 + SimDuration::from_hours(2));
+    println!("expiring before t+2h: {expiring:?}");
+
+    // Scrub re-arms retention (charged as housekeeping, visible in stats).
+    let bytes = dev.scrub_stream(late, stream).unwrap();
+    let r = dev
+        .read(late + SimDuration::from_mins(10), stream, 0, 16 * MIB)
+        .unwrap();
+    println!(
+        "scrubbed {} -> integrity {:?}",
+        format_bytes(bytes),
+        r.integrity
+    );
+
+    // Soft state: dropping a stream is free — cells just get reused.
+    dev.delete_stream(stream).unwrap();
+    let s = dev.stats();
+    println!(
+        "\nfinal stats: {} live, {} scrubs, energy: {:.3} mJ demand write, {:.3} mJ housekeeping",
+        format_bytes(s.live_bytes),
+        s.scrubs,
+        s.energy.write_j * 1e3,
+        s.energy.housekeeping_j * 1e3
+    );
+}

@@ -1,0 +1,15 @@
+//! # `mrm` — Managed-Retention Memory, end to end
+//!
+//! Facade crate for the MRM workspace: re-exports the simulator substrate,
+//! device models, controllers, ECC, workload generators, tiering control
+//! plane, and analysis layer under one roof. See `README.md` for the tour and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use mrm_analysis as analysis;
+pub use mrm_controller as controller;
+pub use mrm_core as core;
+pub use mrm_device as device;
+pub use mrm_ecc as ecc;
+pub use mrm_sim as sim;
+pub use mrm_tiering as tiering;
+pub use mrm_workload as workload;

@@ -1,0 +1,129 @@
+//! Figure-1 pipeline, end to end: the workload statistics flow through the
+//! model configuration into the endurance requirements, which are compared
+//! against the device database — and the paper's two headline observations
+//! must come out.
+
+use mrm::analysis::endurance::{
+    figure1, kv_cache_requirement, kv_lifetime_years, paper_requirements,
+};
+use mrm::device::tech::presets;
+use mrm::sim::time::SimDuration;
+use mrm::sim::units::GB;
+use mrm::workload::model::{ModelConfig, Quantization};
+use mrm::workload::traces::SplitwiseThroughput;
+
+#[test]
+fn requirements_derive_from_workload_parameters() {
+    let req = paper_requirements();
+    // Recompute the KV line from first principles.
+    let model = ModelConfig::llama2_70b();
+    let tp = SplitwiseThroughput::llama2_70b();
+    let by_hand = tp.total_tokens_per_s()
+        * model.kv_bytes_per_token(Quantization::Fp16) as f64
+        * (5.0 * 365.0 * 86_400.0)
+        / (192.0 * 1e9);
+    assert!((req.kv_cache / by_hand - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn observation_1_hbm_vastly_overprovisioned() {
+    let (req, rows) = figure1();
+    for name in ["DDR5 DRAM", "HBM3e", "HBM4 (projected)", "LPDDR5X"] {
+        let r = rows.iter().find(|r| r.name == name).unwrap();
+        assert!(
+            r.endurance / req.max_requirement() > 1e6,
+            "{name} must be overprovisioned by >6 orders"
+        );
+    }
+}
+
+#[test]
+fn observation_2_product_vs_potential_gap() {
+    let (_req, rows) = figure1();
+    // For each SCM family, the product sits below the requirement band and
+    // the potential above — the paper's central gap.
+    for (prod, pot) in [
+        ("PCM (Optane, product)", "PCM (potential)"),
+        ("RRAM (Weebit, product)", "RRAM (potential)"),
+    ] {
+        let p = rows.iter().find(|r| r.name == prod).unwrap();
+        let q = rows.iter().find(|r| r.name == pot).unwrap();
+        assert!(p.margin_vs_max < 1.0, "{prod} must fail the band");
+        assert!(q.margin_vs_max > 1.0, "{pot} must clear the band");
+    }
+}
+
+#[test]
+fn mrm_design_points_clear_the_band_with_headroom() {
+    let (_req, rows) = figure1();
+    for r in rows.iter().filter(|r| r.maturity == "proposed") {
+        assert!(r.margin_vs_max > 100.0, "{} needs real headroom", r.name);
+    }
+}
+
+#[test]
+fn bigger_models_relax_the_per_cell_requirement() {
+    // A counterintuitive consequence worth pinning: larger KV vectors at
+    // the same token rate mean more bytes/s, but the requirement scales
+    // with capacity too; at fixed capacity, MHA models (bigger vectors)
+    // stress endurance harder.
+    let tp = SplitwiseThroughput::llama2_70b();
+    let life = SimDuration::from_years(5);
+    let gqa = kv_cache_requirement(
+        &ModelConfig::llama2_70b(),
+        Quantization::Fp16,
+        tp,
+        192 * GB,
+        life,
+    );
+    let mha = kv_cache_requirement(
+        &ModelConfig::gpt3_175b(),
+        Quantization::Fp16,
+        tp,
+        192 * GB,
+        life,
+    );
+    assert!(mha > 10.0 * gqa, "MHA KV vectors are ~14x larger");
+}
+
+#[test]
+fn lifetime_and_requirement_are_inverse() {
+    let model = ModelConfig::llama2_70b();
+    let tp = SplitwiseThroughput::llama2_70b();
+    for endurance in [1e5, 3e6, 1e8] {
+        let years = kv_lifetime_years(&model, Quantization::Fp16, tp, 192 * GB, endurance);
+        let req = kv_cache_requirement(
+            &model,
+            Quantization::Fp16,
+            tp,
+            192 * GB,
+            SimDuration::from_secs_f64(years * 365.0 * 86_400.0),
+        );
+        assert!(
+            (req / endurance - 1.0).abs() < 0.01,
+            "endurance {endurance}: inversion mismatch ({req})"
+        );
+    }
+}
+
+#[test]
+fn quantization_shifts_the_kv_requirement() {
+    let model = ModelConfig::llama2_70b();
+    let tp = SplitwiseThroughput::llama2_70b();
+    let life = SimDuration::from_years(5);
+    let fp16 = kv_cache_requirement(&model, Quantization::Fp16, tp, 192 * GB, life);
+    let int8 = kv_cache_requirement(&model, Quantization::Int8, tp, 192 * GB, life);
+    assert!(
+        (fp16 / int8 - 2.0).abs() < 1e-9,
+        "int8 halves the bytes per vector"
+    );
+}
+
+#[test]
+fn database_and_figure_agree() {
+    let (_req, rows) = figure1();
+    for tech in presets::all() {
+        let row = rows.iter().find(|r| r.name == tech.name).unwrap();
+        assert_eq!(row.endurance, tech.endurance, "{}", tech.name);
+    }
+}
