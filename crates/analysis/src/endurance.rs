@@ -98,7 +98,7 @@ pub struct Figure1Row {
     /// Technology name.
     pub name: String,
     /// Product / potential / proposed.
-    pub maturity: &'static str,
+    pub maturity: String,
     /// Rated endurance, cycles.
     pub endurance: f64,
     /// Meets the KV-cache requirement.
@@ -129,7 +129,8 @@ pub fn figure1_row(t: &Technology, req: &EnduranceRequirements) -> Figure1Row {
             Maturity::Product => "product",
             Maturity::Potential => "potential",
             Maturity::Proposed => "proposed",
-        },
+        }
+        .to_string(),
         endurance: t.endurance,
         meets_kv: t.endurance >= req.kv_cache,
         meets_weights_hourly: t.endurance >= req.weights_hourly,

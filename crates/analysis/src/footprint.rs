@@ -17,7 +17,7 @@ pub struct FootprintRow {
     /// Parameters.
     pub params: u64,
     /// Quantization label.
-    pub quant: &'static str,
+    pub quant: String,
     /// Weight bytes.
     pub weights_bytes: u64,
     /// KV bytes appended per token.
@@ -38,7 +38,7 @@ pub fn footprint_table() -> Vec<FootprintRow> {
             rows.push(FootprintRow {
                 model: model.name.clone(),
                 params: model.n_params,
-                quant: q.label(),
+                quant: q.label().to_string(),
                 weights_bytes: model.weights_bytes(q),
                 kv_per_token_bytes: model.kv_bytes_per_token(q),
                 kv_at_2k_bytes: model.kv_cache_bytes(2048, q),

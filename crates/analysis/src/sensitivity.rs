@@ -87,32 +87,43 @@ pub fn observations_hold(req: &EnduranceRequirements) -> (bool, bool) {
 }
 
 /// A named perturbation of one Figure-1 input.
-type Perturbation = (&'static str, fn(&mut Figure1Inputs, f64));
+pub type Perturbation = (&'static str, fn(&mut Figure1Inputs, f64));
 
-/// Perturbs each input over `factors` (e.g. `[0.1, 0.3, 3.0, 10.0]`) and
-/// reports the outcome per scenario.
-pub fn tornado(factors: &[f64]) -> Vec<SensitivityRow> {
-    let base = Figure1Inputs::baseline();
-    let mut rows = Vec::new();
-    let inputs: [Perturbation; 4] = [
+/// The four perturbed inputs of the tornado, in display order.
+pub fn tornado_inputs() -> [Perturbation; 4] {
+    [
         ("token throughput", |i, f| i.tokens_per_s *= f),
         ("KV bytes/token", |i, f| i.kv_bytes_per_token *= f),
         ("system capacity", |i, f| i.capacity_bytes *= f),
         ("device lifetime", |i, f| i.lifetime_years *= f),
-    ];
-    for (name, apply) in inputs {
+    ]
+}
+
+/// One tornado cell: the baseline with a single input scaled by `factor`.
+///
+/// Cells are independent of each other, so a sweep can evaluate the grid in
+/// parallel (`mrm-sweep`).
+pub fn tornado_cell((name, apply): Perturbation, factor: f64) -> SensitivityRow {
+    let mut scenario = Figure1Inputs::baseline();
+    apply(&mut scenario, factor);
+    let req = scenario.requirements();
+    let (o1, o2) = observations_hold(&req);
+    SensitivityRow {
+        input: name.to_string(),
+        factor,
+        kv_requirement: req.kv_cache,
+        obs1_holds: o1,
+        obs2_holds: o2,
+    }
+}
+
+/// Perturbs each input over `factors` (e.g. `[0.1, 0.3, 3.0, 10.0]`) and
+/// reports the outcome per scenario.
+pub fn tornado(factors: &[f64]) -> Vec<SensitivityRow> {
+    let mut rows = Vec::new();
+    for input in tornado_inputs() {
         for &f in factors {
-            let mut scenario = base;
-            apply(&mut scenario, f);
-            let req = scenario.requirements();
-            let (o1, o2) = observations_hold(&req);
-            rows.push(SensitivityRow {
-                input: name.to_string(),
-                factor: f,
-                kv_requirement: req.kv_cache,
-                obs1_holds: o1,
-                obs2_holds: o2,
-            });
+            rows.push(tornado_cell(input, f));
         }
     }
     rows

@@ -30,8 +30,33 @@ pub struct SystemRow {
     pub gb_per_cost: f64,
 }
 
-/// Builds the three §3 comparison systems at B200-ish scale.
-pub fn system_comparison() -> Vec<SystemRow> {
+/// The three §3 comparison systems, in display order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Bulk data (weights + KV) in 8 HBM stacks.
+    HbmOnly,
+    /// Hot path in 7 HBM stacks; bulk (cool KV) in 8 LPDDR packages.
+    HbmLpddr,
+    /// 2 HBM stacks for activations; bulk in 8 MRM packages.
+    HbmMrm,
+}
+
+impl SystemKind {
+    /// All systems in display order.
+    pub fn all() -> [SystemKind; 3] {
+        [
+            SystemKind::HbmOnly,
+            SystemKind::HbmLpddr,
+            SystemKind::HbmMrm,
+        ]
+    }
+}
+
+/// Builds one §3 comparison system at B200-ish scale.
+///
+/// Rows are independent, so a sweep can evaluate them in parallel
+/// (`mrm-sweep`).
+pub fn system_row(kind: SystemKind) -> SystemRow {
     let hbm = presets::hbm3e();
     let lpddr = presets::lpddr5x();
     let mrm = presets::mrm_hours();
@@ -84,15 +109,20 @@ pub fn system_comparison() -> Vec<SystemRow> {
         )
     };
 
-    vec![
+    match kind {
         // Bulk data in HBM.
-        mk("HBM-only (8 stacks)", &[hbm_unit(8)]),
+        SystemKind::HbmOnly => mk("HBM-only (8 stacks)", &[hbm_unit(8)]),
         // Bulk (cool KV) data in LPDDR; hot path still in 7 HBM stacks —
         // list HBM first, LPDDR (the bulk tier) last.
-        mk("HBM+LPDDR (7+8)", &[hbm_unit(7), lpddr_unit(8)]),
+        SystemKind::HbmLpddr => mk("HBM+LPDDR (7+8)", &[hbm_unit(7), lpddr_unit(8)]),
         // Bulk data in MRM; 2 HBM stacks for activations.
-        mk("HBM+MRM (2+8)", &[hbm_unit(2), mrm_unit(8)]),
-    ]
+        SystemKind::HbmMrm => mk("HBM+MRM (2+8)", &[hbm_unit(2), mrm_unit(8)]),
+    }
+}
+
+/// Builds the three §3 comparison systems at B200-ish scale.
+pub fn system_comparison() -> Vec<SystemRow> {
+    SystemKind::all().into_iter().map(system_row).collect()
 }
 
 #[cfg(test)]

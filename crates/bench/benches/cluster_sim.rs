@@ -1,12 +1,21 @@
 //! Criterion bench: end-to-end cluster simulation rate (E9 companion).
 //!
 //! Measures simulated-seconds-per-wall-second for each placement policy,
-//! so regressions in the control-plane hot paths show up.
+//! so regressions in the control-plane hot paths show up — and times the
+//! sweep engine itself fanning the 4-policy grid over 1/2/4 worker
+//! threads, so scheduling overhead and scaling regressions show up too.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrm_sim::time::SimDuration;
+use mrm_sweep::{Grid, Sweep};
 use mrm_tiering::cluster::{run_cluster, ClusterConfig};
 use mrm_tiering::placement::PlacementPolicy;
+
+fn config(policy: PlacementPolicy) -> ClusterConfig {
+    let mut cfg = ClusterConfig::llama70b(policy, 2, 8.0);
+    cfg.duration = SimDuration::from_secs(10);
+    cfg
+}
 
 fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster_10s_2acc");
@@ -15,17 +24,28 @@ fn bench_policies(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(policy.label()),
             &policy,
-            |b, &p| {
-                b.iter(|| {
-                    let mut cfg = ClusterConfig::llama70b(p, 2, 8.0);
-                    cfg.duration = SimDuration::from_secs(10);
-                    std::hint::black_box(run_cluster(cfg).tokens)
-                })
-            },
+            |b, &p| b.iter(|| std::hint::black_box(run_cluster(config(p)).tokens)),
         );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_policies);
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sweep_4policies");
+    g.sample_size(10);
+    let sweep = Sweep::new(
+        Grid::axis(PlacementPolicy::all()).map(config),
+        |cfg: &ClusterConfig, _rng| run_cluster(cfg.clone()).tokens,
+    );
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}thr")),
+            &threads,
+            |b, &n| b.iter(|| std::hint::black_box(sweep.run_parallel(n))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_sweep_scaling);
 criterion_main!(benches);

@@ -9,6 +9,7 @@ use mrm_analysis::report::Table;
 use mrm_bench::{heading, save_json};
 use mrm_device::tech::presets;
 use mrm_sim::time::SimDuration;
+use mrm_sweep::{threads_from_args, Grid, Sweep};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -22,7 +23,11 @@ struct SweepRow {
 }
 
 fn main() {
-    heading("A1 — MRM design-point sweep: retention target vs. everything it buys");
+    let threads = threads_from_args();
+    heading(&format!(
+        "A1 — MRM design-point sweep: retention target vs. everything it buys \
+         ({threads} sweep threads)"
+    ));
     let targets = [
         ("1s", SimDuration::from_secs(1)),
         ("30s", SimDuration::from_secs(30)),
@@ -46,7 +51,23 @@ fn main() {
     let envelope = presets::rram_potential();
     let tradeoff = envelope.tradeoff();
 
-    let mut rows = Vec::new();
+    // Each retention target is evaluated independently on the trade-off
+    // envelope, so the sweep engine fans the 9 design points across
+    // threads; rows return in target order.
+    let rows = Sweep::new(Grid::axis(targets), |&(label, ret), _rng| {
+        let p = tradeoff.at(ret);
+        let scrubs = (data_lifetime.as_nanos().div_ceil(ret.as_nanos().max(1))).saturating_sub(1);
+        SweepRow {
+            retention: label.to_string(),
+            write_energy_pj_bit: p.write_energy_pj_bit,
+            write_latency_ns: p.write_latency_ns,
+            endurance: p.endurance,
+            scrubs_for_12h_data: scrubs,
+            survives_kv_5y: p.endurance >= kv_requirement_5y,
+        }
+    })
+    .run_parallel(threads);
+
     let mut t = Table::new(&[
         "retention",
         "write pJ/bit",
@@ -55,26 +76,15 @@ fn main() {
         "scrubs for 12h data",
         "5y KV endurance",
     ]);
-    for (label, ret) in targets {
-        let p = tradeoff.at(ret);
-        let scrubs = (data_lifetime.as_nanos().div_ceil(ret.as_nanos().max(1))).saturating_sub(1);
-        let survives = p.endurance >= kv_requirement_5y;
+    for r in &rows {
         t.row(&[
-            label,
-            &format!("{:.2}", p.write_energy_pj_bit),
-            &format!("{:.1}", p.write_latency_ns),
-            &format!("{:.1e}", p.endurance),
-            &scrubs.to_string(),
-            if survives { "ok" } else { "NO" },
+            &r.retention,
+            &format!("{:.2}", r.write_energy_pj_bit),
+            &format!("{:.1}", r.write_latency_ns),
+            &format!("{:.1e}", r.endurance),
+            &r.scrubs_for_12h_data.to_string(),
+            if r.survives_kv_5y { "ok" } else { "NO" },
         ]);
-        rows.push(SweepRow {
-            retention: label.to_string(),
-            write_energy_pj_bit: p.write_energy_pj_bit,
-            write_latency_ns: p.write_latency_ns,
-            endurance: p.endurance,
-            scrubs_for_12h_data: scrubs,
-            survives_kv_5y: survives,
-        });
     }
     print!("{}", t.render());
 

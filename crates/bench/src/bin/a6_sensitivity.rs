@@ -6,14 +6,24 @@
 //! survive — the robustness a vision paper's argument needs.
 
 use mrm_analysis::report::Table;
-use mrm_analysis::sensitivity::{observations_hold, tornado, Figure1Inputs};
+use mrm_analysis::sensitivity::{observations_hold, tornado_cell, tornado_inputs, Figure1Inputs};
 use mrm_bench::{heading, save_json};
 use mrm_sim::units::format_sci;
+use mrm_sweep::{threads_from_args, Grid, Sweep};
 
 fn main() {
-    heading("A6 — tornado: one input perturbed at a time");
+    let threads = threads_from_args();
+    heading(&format!(
+        "A6 — tornado: one input perturbed at a time ({threads} sweep threads)"
+    ));
     let factors = [0.1, 0.3, 3.0, 10.0];
-    let rows = tornado(&factors);
+    // The 4 inputs × 4 factors tornado is an independent grid of scenarios:
+    // sweep it in parallel, rows arriving in (input, factor) grid order.
+    let rows = Sweep::new(
+        Grid::axis(tornado_inputs()).cross(factors),
+        |&(input, factor), _rng| tornado_cell(input, factor),
+    )
+    .run_parallel(threads);
     let mut t = Table::new(&[
         "input",
         "x0.1",

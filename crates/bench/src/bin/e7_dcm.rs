@@ -19,6 +19,7 @@ use mrm_device::tech::presets;
 use mrm_sim::rng::SimRng;
 use mrm_sim::time::{SimDuration, SimTime};
 use mrm_sim::units::{GIB, MIB};
+use mrm_sweep::{threads_from_args, Grid, Sweep};
 use mrm_tiering::lifetime::LifetimeEstimator;
 use mrm_workload::traces::{RequestSampler, TraceKind};
 
@@ -112,13 +113,21 @@ fn main() {
     );
     assert!(saved > 0.03, "DCM must save energy");
 
-    heading("E7c — margin sensitivity (hint safety margin vs. energy & expiry risk)");
+    let threads = threads_from_args();
+    heading(&format!(
+        "E7c — margin sensitivity (hint safety margin vs. energy & expiry risk, \
+         {threads} sweep threads)"
+    ));
     let mut t = Table::new(&[
         "margin",
         "write energy J",
         "classes used (30s/10m/1h/12h/7d)",
     ]);
-    for margin in [1.0, 1.25, 1.5, 2.0, 4.0] {
+    // Each margin's controller replays the same lifetime mix independently,
+    // so the sweep engine fans the grid across threads; rows come back in
+    // margin order.
+    let margins = [1.0, 1.25, 1.5, 2.0, 4.0];
+    let margin_rows = Sweep::new(Grid::axis(margins), |&margin, _rng| {
         let mut tech = presets::mrm_days();
         tech.capacity_bytes = 4 * GIB;
         let mut c = DcmController::new(MemoryDevice::new(tech), margin);
@@ -131,9 +140,13 @@ fn main() {
             .iter()
             .map(|(_, s)| s.writes.to_string())
             .collect();
+        (c.energy().write_j, dist)
+    })
+    .run_parallel(threads);
+    for (margin, (write_j, dist)) in margins.iter().zip(&margin_rows) {
         t.row(&[
             &format!("{margin:.2}"),
-            &format!("{:.4}", c.energy().write_j),
+            &format!("{write_j:.4}"),
             &dist.join("/"),
         ]);
     }

@@ -10,13 +10,20 @@ use mrm_analysis::report::Table;
 use mrm_bench::{heading, save_json};
 use mrm_sim::time::SimDuration;
 use mrm_sim::units::format_bytes;
+use mrm_sweep::{threads_from_args, Grid, Sweep};
 use mrm_tiering::cluster::{run_cluster, ClusterConfig, ClusterReport};
 use mrm_tiering::placement::PlacementPolicy;
 
-fn run(policy: PlacementPolicy, accelerators: u32, arrivals: f64, secs: u64) -> ClusterReport {
+fn config(policy: PlacementPolicy, accelerators: u32, arrivals: f64, secs: u64) -> ClusterConfig {
     let mut cfg = ClusterConfig::llama70b(policy, accelerators, arrivals);
     cfg.duration = SimDuration::from_secs(secs);
-    run_cluster(cfg)
+    cfg
+}
+
+/// Fans a grid of cluster configurations across the worker pool; the
+/// reports come back in grid order regardless of thread count.
+fn run_grid(grid: Grid<ClusterConfig>, threads: usize) -> Vec<ClusterReport> {
+    Sweep::new(grid, |cfg: &ClusterConfig, _rng| run_cluster(cfg.clone())).run_parallel(threads)
 }
 
 fn print_reports(reports: &[ClusterReport]) {
@@ -56,14 +63,14 @@ fn print_reports(reports: &[ClusterReport]) {
 fn main() {
     let accelerators = 4;
     let secs = 120;
+    let threads = threads_from_args();
 
     heading(&format!(
-        "E9 — cluster simulation: {accelerators} accelerators, Llama2-70B fp16, 120 s, 16 req/s"
+        "E9 — cluster simulation: {accelerators} accelerators, Llama2-70B fp16, 120 s, 16 req/s \
+         ({threads} sweep threads)"
     ));
-    let reports: Vec<ClusterReport> = PlacementPolicy::all()
-        .iter()
-        .map(|&p| run(p, accelerators, 16.0, secs))
-        .collect();
+    let grid = Grid::axis(PlacementPolicy::all()).map(|p| config(p, accelerators, 16.0, secs));
+    let reports = run_grid(grid, threads);
     print_reports(&reports);
 
     let hbm = &reports[0];
@@ -124,13 +131,22 @@ fn main() {
     }
 
     heading("E9b — load sweep: tokens/s under increasing arrival rates");
+    let rates = [4.0, 8.0, 16.0, 32.0];
+    let n_policies = PlacementPolicy::all().len();
+    // One 16-point grid (rate × policy) instead of nested loops: the whole
+    // sweep fans out at once, and row-major grid order means chunks of 4
+    // reports form the table rows.
+    let load_grid = Grid::axis(rates)
+        .cross(PlacementPolicy::all())
+        .map(|(rate, p)| config(p, 2, rate, 60));
+    let load_reports = run_grid(load_grid, threads);
     let mut t = Table::new(&["req/s", "HBM-only", "HBM+LPDDR", "HBM+MRM", "HBM+MRM(DCM)"]);
-    for rate in [4.0, 8.0, 16.0, 32.0] {
-        let row: Vec<String> = PlacementPolicy::all()
+    for (rate, row) in rates.iter().zip(load_reports.chunks(n_policies)) {
+        let cells: Vec<String> = row
             .iter()
-            .map(|&p| format!("{:.0}", run(p, 2, rate, 60).tokens_per_s))
+            .map(|r| format!("{:.0}", r.tokens_per_s))
             .collect();
-        t.row_owned(std::iter::once(format!("{rate:.0}")).chain(row).collect());
+        t.row_owned(std::iter::once(format!("{rate:.0}")).chain(cells).collect());
     }
     print!("{}", t.render());
 

@@ -45,7 +45,7 @@ fn main() {
     for r in &rows {
         t.row(&[
             &r.name,
-            r.maturity,
+            &r.maturity,
             &format_sci(r.endurance),
             &log_bar(r.endurance, 0, 16),
             tick(r.meets_kv),

@@ -24,7 +24,7 @@ fn main() {
         t.row(&[
             &r.model,
             &format!("{:.0}B", r.params as f64 / 1e9),
-            r.quant,
+            &r.quant,
             &format_bytes(r.weights_bytes),
             &format_bytes(r.kv_per_token_bytes),
             &format_bytes(r.kv_at_2k_bytes),

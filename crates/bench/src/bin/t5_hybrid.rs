@@ -8,13 +8,23 @@
 //! per-bit read energy together.
 
 use mrm_analysis::report::Table;
-use mrm_analysis::tco::system_comparison;
+use mrm_analysis::tco::{system_row, SystemKind};
 use mrm_bench::{heading, save_json};
 use mrm_sim::units::format_bytes;
+use mrm_sweep::{threads_from_args, Grid, Sweep};
 
 fn main() {
-    heading("T5 — memory systems at B200-ish scale (bulk tier = where weights+KV live)");
-    let rows = system_comparison();
+    let threads = threads_from_args();
+    heading(&format!(
+        "T5 — memory systems at B200-ish scale (bulk tier = where weights+KV live, \
+         {threads} sweep threads)"
+    ));
+    // The three systems are independent table rows: evaluate them through
+    // the sweep engine, which returns them in SystemKind::all() order.
+    let rows = Sweep::new(Grid::axis(SystemKind::all()), |&kind, _rng| {
+        system_row(kind)
+    })
+    .run_parallel(threads);
     let mut t = Table::new(&[
         "system",
         "capacity",

@@ -160,4 +160,58 @@ proptest! {
         let max = xs.iter().cloned().fold(0.0, f64::max);
         prop_assert!(h.percentile(100.0) <= max * 1.1);
     }
+
+    #[test]
+    fn welford_merge_matches_single_stream_for_arbitrary_splits(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        assign in proptest::collection::vec(0usize..8, 1..200),
+    ) {
+        // Scatter the stream over up to 8 sub-accumulators by an arbitrary
+        // assignment (the parallel-sweep shape), then fold them back.
+        let mut whole = StreamingStats::new();
+        let mut parts = vec![StreamingStats::new(); 8];
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            parts[assign[i % assign.len()]].record(x);
+        }
+        let mut merged = StreamingStats::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        let scale = 1.0 + whole.mean().abs();
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6 * scale);
+        prop_assert!((merged.sum() - whole.sum()).abs() < 1e-6 * scale * xs.len() as f64);
+        let vscale = 1.0 + whole.sample_variance().abs();
+        prop_assert!(
+            (merged.sample_variance() - whole.sample_variance()).abs() < 1e-6 * vscale
+        );
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_stream_for_arbitrary_splits(
+        xs in proptest::collection::vec(0.5f64..1e12, 1..300),
+        assign in proptest::collection::vec(0usize..6, 1..300),
+    ) {
+        let mut whole = LogHistogram::new(16);
+        let mut parts = vec![LogHistogram::new(16); 6];
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            parts[assign[i % assign.len()]].record(x);
+        }
+        let mut merged = parts[0].clone();
+        for p in &parts[1..] {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        // Bucket counts (and so percentiles) must agree exactly: merging is
+        // pure counter addition.
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p), whole.percentile(p), "p{}", p);
+        }
+    }
 }

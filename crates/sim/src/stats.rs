@@ -28,8 +28,11 @@ pub struct StreamingStats {
     count: u64,
     mean: f64,
     m2: f64,
-    min: f64,
-    max: f64,
+    // Absent until the first observation: the natural sentinels (±inf) are
+    // not representable in JSON (they serialize as null and fail to
+    // round-trip), so emptiness is explicit.
+    min: Option<f64>,
+    max: Option<f64>,
     sum: f64,
 }
 
@@ -40,8 +43,8 @@ impl StreamingStats {
             count: 0,
             mean: 0.0,
             m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
+            min: None,
+            max: None,
             sum: 0.0,
         }
     }
@@ -53,8 +56,8 @@ impl StreamingStats {
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
     }
 
     /// Number of observations.
@@ -101,12 +104,12 @@ impl StreamingStats {
 
     /// Smallest observation (`+inf` if empty).
     pub fn min(&self) -> f64 {
-        self.min
+        self.min.unwrap_or(f64::INFINITY)
     }
 
     /// Largest observation (`-inf` if empty).
     pub fn max(&self) -> f64 {
-        self.max
+        self.max.unwrap_or(f64::NEG_INFINITY)
     }
 
     /// Merges another accumulator into this one (parallel Welford).
@@ -126,8 +129,8 @@ impl StreamingStats {
         self.m2 += other.m2 + delta * delta * n1 * n2 / total;
         self.count += other.count;
         self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.min = Some(self.min().min(other.min()));
+        self.max = Some(self.max().max(other.max()));
     }
 }
 
@@ -477,6 +480,50 @@ mod tests {
         let w = TimeWeighted::new(SimTime::from_secs(5), 7.0);
         assert_eq!(w.average_at(SimTime::from_secs(5)), 7.0);
         assert_eq!(w.current(), 7.0);
+    }
+
+    #[test]
+    fn empty_stats_round_trip_json() {
+        // Regression: empty accumulators used to serialize their sentinel
+        // min/max infinities, which JSON renders as null and which then
+        // failed to deserialize back.
+        let s = StreamingStats::new();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(!json.contains("inf"), "no non-finite leak: {json}");
+        let mut back: StreamingStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), f64::INFINITY);
+        assert_eq!(back.max(), f64::NEG_INFINITY);
+        // A revived accumulator keeps working like a fresh one.
+        back.record(2.0);
+        assert_eq!(back.min(), 2.0);
+        assert_eq!(back.max(), 2.0);
+    }
+
+    #[test]
+    fn populated_stats_round_trip_json() {
+        let mut s = StreamingStats::new();
+        for x in [3.5, -1.25, 10.0] {
+            s.record(x);
+        }
+        let back: StreamingStats =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back.count(), 3);
+        assert_eq!(back.min(), -1.25);
+        assert_eq!(back.max(), 10.0);
+        assert!((back.mean() - s.mean()).abs() < 1e-12);
+        assert!((back.sample_variance() - s.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_round_trip_json() {
+        // LogHistogram embeds StreamingStats, so an empty histogram hit the
+        // same non-finite JSON problem.
+        let h = LogHistogram::new(8);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.percentile(50.0), 0.0);
     }
 
     #[test]

@@ -98,6 +98,47 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// Checks the configuration for values the simulator cannot run with.
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.accelerators == 0 {
+            return Err("accelerators must be at least 1 (requests are \
+                        round-robined across accelerators)"
+                .to_string());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1 (no request could ever \
+                        be admitted to a decode iteration)"
+                .to_string());
+        }
+        if !(self.arrivals_per_s.is_finite() && self.arrivals_per_s >= 0.0) {
+            return Err(format!(
+                "arrivals_per_s must be finite and non-negative, got {}",
+                self.arrivals_per_s
+            ));
+        }
+        if self.hbm_stacks == 0 {
+            return Err("hbm_stacks must be at least 1 (activations always \
+                        live in HBM)"
+                .to_string());
+        }
+        let (alt_name, alt_packages) = match self.policy {
+            PlacementPolicy::HbmOnly => return Ok(()),
+            PlacementPolicy::HbmLpddr => ("lpddr_packages", self.lpddr_packages),
+            PlacementPolicy::HbmMrm | PlacementPolicy::HbmMrmDcm => {
+                ("mrm_packages", self.mrm_packages)
+            }
+        };
+        if alt_packages == 0 {
+            return Err(format!(
+                "{alt_name} must be at least 1 for the {} policy",
+                self.policy.label()
+            ));
+        }
+        Ok(())
+    }
+
     /// The standard experiment configuration: Llama2-70B at fp16 with the
     /// Splitwise trace mix, sized per policy so each system carries the
     /// weights plus a KV working set.
@@ -320,9 +361,12 @@ impl ClusterSim {
     ///
     /// # Panics
     ///
-    /// Panics if the configured memory system cannot hold the model
-    /// weights.
+    /// Panics if the configuration fails [`ClusterConfig::validate`] or the
+    /// configured memory system cannot hold the model weights.
     pub fn new(cfg: ClusterConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ClusterConfig: {e}");
+        }
         let mut rng = SimRng::seed_from(cfg.seed);
         let mix = TraceMix::splitwise_default(cfg.max_context, cfg.arrivals_per_s);
         let weights_bytes = cfg.model.weights_bytes(cfg.quant);
@@ -466,7 +510,10 @@ impl ClusterSim {
         self.accels[acc].queue.push_back(Pending {
             arrival: now,
             prompt_tokens: prompt,
-            output_tokens: output,
+            // Every admitted request decodes at least one token: a recorded
+            // trace may carry output_tokens == 0 (e.g. a truncated entry),
+            // which would underflow output_remaining on iteration completion.
+            output_tokens: output.max(1),
             reuse: None,
         });
         self.start_iteration(now, acc);
@@ -480,14 +527,10 @@ impl ClusterSim {
         }
         let policy = self.cfg.policy;
         let kvpt = self.kv_bytes_per_token();
-        let native = {
-            let a = &mut self.accels[acc];
-            a.kv_tier(policy).capacity_bytes(); // borrow shape
-            match policy.tier_for(DataClass::KvCache) {
-                TierKind::Hbm => presets::hbm3e().retention,
-                TierKind::Lpddr => presets::lpddr5x().retention,
-                TierKind::Mrm => presets::mrm_hours().retention,
-            }
+        let native = match policy.tier_for(DataClass::KvCache) {
+            TierKind::Hbm => presets::hbm3e().retention,
+            TierKind::Lpddr => presets::lpddr5x().retention,
+            TierKind::Mrm => presets::mrm_hours().retention,
         };
 
         let mut prefill_write_bytes = 0u64;
@@ -1154,5 +1197,60 @@ mod tests {
             mrm.bytes_read > mrm.bytes_written * 100,
             "read-dominated (§2.2)"
         );
+    }
+
+    #[test]
+    fn zero_output_trace_entry_is_admitted_without_underflow() {
+        // Regression: a trace entry with output_tokens == 0 used to
+        // underflow `output_remaining` when its first iteration completed.
+        // Admission clamps to one output token, so the request completes.
+        let trace = RequestTrace::from_csv(
+            "0.5,conversation,128,0\n1.0,coding,256,4\n1.5,conversation,64,0\n",
+        )
+        .unwrap();
+        let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 1, 999.0);
+        cfg.duration = SimDuration::from_secs(20);
+        cfg.trace = Some(trace);
+        let r = run_cluster(cfg);
+        assert_eq!(r.arrivals, 3);
+        assert_eq!(r.completions, 3, "zero-output requests must still finish");
+        // Each zero-output request yields exactly one decode token.
+        assert!(r.tokens >= 2 + 4);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 2, 8.0);
+        assert!(ok.validate().is_ok());
+
+        let mut cfg = ok.clone();
+        cfg.accelerators = 0;
+        assert!(cfg.validate().unwrap_err().contains("accelerators"));
+
+        let mut cfg = ok.clone();
+        cfg.max_batch = 0;
+        assert!(cfg.validate().unwrap_err().contains("max_batch"));
+
+        let mut cfg = ok.clone();
+        cfg.arrivals_per_s = f64::NAN;
+        assert!(cfg.validate().unwrap_err().contains("arrivals_per_s"));
+
+        let mut cfg = ok.clone();
+        cfg.mrm_packages = 0;
+        assert!(cfg.validate().unwrap_err().contains("mrm_packages"));
+
+        let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmLpddr, 2, 8.0);
+        cfg.lpddr_packages = 0;
+        assert!(cfg.validate().unwrap_err().contains("lpddr_packages"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ClusterConfig: accelerators")]
+    fn zero_accelerators_panics_with_clear_message() {
+        // Regression: this used to die with a remainder-by-zero panic deep
+        // in request admission instead of a config error.
+        let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmOnly, 1, 8.0);
+        cfg.accelerators = 0;
+        let _ = ClusterSim::new(cfg);
     }
 }

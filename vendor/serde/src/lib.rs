@@ -1,0 +1,387 @@
+//! Vendored stand-in for `serde`, built for offline builds of the `mrm`
+//! workspace.
+//!
+//! Instead of serde's visitor architecture, this crate serializes through a
+//! concrete JSON-like [`Value`] tree: [`Serialize`] renders a value into a
+//! `Value`, [`Deserialize`] reconstructs one from it. The companion
+//! `serde_json` crate handles text. Object fields keep declaration order, so
+//! serialized output is deterministic — a property the sweep-engine
+//! determinism tests rely on.
+//!
+//! The supported surface is exactly what the workspace uses: plain structs,
+//! newtype structs, fieldless enums, the std scalar/collection types below,
+//! and `#[derive(Serialize, Deserialize)]` via the vendored `serde_derive`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the rendering of non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A shared `null` to hand out references to.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks up `name` in an object, yielding `null` when absent (or when
+    /// `self` is not an object); `Deserialize` impls turn that into a typed
+    /// error or `None` for `Option` fields.
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The string payload, or a type error.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Serialization/deserialization error: a plain message with context frames.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Wraps the error with the struct/field it occurred in.
+    pub fn in_field(self, ty: &str, field: &str) -> Self {
+        Error {
+            msg: format!("{ty}.{field}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value tree, with a typed error on mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+fn int_from_value(v: &Value) -> Result<i128, Error> {
+    match v {
+        Value::U64(x) => Ok(*x as i128),
+        Value::I64(x) => Ok(*x as i128),
+        other => Err(Error::custom(format!(
+            "expected integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = int_from_value(v)?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(x) => Ok(*x as f64),
+            Value::I64(x) => Ok(*x as f64),
+            other => Err(Error::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_through_values() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn option_and_vec() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let obj = Value::Object(vec![("a".to_string(), Value::U64(1))]);
+        assert_eq!(obj.field("a"), &Value::U64(1));
+        assert_eq!(obj.field("b"), &Value::Null);
+    }
+
+    #[test]
+    fn int_range_errors() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+}

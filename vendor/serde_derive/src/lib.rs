@@ -1,0 +1,281 @@
+//! Vendored stand-in for `serde_derive`, written against the `proc_macro`
+//! API alone so it builds with no network access.
+//!
+//! It supports exactly the data shapes the `mrm` workspace serializes:
+//!
+//! * structs with named fields (no generics),
+//! * newtype tuple structs (`struct SimTime(u64);`),
+//! * fieldless enums (serialized as the variant name string).
+//!
+//! Anything fancier (generics, payload-carrying enum variants, `#[serde]`
+//! attributes) fails the build with an explicit message rather than
+//! silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a `#[derive(..)]` input.
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T);` — serialized transparently as the inner value.
+    Newtype,
+    /// `enum E { A, B }` — variant names in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__obj)"
+            )
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => {v:?},\n"))
+                .collect();
+            format!("::serde::Value::Str((match self {{ {arms} }}).to_string())")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        input.name
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl does not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.field({f:?}))\
+                         .map_err(|e| e.in_field({:?}, {f:?}))?,\n",
+                        name
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Shape::Newtype => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok(Self::{v}),\n"))
+                .collect();
+            format!(
+                "match __v.as_str()? {{ {arms} other => ::std::result::Result::Err(\
+                 ::serde::Error::custom(format!(\"unknown {name} variant {{other:?}}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl does not parse")
+}
+
+/// Parses the derive input down to a name and a [`Shape`].
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility, find `struct`/`enum`.
+    let mut is_enum = false;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the `[...]` group
+            }
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "struct" => break,
+                "enum" => {
+                    is_enum = true;
+                    break;
+                }
+                // `pub`, `pub(crate)`, `crate`: visibility tokens to skip.
+                "pub" | "crate" => {
+                    if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        iter.next();
+                    }
+                }
+                other => panic!("serde_derive: unexpected token `{other}` before struct/enum"),
+            },
+            other => panic!("serde_derive: unexpected derive input: {other:?}"),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break Some(g),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Tuple struct: only the newtype shape is supported.
+                let n = count_tuple_fields(g.stream());
+                assert!(
+                    n == 1 && !is_enum,
+                    "serde_derive: only single-field tuple structs are supported ({name})"
+                );
+                break None;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive: unit struct `{name}` is not supported")
+            }
+            Some(_) => continue, // `where` clauses etc. do not occur here
+            None => panic!("serde_derive: no body found for `{name}`"),
+        }
+    };
+
+    let shape = match body {
+        None => Shape::Newtype,
+        Some(g) if is_enum => Shape::Enum(parse_enum_variants(g.stream(), &name)),
+        Some(g) => Shape::Named(parse_named_fields(g.stream())),
+    };
+    Input { name, shape }
+}
+
+/// Counts comma-separated fields of a tuple struct body at angle-depth 0.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut depth = 0i32;
+    let mut saw_any = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => n += 1,
+                _ => {}
+            },
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        n + 1
+    } else {
+        0
+    }
+}
+
+/// Extracts field names from a named-struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments arrive as `#[doc = "..."]`).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Skip visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type up to the next comma at angle-depth 0. Groups are
+        // atomic token trees, so only `<`/`>` need depth tracking.
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, rejecting payload variants.
+fn parse_enum_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected variant name in {name}, got {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive: enum {name} has a payload-carrying variant, which the \
+                 vendored derive does not support"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                loop {
+                    match iter.next() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            None => break,
+            other => panic!("serde_derive: unexpected token in enum {name}: {other:?}"),
+        }
+    }
+    variants
+}
