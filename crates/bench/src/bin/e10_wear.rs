@@ -6,15 +6,24 @@
 //! projected lifetime of an MRM part under the Splitwise-derived KV append
 //! stream, for naive zone reuse vs. least-worn allocation, across the
 //! endurance levels of Figure 1 (SCM product vs. technology potential).
+//!
+//! With `--telemetry <path>` each configuration also records a sim-time
+//! JSONL series (60 s snapshots of bytes written and peak/mean zone
+//! cycles, plus the final per-zone wear histogram).
 
 use mrm_analysis::report::Table;
-use mrm_bench::{heading, save_json};
+use mrm_bench::{check, heading, save_json, save_telemetry, telemetry_path_from_args};
 use mrm_device::tech::presets;
 use mrm_sim::time::SimDuration;
 use mrm_sim::units::MIB;
-use mrm_tiering::wear::{simulate_wear, WearPolicy, WearReport};
+use mrm_telemetry::{export, NullSink, SimTelemetry, TelemetrySink};
+use mrm_tiering::wear::{simulate_wear_with_telemetry, WearPolicy, WearReport};
+use serde::Value;
 
 fn main() {
+    let telemetry_path = telemetry_path_from_args();
+    let mut jsonl = String::new();
+
     heading("E10 — zone churn simulation (scaled device, KV-stream append/drop)");
     let mut results: Vec<WearReport> = Vec::new();
     let mut t = Table::new(&[
@@ -25,6 +34,7 @@ fn main() {
         "peak/mean",
         "projected lifetime",
     ]);
+    let mut point = 0u64;
     for policy in [WearPolicy::LowestNumbered, WearPolicy::LeastWorn] {
         for (label, endurance) in [
             ("1e5 (RRAM product)", 1e5),
@@ -35,14 +45,34 @@ fn main() {
             let mut tech = presets::mrm_hours();
             tech.capacity_bytes = 512 * MIB; // scaled device, same reuse pattern
             tech.endurance = endurance;
-            let r = simulate_wear(
+            let mut tele = telemetry_path
+                .as_ref()
+                .map(|_| SimTelemetry::new(SimDuration::from_secs(60)));
+            let sink: &mut dyn TelemetrySink = match tele.as_mut() {
+                Some(t) => t,
+                None => &mut NullSink,
+            };
+            let r = simulate_wear_with_telemetry(
                 tech,
                 4 * MIB,            // zone size
                 16 * MIB,           // stream (context KV) size
                 256.0 * MIB as f64, // sustained append rate
                 SimDuration::from_secs(1200),
                 policy,
+                sink,
             );
+            if let Some(tele) = tele {
+                jsonl.push_str(&export::jsonl_tagged(
+                    tele.snapshots(),
+                    &[
+                        ("experiment", Value::Str("e10".to_string())),
+                        ("point", Value::U64(point)),
+                        ("policy", Value::Str(policy.label().to_string())),
+                        ("endurance", Value::F64(endurance)),
+                    ],
+                ));
+            }
+            point += 1;
             t.row(&[
                 policy.label(),
                 label,
@@ -68,16 +98,16 @@ fn main() {
         let naive = &results[i];
         let lev = &results[half + i];
         let gain = lev.projected_lifetime_years / naive.projected_lifetime_years;
-        let pass = gain > 1.5;
-        println!(
-            "{} endurance {}: least-worn extends lifetime {:.1}x ({:.2}y -> {:.2}y)",
-            if pass { "PASS" } else { "FAIL" },
-            labels[i % labels.len()],
-            gain,
-            naive.projected_lifetime_years,
-            lev.projected_lifetime_years
+        ok &= check(
+            gain > 1.5,
+            &format!(
+                "endurance {}: least-worn extends lifetime {:.1}x ({:.2}y -> {:.2}y)",
+                labels[i % labels.len()],
+                gain,
+                naive.projected_lifetime_years,
+                lev.projected_lifetime_years
+            ),
         );
-        ok &= pass;
     }
     println!();
     println!("the 5-year target (§3) is reachable with software wear levelling at potential-");
@@ -85,6 +115,9 @@ fn main() {
     println!("restated as device lifetime.");
 
     save_json("e10_wear", &results);
+    if let Some(path) = telemetry_path {
+        save_telemetry(&path, &jsonl);
+    }
     if !ok {
         std::process::exit(1);
     }

@@ -7,14 +7,29 @@
 //! no longer hold the reliability target?
 
 use mrm_analysis::report::Table;
-use mrm_bench::{heading, save_json};
+use mrm_bench::{heading, note, save_json, save_telemetry, telemetry_path_from_args};
 use mrm_device::cell::RetentionTradeoff;
 use mrm_device::tech::presets;
 use mrm_ecc::analysis::{iso_reliability_overhead, max_safe_age_fraction};
 use mrm_ecc::bch::Bch;
 use mrm_ecc::hamming::Hamming;
 use mrm_sim::rng::SimRng;
-use mrm_sim::time::SimDuration;
+use mrm_sim::time::{SimDuration, SimTime};
+use mrm_telemetry::{export, SimTelemetry, TelemetrySink};
+use serde::Value;
+
+/// Stable gauge name for each E8d code point (telemetry names must be
+/// `&'static str`).
+fn scrub_ok_gauge(n_bits: u64, t: u64) -> &'static str {
+    match (n_bits, t) {
+        (72, 1) => "scrub_ok_n72_t1",
+        (552, 4) => "scrub_ok_n552_t4",
+        (32872, 8) => "scrub_ok_n32872_t8",
+        (32872, 16) => "scrub_ok_n32872_t16",
+        (32872, 32) => "scrub_ok_n32872_t32",
+        _ => "scrub_ok_other",
+    }
+}
 
 fn main() {
     heading("E8a — the Dolinar curve: overhead vs. codeword size at iso-reliability");
@@ -93,15 +108,18 @@ fn main() {
     let tradeoff: RetentionTradeoff = tech.tradeoff();
     let retention = SimDuration::from_hours(12);
     let rber_at = |frac: f64| tradeoff.rber_at_age(retention, retention.mul_f64(frac), 1e-9);
-    let mut t = Table::new(&["code", "t", "max safe age (x retention)", "scrub interval"]);
-    for (n_bits, tt) in [
+    let codes = [
         (72u64, 1u64),
         (552, 4),
         (32872, 8),
         (32872, 16),
         (32872, 32),
-    ] {
+    ];
+    let mut t = Table::new(&["code", "t", "max safe age (x retention)", "scrub interval"]);
+    let mut safe_fracs = Vec::with_capacity(codes.len());
+    for (n_bits, tt) in codes {
         let frac = max_safe_age_fraction(n_bits, tt, 1e-12, rber_at);
+        safe_fracs.push(frac);
         let interval = retention.mul_f64(frac);
         t.row(&[
             &format!("n={n_bits}"),
@@ -111,9 +129,40 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    println!("stronger codes let data age closer to (or past) the nominal retention target,");
-    println!("stretching the software scrub interval — ECC strength and retention class are");
-    println!("one joint design knob (§4 \"retention-aware error correction\").");
+    note("stronger codes let data age closer to (or past) the nominal retention target,");
+    note("stretching the software scrub interval — ECC strength and retention class are");
+    note("one joint design knob (§4 \"retention-aware error correction\").");
+
+    // RBER-vs-data-age time series: the decoder's view of a 12 h retention
+    // class as data ages in 15-minute steps, with a per-code "still within
+    // its scrub budget" flag. Pure function of age — no RNG.
+    if let Some(path) = telemetry_path_from_args() {
+        let step = SimDuration::from_secs(900);
+        let mut tele = SimTelemetry::new(step);
+        let steps = 48u64; // 48 * 15 min = the 12 h retention target
+        for i in 1..=steps {
+            let now = SimTime::ZERO + step.saturating_mul(i);
+            let frac = i as f64 / steps as f64;
+            tele.gauge("rber", rber_at(frac));
+            for ((n_bits, tt), safe_frac) in codes.iter().zip(&safe_fracs) {
+                let ok = frac <= *safe_frac;
+                tele.gauge(scrub_ok_gauge(*n_bits, *tt), if ok { 1.0 } else { 0.0 });
+            }
+            while let Some(at) = tele.snapshot_due(now) {
+                tele.snapshot(at);
+            }
+        }
+        save_telemetry(
+            &path,
+            &export::jsonl_tagged(
+                tele.snapshots(),
+                &[
+                    ("experiment", Value::Str("e8".to_string())),
+                    ("point", Value::U64(0)),
+                ],
+            ),
+        );
+    }
 
     let records: Vec<(u64, u64, u64, u64, f64)> = rows
         .iter()

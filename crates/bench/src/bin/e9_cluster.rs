@@ -5,14 +5,24 @@
 //! DCM), with the control plane tracking KV expiration deadlines and
 //! deciding refresh / migrate / drop. Reports tokens/s, J/token,
 //! housekeeping energy, cost efficiency, cache behaviour and latency.
+//!
+//! With `--telemetry <path>` each grid point also records a sim-time
+//! JSONL series (5 s snapshots of counters, occupancy and latency
+//! percentiles), concatenated in grid order — byte-identical for any
+//! `--threads` value.
 
 use mrm_analysis::report::Table;
-use mrm_bench::{heading, save_json};
+use mrm_bench::{check, heading, save_json, save_telemetry, telemetry_path_from_args};
 use mrm_sim::time::SimDuration;
 use mrm_sim::units::format_bytes;
 use mrm_sweep::{threads_from_args, Grid, Sweep};
-use mrm_tiering::cluster::{run_cluster, ClusterConfig, ClusterReport};
+use mrm_telemetry::{export, SimTelemetry, Snapshot};
+use mrm_tiering::cluster::{run_cluster, run_cluster_with_telemetry, ClusterConfig, ClusterReport};
 use mrm_tiering::placement::PlacementPolicy;
+use serde::Value;
+
+/// Sim-time spacing of telemetry snapshots for every cluster run.
+const SNAPSHOT_EVERY: SimDuration = SimDuration::from_secs(5);
 
 fn config(policy: PlacementPolicy, accelerators: u32, arrivals: f64, secs: u64) -> ClusterConfig {
     let mut cfg = ClusterConfig::llama70b(policy, accelerators, arrivals);
@@ -21,9 +31,41 @@ fn config(policy: PlacementPolicy, accelerators: u32, arrivals: f64, secs: u64) 
 }
 
 /// Fans a grid of cluster configurations across the worker pool; the
-/// reports come back in grid order regardless of thread count.
-fn run_grid(grid: Grid<ClusterConfig>, threads: usize) -> Vec<ClusterReport> {
-    Sweep::new(grid, |cfg: &ClusterConfig, _rng| run_cluster(cfg.clone())).run_parallel(threads)
+/// reports (and, when `collect` is set, each point's telemetry snapshots)
+/// come back in grid order regardless of thread count.
+fn run_grid(
+    grid: Grid<ClusterConfig>,
+    threads: usize,
+    collect: bool,
+) -> Vec<(ClusterReport, Vec<Snapshot>)> {
+    Sweep::new(grid, move |cfg: &ClusterConfig, _rng| {
+        if collect {
+            let mut tele = SimTelemetry::new(SNAPSHOT_EVERY);
+            let report = run_cluster_with_telemetry(cfg.clone(), &mut tele);
+            (report, tele.into_snapshots())
+        } else {
+            (run_cluster(cfg.clone()), Vec::new())
+        }
+    })
+    .run_parallel(threads)
+}
+
+/// Tags one grid point's snapshots and appends the JSONL lines.
+fn append_series(
+    out: &mut String,
+    experiment: &str,
+    point: usize,
+    policy: &str,
+    snaps: &[Snapshot],
+) {
+    out.push_str(&export::jsonl_tagged(
+        snaps,
+        &[
+            ("experiment", Value::Str(experiment.to_string())),
+            ("point", Value::U64(point as u64)),
+            ("policy", Value::Str(policy.to_string())),
+        ],
+    ));
 }
 
 fn print_reports(reports: &[ClusterReport]) {
@@ -64,13 +106,20 @@ fn main() {
     let accelerators = 4;
     let secs = 120;
     let threads = threads_from_args();
+    let telemetry_path = telemetry_path_from_args();
+    let collect = telemetry_path.is_some();
+    let mut jsonl = String::new();
 
     heading(&format!(
         "E9 — cluster simulation: {accelerators} accelerators, Llama2-70B fp16, 120 s, 16 req/s \
          ({threads} sweep threads)"
     ));
     let grid = Grid::axis(PlacementPolicy::all()).map(|p| config(p, accelerators, 16.0, secs));
-    let reports = run_grid(grid, threads);
+    let results = run_grid(grid, threads, collect);
+    let reports: Vec<ClusterReport> = results.iter().map(|(r, _)| r.clone()).collect();
+    for (i, (r, snaps)) in results.iter().enumerate() {
+        append_series(&mut jsonl, "e9", i, &r.policy, snaps);
+    }
     print_reports(&reports);
 
     let hbm = &reports[0];
@@ -126,8 +175,7 @@ fn main() {
     ];
     let mut ok = true;
     for (desc, pass) in &checks {
-        println!("{} {desc}", if *pass { "PASS" } else { "FAIL" });
-        ok &= pass;
+        ok &= check(*pass, desc);
     }
 
     heading("E9b — load sweep: tokens/s under increasing arrival rates");
@@ -139,7 +187,11 @@ fn main() {
     let load_grid = Grid::axis(rates)
         .cross(PlacementPolicy::all())
         .map(|(rate, p)| config(p, 2, rate, 60));
-    let load_reports = run_grid(load_grid, threads);
+    let load_results = run_grid(load_grid, threads, collect);
+    for (i, (r, snaps)) in load_results.iter().enumerate() {
+        append_series(&mut jsonl, "e9b", i, &r.policy, snaps);
+    }
+    let load_reports: Vec<ClusterReport> = load_results.into_iter().map(|(r, _)| r).collect();
     let mut t = Table::new(&["req/s", "HBM-only", "HBM+LPDDR", "HBM+MRM", "HBM+MRM(DCM)"]);
     for (rate, row) in rates.iter().zip(load_reports.chunks(n_policies)) {
         let cells: Vec<String> = row
@@ -176,6 +228,9 @@ fn main() {
     print!("{}", t.render());
 
     save_json("e9_cluster", &reports);
+    if let Some(path) = telemetry_path {
+        save_telemetry(&path, &jsonl);
+    }
     if !ok {
         std::process::exit(1);
     }

@@ -32,19 +32,65 @@ pub fn experiments_dir() -> PathBuf {
 pub fn save_json<T: Serialize>(id: &str, record: &T) {
     let dir = experiments_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
+        warn(&format!("cannot create {}: {e}", dir.display()));
         return;
     }
     let path = dir.join(format!("{id}.json"));
     match serde_json::to_string_pretty(record) {
         Ok(json) => {
             if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
+                warn(&format!("cannot write {}: {e}", path.display()));
             } else {
-                println!("[saved {}]", path.display());
+                note(&format!("[saved {}]", path.display()));
             }
         }
-        Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+        Err(e) => warn(&format!("cannot serialize {id}: {e}")),
+    }
+}
+
+/// Prints an informational line. The single funnel for ad-hoc progress
+/// output from the experiment binaries, so it can be restyled (or silenced)
+/// in one place.
+pub fn note(msg: &str) {
+    println!("{msg}");
+}
+
+/// Prints a warning line to stderr.
+pub fn warn(msg: &str) {
+    eprintln!("warning: {msg}");
+}
+
+/// Prints a `PASS`/`FAIL` verdict line for a named acceptance check and
+/// returns whether it passed, so binaries can aggregate an exit status.
+pub fn check(pass: bool, desc: &str) -> bool {
+    println!("[{}] {desc}", if pass { "PASS" } else { "FAIL" });
+    pass
+}
+
+/// Parses `--telemetry <path>` (or `--telemetry=<path>`) from `argv`:
+/// where the experiment binaries write their JSONL time-series export.
+pub fn telemetry_path_from_args() -> Option<PathBuf> {
+    mrm_sweep::flag_value_from_args("--telemetry").map(PathBuf::from)
+}
+
+/// Writes a telemetry export, reporting failure as a warning (telemetry is
+/// never load-bearing for an experiment run).
+pub fn save_telemetry(path: &std::path::Path, contents: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = fs::create_dir_all(parent) {
+                warn(&format!("cannot create {}: {e}", parent.display()));
+                return;
+            }
+        }
+    }
+    match fs::write(path, contents) {
+        Ok(()) => note(&format!(
+            "[telemetry: {} lines -> {}]",
+            contents.lines().count(),
+            path.display()
+        )),
+        Err(e) => warn(&format!("cannot write {}: {e}", path.display())),
     }
 }
 

@@ -14,6 +14,7 @@
 use mrm_device::device::{DeviceError, MemoryDevice, OpResult};
 use mrm_device::energy::EnergyBreakdown;
 use mrm_sim::time::{SimDuration, SimTime};
+use mrm_telemetry::TelemetrySink;
 use serde::{Deserialize, Serialize};
 
 /// The hardware retention ladder: the write-pulse settings a DCM device
@@ -111,6 +112,12 @@ pub struct DcmController {
     device: MemoryDevice,
     margin: f64,
     per_class: [ClassStats; 5],
+    /// Write-pulse reconfigurations: consecutive writes landing on
+    /// different classes. DCM hardware retunes the write circuit when the
+    /// class changes, so this is the §4 "programming retention at runtime"
+    /// event count.
+    reconfigs: u64,
+    last_class: Option<RetentionClass>,
 }
 
 impl DcmController {
@@ -121,6 +128,8 @@ impl DcmController {
             device,
             margin: margin.max(1.0),
             per_class: Default::default(),
+            reconfigs: 0,
+            last_class: None,
         }
     }
 
@@ -153,6 +162,23 @@ impl DcmController {
             .unwrap()
     }
 
+    /// Records per-class accounting and the reconfig edge for one write.
+    fn account(&mut self, class: RetentionClass, len: u64) {
+        let s = &mut self.per_class[Self::class_index(class)];
+        s.writes += 1;
+        s.bytes += len;
+        if self.last_class.is_some_and(|prev| prev != class) {
+            self.reconfigs += 1;
+        }
+        self.last_class = Some(class);
+    }
+
+    /// Number of write-pulse reconfigurations so far (consecutive writes
+    /// at different retention classes).
+    pub fn reconfigs(&self) -> u64 {
+        self.reconfigs
+    }
+
     /// Writes with a lifetime hint: the controller picks the cheapest
     /// covering class and programs the device at that class's energy point.
     /// Returns the class chosen and the device result.
@@ -167,9 +193,7 @@ impl DcmController {
         let res = self
             .device
             .write_with_retention(now, addr, len, class.duration())?;
-        let s = &mut self.per_class[Self::class_index(class)];
-        s.writes += 1;
-        s.bytes += len;
+        self.account(class, len);
         Ok((class, res))
     }
 
@@ -185,15 +209,39 @@ impl DcmController {
         let res = self
             .device
             .write_with_retention(now, addr, len, class.duration())?;
-        let s = &mut self.per_class[Self::class_index(class)];
-        s.writes += 1;
-        s.bytes += len;
+        self.account(class, len);
         Ok(res)
     }
 
     /// Reads through to the device.
     pub fn read(&mut self, now: SimTime, addr: u64, len: u64) -> Result<OpResult, DeviceError> {
         self.device.read(now, addr, len)
+    }
+
+    /// Per-class constant metric names (counter interning needs `'static`).
+    fn class_counters(c: RetentionClass) -> (&'static str, &'static str) {
+        match c {
+            RetentionClass::Seconds30 => ("dcm_writes_30s", "dcm_bytes_30s"),
+            RetentionClass::Minutes10 => ("dcm_writes_10m", "dcm_bytes_10m"),
+            RetentionClass::Hours1 => ("dcm_writes_1h", "dcm_bytes_1h"),
+            RetentionClass::Hours12 => ("dcm_writes_12h", "dcm_bytes_12h"),
+            RetentionClass::Days7 => ("dcm_writes_7d", "dcm_bytes_7d"),
+        }
+    }
+
+    /// Publishes the per-class write ledger and the reconfig count into
+    /// `sink`. Pull-style and idempotent (totals via
+    /// [`TelemetrySink::count_to`]).
+    pub fn emit_telemetry(&self, sink: &mut dyn TelemetrySink) {
+        if !sink.enabled() {
+            return;
+        }
+        for (class, stats) in self.class_stats() {
+            let (writes, bytes) = Self::class_counters(class);
+            sink.count_to(writes, stats.writes);
+            sink.count_to(bytes, stats.bytes);
+        }
+        sink.count_to("dcm_reconfigs", self.reconfigs);
     }
 }
 
@@ -304,5 +352,44 @@ mod tests {
     fn labels() {
         assert_eq!(RetentionClass::Hours12.label(), "12h");
         assert_eq!(RetentionClass::Days7.label(), "7d");
+    }
+
+    #[test]
+    fn reconfigs_count_class_edges() {
+        let mut d = dcm();
+        d.write_fixed(SimTime::ZERO, 0, 100, RetentionClass::Days7)
+            .unwrap();
+        d.write_fixed(SimTime::ZERO, 4096, 100, RetentionClass::Days7)
+            .unwrap();
+        assert_eq!(d.reconfigs(), 0, "same class twice: no retune");
+        d.write(SimTime::ZERO, 8192, 100, SimDuration::from_secs(5))
+            .unwrap(); // Days7 → Seconds30
+        d.write(SimTime::ZERO, 12288, 100, SimDuration::from_secs(5))
+            .unwrap(); // stays
+        d.write_fixed(SimTime::ZERO, 16384, 100, RetentionClass::Hours1)
+            .unwrap(); // Seconds30 → Hours1
+        assert_eq!(d.reconfigs(), 2);
+    }
+
+    #[test]
+    fn telemetry_publishes_class_ledger() {
+        use mrm_telemetry::{SimTelemetry, TelemetrySink as _};
+        let mut d = dcm();
+        d.write(SimTime::ZERO, 0, 300, SimDuration::from_secs(5))
+            .unwrap();
+        d.write_fixed(SimTime::ZERO, 4096, 200, RetentionClass::Days7)
+            .unwrap();
+        let mut t = SimTelemetry::new(SimDuration::from_secs(1));
+        d.emit_telemetry(&mut t);
+        d.emit_telemetry(&mut t); // idempotent republish
+        let r = t.registry();
+        assert_eq!(r.counter_value("dcm_writes_30s"), Some(1));
+        assert_eq!(r.counter_value("dcm_bytes_30s"), Some(300));
+        assert_eq!(r.counter_value("dcm_writes_7d"), Some(1));
+        assert_eq!(r.counter_value("dcm_reconfigs"), Some(1));
+        // A disabled sink costs nothing and records nothing.
+        let mut null = mrm_telemetry::NullSink;
+        d.emit_telemetry(&mut null);
+        assert!(!null.enabled());
     }
 }

@@ -24,6 +24,7 @@
 use mrm_device::device::{DeviceError, MemoryDevice, OpResult};
 use mrm_device::energy::EnergyBreakdown;
 use mrm_sim::time::{SimDuration, SimTime};
+use mrm_telemetry::TelemetrySink;
 
 /// Zone identifier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -122,6 +123,10 @@ pub struct MrmBlockController {
     device: MemoryDevice,
     zone_bytes: u64,
     zones: Vec<Zone>,
+    /// Software-initiated scrub (in-place rewrite) operations completed.
+    scrub_ops: u64,
+    /// Bytes rewritten by scrubs.
+    scrub_bytes: u64,
 }
 
 impl MrmBlockController {
@@ -138,6 +143,8 @@ impl MrmBlockController {
             device,
             zone_bytes,
             zones: (0..n).map(|_| Zone::new()).collect(),
+            scrub_ops: 0,
+            scrub_bytes: 0,
         }
     }
 
@@ -340,7 +347,67 @@ impl MrmBlockController {
         let zone = self.zone_mut(z)?;
         zone.deadline = now.saturating_add(retention);
         zone.write_cycles += 1;
+        self.scrub_ops += 1;
+        self.scrub_bytes += bytes;
         Ok(bytes)
+    }
+
+    /// Scrub (software-refresh rewrite) operations completed so far.
+    pub fn scrub_ops(&self) -> u64 {
+        self.scrub_ops
+    }
+
+    /// Bytes rewritten by scrubs so far.
+    pub fn scrub_bytes(&self) -> u64 {
+        self.scrub_bytes
+    }
+
+    /// Publishes the controller's ledger into `sink`: scrub (rewrite)
+    /// totals plus zone-state and wear gauges. With no device-side
+    /// refresh/GC, scrub rewrites are the *only* housekeeping an MRM
+    /// device performs — exactly the signal the paper's §4 argument needs
+    /// on a timeline.
+    ///
+    /// Pull-style and idempotent (totals via [`TelemetrySink::count_to`]).
+    pub fn emit_telemetry(&self, sink: &mut dyn TelemetrySink) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.count_to("mrm_scrub_ops", self.scrub_ops);
+        sink.count_to("mrm_scrub_bytes", self.scrub_bytes);
+        let (mut empty, mut open, mut full) = (0u64, 0u64, 0u64);
+        let mut max_cycles = 0u64;
+        let mut sum_cycles = 0u64;
+        for zn in &self.zones {
+            match zn.state {
+                ZoneState::Empty => empty += 1,
+                ZoneState::Open => open += 1,
+                ZoneState::Full => full += 1,
+            }
+            max_cycles = max_cycles.max(zn.write_cycles);
+            sum_cycles += zn.write_cycles;
+        }
+        sink.gauge("mrm_zones_empty", empty as f64);
+        sink.gauge("mrm_zones_open", open as f64);
+        sink.gauge("mrm_zones_full", full as f64);
+        sink.gauge("mrm_zone_cycles_max", max_cycles as f64);
+        sink.gauge(
+            "mrm_zone_cycles_mean",
+            sum_cycles as f64 / self.zones.len() as f64,
+        );
+    }
+
+    /// Observes every zone's write-cycle count into the
+    /// `zone_write_cycles` histogram — the wear distribution the software
+    /// wear-leveller is trying to flatten. One-shot: call at end of run,
+    /// not per interval, since histogram observations accumulate.
+    pub fn emit_wear_histogram(&self, sink: &mut dyn TelemetrySink) {
+        if !sink.enabled() {
+            return;
+        }
+        for zn in &self.zones {
+            sink.observe("zone_write_cycles", zn.write_cycles as f64);
+        }
     }
 }
 
@@ -505,6 +572,32 @@ mod tests {
                 .unwrap_err(),
             ZoneError::InvalidZone
         );
+    }
+
+    #[test]
+    fn telemetry_publishes_scrub_ledger_and_zone_wear() {
+        use mrm_telemetry::SimTelemetry;
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, MIB, SimDuration::from_hours(1))
+            .unwrap();
+        let scrubbed = c
+            .scrub_zone(SimTime::ZERO, z, SimDuration::from_hours(1))
+            .unwrap();
+        assert_eq!(c.scrub_ops(), 1);
+        assert_eq!(c.scrub_bytes(), scrubbed);
+        let mut t = SimTelemetry::new(SimDuration::from_secs(1));
+        c.emit_telemetry(&mut t);
+        c.emit_telemetry(&mut t); // idempotent republish
+        let r = t.registry();
+        assert_eq!(r.counter_value("mrm_scrub_ops"), Some(1));
+        assert_eq!(r.counter_value("mrm_scrub_bytes"), Some(scrubbed));
+        assert_eq!(r.gauge_value("mrm_zones_open"), Some(1.0));
+        assert_eq!(r.gauge_value("mrm_zones_empty"), Some(15.0));
+        assert_eq!(r.gauge_value("mrm_zone_cycles_max"), Some(1.0));
+        c.emit_wear_histogram(&mut t);
+        let h = t.registry().histogram_by_name("zone_write_cycles").unwrap();
+        assert_eq!(h.count(), c.zone_count() as u64);
     }
 
     #[test]

@@ -112,6 +112,19 @@ impl StreamingStats {
         self.max.unwrap_or(f64::NEG_INFINITY)
     }
 
+    /// The accumulator's headline figures as one serializable struct, so
+    /// telemetry snapshots and bench binaries don't hand-roll per-field
+    /// extraction.
+    pub fn summary(&self) -> StatsSummary {
+        StatsSummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min,
+            max: self.max,
+            std_dev: self.std_dev(),
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &StreamingStats) {
         if other.count == 0 {
@@ -132,6 +145,25 @@ impl StreamingStats {
         self.min = Some(self.min().min(other.min()));
         self.max = Some(self.max().max(other.max()));
     }
+}
+
+/// The headline figures of a [`StreamingStats`] accumulator, shaped for
+/// serialization (see [`StreamingStats::summary`]).
+///
+/// `min`/`max` are `None` when no observation was recorded, mirroring the
+/// accumulator's JSON-safe representation of emptiness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean (0 if empty).
+    pub mean: f64,
+    /// Smallest observation (`None` if empty).
+    pub min: Option<f64>,
+    /// Largest observation (`None` if empty).
+    pub max: Option<f64>,
+    /// Sample standard deviation (0 if fewer than two observations).
+    pub std_dev: f64,
 }
 
 /// A log-scale histogram for positive values spanning many decades.
@@ -241,6 +273,12 @@ impl LogHistogram {
             }
         }
         self.stats.max()
+    }
+
+    /// Summary of the recorded values (count/mean/min/max/stddev), see
+    /// [`StreamingStats::summary`].
+    pub fn summary(&self) -> StatsSummary {
+        self.stats.summary()
     }
 
     /// Merges another histogram with identical bucketing.
@@ -524,6 +562,36 @@ mod tests {
         let back: LogHistogram = serde_json::from_str(&json).unwrap();
         assert_eq!(back.count(), 0);
         assert_eq!(back.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_round_trips_and_matches_accessors() {
+        let mut s = StreamingStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 4);
+        assert_eq!(sum.min, Some(1.0));
+        assert_eq!(sum.max, Some(4.0));
+        assert!((sum.mean - s.mean()).abs() < 1e-12);
+        assert!((sum.std_dev - s.std_dev()).abs() < 1e-12);
+        let back: StatsSummary =
+            serde_json::from_str(&serde_json::to_string(&sum).unwrap()).unwrap();
+        assert_eq!(back, sum);
+        // Empty summaries stay JSON-safe (no non-finite sentinels).
+        let empty = StreamingStats::new().summary();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.min, None);
+        let json = serde_json::to_string(&empty).unwrap();
+        assert!(!json.contains("inf"), "{json}");
+        // A histogram's summary reflects its underlying accumulator.
+        let mut h = LogHistogram::new(8);
+        h.record(10.0);
+        h.record(30.0);
+        assert_eq!(h.summary().count, 2);
+        assert_eq!(h.summary().min, Some(10.0));
+        assert_eq!(h.summary().max, Some(30.0));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub trait TraceRecord {
 /// assert_eq!(t.total_pushed(), 3);
 /// assert_eq!(t.len(), 2);
 /// ```
+#[derive(Clone, Debug)]
 pub struct Trace<R> {
     buf: VecDeque<(SimTime, R)>,
     capacity: usize,
@@ -48,11 +49,9 @@ pub struct Trace<R> {
 impl<R: TraceRecord> Trace<R> {
     /// Creates a trace retaining at most `capacity` records.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// A zero capacity is valid and retains nothing: pushes still count in
+    /// [`Trace::total_pushed`], so a disabled trace keeps its accounting.
     pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity > 0, "trace capacity must be positive");
         Trace {
             buf: VecDeque::with_capacity(capacity),
             capacity,
@@ -60,13 +59,17 @@ impl<R: TraceRecord> Trace<R> {
         }
     }
 
-    /// Appends a record, evicting the oldest when full.
+    /// Appends a record, evicting the oldest when full. With a zero
+    /// capacity the record is dropped but still counted.
     pub fn push(&mut self, at: SimTime, record: R) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
         }
         self.buf.push_back((at, record));
-        self.total += 1;
     }
 
     /// Number of retained records.
@@ -154,8 +157,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_panics() {
-        let _: Trace<Rec> = Trace::with_capacity(0);
+    fn zero_capacity_counts_without_retaining() {
+        // A zero-capacity trace is a valid "counting only" configuration:
+        // pushes must neither panic nor grow the buffer.
+        let mut t: Trace<Rec> = Trace::with_capacity(0);
+        for i in 0..100u64 {
+            t.push(
+                SimTime::from_nanos(i),
+                Rec {
+                    kind: "rd",
+                    bytes: i,
+                },
+            );
+        }
+        assert_eq!(t.total_pushed(), 100);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 1, "header only: {csv}");
     }
 }

@@ -89,6 +89,14 @@ impl<P> Grid<P> {
         }
     }
 
+    /// Pairs every point with its grid index, so jobs can key side outputs
+    /// (e.g. per-point telemetry) by index without threading a counter.
+    pub fn enumerate(self) -> Grid<(usize, P)> {
+        Grid {
+            points: self.points.into_iter().enumerate().collect(),
+        }
+    }
+
     /// Number of points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -232,20 +240,36 @@ pub fn threads_from_args() -> usize {
 }
 
 fn threads_from(args: impl IntoIterator<Item = String>) -> usize {
+    flag_value("--threads", args)
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Reads the value of `--flag VALUE` or `--flag=VALUE` from the process
+/// arguments (`None` when absent). Bench binaries share this for optional
+/// outputs like `--telemetry <path>`.
+pub fn flag_value_from_args(flag: &str) -> Option<String> {
+    flag_value(flag, std::env::args().skip(1))
+}
+
+fn flag_value(flag: &str, args: impl IntoIterator<Item = String>) -> Option<String> {
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
-        let v = if a == "--threads" {
-            args.next()
-        } else {
-            a.strip_prefix("--threads=").map(str::to_string)
-        };
-        if let Some(n) = v.and_then(|v| v.parse::<usize>().ok()) {
-            return n.max(1);
+        if a == flag {
+            return args.next();
+        }
+        if let Some(rest) = a.strip_prefix(flag) {
+            if let Some(v) = rest.strip_prefix('=') {
+                return Some(v.to_string());
+            }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    None
 }
 
 #[cfg(test)]
@@ -343,6 +367,34 @@ mod tests {
         assert_eq!(merged.percentile(50.0), whole.percentile(50.0));
         assert_eq!(merged.percentile(99.0), whole.percentile(99.0));
         assert!(merge_histograms([].into_iter()).is_none());
+    }
+
+    #[test]
+    fn grid_enumerate_keys_by_index() {
+        let g = Grid::axis(["a", "b"]).cross([1, 2]).enumerate();
+        let pts: Vec<_> = g.points().to_vec();
+        assert_eq!(
+            pts,
+            vec![(0, ("a", 1)), (1, ("a", 2)), (2, ("b", 1)), (3, ("b", 2))]
+        );
+    }
+
+    #[test]
+    fn flag_value_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            flag_value("--telemetry", args(&["--telemetry", "/tmp/t.jsonl"])),
+            Some("/tmp/t.jsonl".to_string())
+        );
+        assert_eq!(
+            flag_value("--telemetry", args(&["--threads", "2", "--telemetry=x"])),
+            Some("x".to_string())
+        );
+        assert_eq!(flag_value("--telemetry", args(&["--threads", "2"])), None);
+        // A flag that merely prefixes another name must not match.
+        assert_eq!(flag_value("--tele", args(&["--telemetry=x"])), None);
+        // Trailing flag with no value.
+        assert_eq!(flag_value("--telemetry", args(&["--telemetry"])), None);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Exporters: JSON Lines time series and Prometheus-style text dumps.
+//!
+//! All output is deterministic: snapshots serialize with fixed field order
+//! (see [`Snapshot`]) and metrics render in registration order, so two runs
+//! of the same instrumentation path produce byte-identical exports — the
+//! property the sweep determinism tests assert.
+
+use std::fmt::Write as _;
+
+use serde::{Serialize, Value};
+
+use crate::registry::{MetricsRegistry, Snapshot};
+
+/// Renders snapshots as JSON Lines: one compact object per line.
+pub fn jsonl(snapshots: &[Snapshot]) -> String {
+    let mut out = String::new();
+    for s in snapshots {
+        let _ = writeln!(out, "{}", serde_json::to_string(s).unwrap_or_default());
+    }
+    out
+}
+
+/// Renders snapshots as JSON Lines with `tags` prepended to every line's
+/// object — the way sweep harnesses label each grid point's series (e.g.
+/// `{"experiment": "e9", "point": 3, ...}`).
+pub fn jsonl_tagged(snapshots: &[Snapshot], tags: &[(&str, Value)]) -> String {
+    let mut out = String::new();
+    for s in snapshots {
+        let mut entries: Vec<(String, Value)> = tags
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        match s.to_value() {
+            Value::Object(fields) => entries.extend(fields),
+            other => entries.push(("snapshot".to_string(), other)),
+        }
+        let line = serde_json::to_string(&Value::Object(entries)).unwrap_or_default();
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders the registry's current state in Prometheus text exposition
+/// format: counters and gauges as single samples, histograms as summaries
+/// with `quantile` labels plus `_sum`/`_count` samples.
+pub fn prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, v) in registry.counters() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in registry.gauges() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, h) in registry.histograms() {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (label, p) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0)] {
+            let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.percentile(p));
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.mean() * h.count() as f64);
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+    out
+}
+
+/// Maps a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`,
+/// prefixing a `_` when the name would start with a digit.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    if s.is_empty() {
+        s.push('_');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrm_sim::time::SimTime;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("gc_moves");
+        r.add(c, 7);
+        let g = r.gauge("tier_occupancy");
+        r.set(g, 0.5);
+        let h = r.histogram("latency_ms");
+        for x in 1..=100 {
+            r.observe(h, x as f64);
+        }
+        r
+    }
+
+    #[test]
+    fn jsonl_one_parseable_line_per_snapshot() {
+        let r = sample_registry();
+        let snaps = vec![
+            r.snapshot(SimTime::from_secs(1)),
+            r.snapshot(SimTime::from_secs(2)),
+        ];
+        let text = jsonl(&snaps);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert!(matches!(v.field("sim_time_ns"), Value::U64(_)));
+        }
+    }
+
+    #[test]
+    fn jsonl_tagged_prepends_tags() {
+        let r = sample_registry();
+        let snaps = vec![r.snapshot(SimTime::from_secs(1))];
+        let text = jsonl_tagged(
+            &snaps,
+            &[
+                ("experiment", Value::Str("e9".to_string())),
+                ("point", Value::U64(3)),
+            ],
+        );
+        let v: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(v.field("experiment").as_str().unwrap(), "e9");
+        assert_eq!(v.field("point"), &Value::U64(3));
+        assert!(matches!(v.field("sim_time_ns"), Value::U64(_)));
+        assert!(
+            text.starts_with("{\"experiment\":\"e9\",\"point\":3,"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = prometheus(&sample_registry());
+        assert!(
+            text.contains("# TYPE gc_moves counter\ngc_moves 7\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE tier_occupancy gauge\ntier_occupancy 0.5\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE latency_ms summary"), "{text}");
+        assert!(text.contains("latency_ms{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("latency_ms_count 100"), "{text}");
+        assert!(text.contains("latency_ms_sum 5050"), "{text}");
+    }
+
+    #[test]
+    fn sanitize_maps_to_prometheus_charset() {
+        assert_eq!(sanitize("latency.ms/p99"), "latency_ms_p99");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("ok_name:sub"), "ok_name:sub");
+    }
+}

@@ -21,6 +21,7 @@ use mrm_sim::event::EventQueue;
 use mrm_sim::rng::SimRng;
 use mrm_sim::stats::LogHistogram;
 use mrm_sim::time::{SimDuration, SimTime};
+use mrm_telemetry::TelemetrySink;
 use mrm_workload::access::DataClass;
 use mrm_workload::model::{ModelConfig, Quantization};
 use mrm_workload::replay::RequestTrace;
@@ -328,8 +329,28 @@ impl Accel {
     }
 }
 
+/// Gauge names for each [`TierKind`], indexed by [`tier_index`].
+const TIER_GAUGES: [(&str, &str); 3] = [
+    ("tier_hbm_used_bytes", "tier_hbm_occupancy"),
+    ("tier_lpddr_used_bytes", "tier_lpddr_occupancy"),
+    ("tier_mrm_used_bytes", "tier_mrm_occupancy"),
+];
+
+/// Stable slot for a tier kind in [`TIER_GAUGES`]-shaped arrays.
+fn tier_index(kind: TierKind) -> usize {
+    match kind {
+        TierKind::Hbm => 0,
+        TierKind::Lpddr => 1,
+        TierKind::Mrm => 2,
+    }
+}
+
 /// The cluster simulator.
-pub struct ClusterSim {
+///
+/// The lifetime parameter is the borrow of an optionally attached
+/// [`TelemetrySink`] (see [`ClusterSim::attach_telemetry`]); plain
+/// `ClusterSim::new(cfg).run()` callers never see it.
+pub struct ClusterSim<'t> {
     cfg: ClusterConfig,
     accels: Vec<Accel>,
     queue: EventQueue<Ev>,
@@ -349,14 +370,19 @@ pub struct ClusterSim {
     drops: u64,
     evictions: u64,
     redeploys: u64,
+    scrub_bytes: u64,
+    migration_bytes: u64,
     latency_ms: LogHistogram,
     ttft_ms: LogHistogram,
     kv_capacity_bytes: u64,
     iterations: u64,
     batch_sum: u64,
+    // Observability only: never consulted by the simulation logic and
+    // never draws from `rng`, so an attached sink cannot change a report.
+    telemetry: Option<&'t mut dyn TelemetrySink>,
 }
 
-impl ClusterSim {
+impl<'t> ClusterSim<'t> {
     /// Builds the simulator, placing weights in their tier up front.
     ///
     /// # Panics
@@ -461,12 +487,25 @@ impl ClusterSim {
             drops: 0,
             evictions: 0,
             redeploys: 0,
+            scrub_bytes: 0,
+            migration_bytes: 0,
             latency_ms: LogHistogram::new(16),
             ttft_ms: LogHistogram::new(16),
             kv_capacity_bytes: kv_capacity,
             iterations: 0,
             batch_sum: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink for the lifetime of the run. The sink is
+    /// pumped at event-dispatch boundaries, so its snapshots land on exact
+    /// multiples of its interval independent of event timing; it is fed
+    /// only from the simulation's own counters and never touches the RNG
+    /// or the event queue, so the [`ClusterReport`] is bit-identical with
+    /// or without a sink attached.
+    pub fn attach_telemetry(&mut self, sink: &'t mut dyn TelemetrySink) {
+        self.telemetry = Some(sink);
     }
 
     fn kv_bytes_per_token(&self) -> u64 {
@@ -480,6 +519,7 @@ impl ClusterSim {
             if t > end {
                 break;
             }
+            self.pump_telemetry(t.min(end));
             let (now, ev) = self.queue.pop().unwrap();
             match ev {
                 Ev::Arrival => self.on_arrival(now),
@@ -492,6 +532,77 @@ impl ClusterSim {
             }
         }
         self.finish(end)
+    }
+
+    /// Stamps every telemetry snapshot boundary due at or before `now`.
+    /// Boundaries land on exact interval multiples (the sink reports the
+    /// due time), so the exported series does not depend on event timing.
+    fn pump_telemetry(&mut self, now: SimTime) {
+        let Some(sink) = self.telemetry.take() else {
+            return;
+        };
+        while let Some(at) = sink.snapshot_due(now) {
+            self.sample_into(sink);
+            sink.snapshot(at);
+        }
+        self.telemetry = Some(sink);
+    }
+
+    /// Publishes the simulation's current counters and occupancy into a
+    /// sink. Read-only with respect to the simulation state.
+    fn sample_into(&self, sink: &mut dyn TelemetrySink) {
+        sink.count_to("cluster_arrivals", self.arrivals);
+        sink.count_to("cluster_completions", self.completions);
+        sink.count_to("cluster_tokens", self.tokens);
+        sink.count_to("cluster_cache_hits", self.cache_hits);
+        sink.count_to("cluster_recomputes", self.recomputes);
+        sink.count_to("cluster_scrubs", self.scrubs);
+        sink.count_to("cluster_migrations", self.migrations);
+        sink.count_to("cluster_drops", self.drops);
+        sink.count_to("cluster_evictions", self.evictions);
+        sink.count_to("cluster_redeploys", self.redeploys);
+        sink.count_to("cluster_iterations", self.iterations);
+        sink.count_to("cluster_scrub_bytes", self.scrub_bytes);
+        sink.count_to("cluster_migration_bytes", self.migration_bytes);
+
+        let pending: usize = self.accels.iter().map(|a| a.queue.len()).sum();
+        let active: usize = self.accels.iter().map(|a| a.batch.len()).sum();
+        let cached: usize = self.accels.iter().map(|a| a.cached.len()).sum();
+        sink.gauge("cluster_pending_requests", pending as f64);
+        sink.gauge("cluster_active_batch", active as f64);
+        sink.gauge("cluster_cached_contexts", cached as f64);
+
+        // Per-tier occupancy, aggregated across accelerators.
+        let mut used = [0u64; 3];
+        let mut cap = [0u64; 3];
+        {
+            let mut add = |t: &Tier| {
+                let i = tier_index(t.kind());
+                used[i] += t.used_bytes();
+                cap[i] += t.capacity_bytes();
+            };
+            for a in &self.accels {
+                add(&a.hbm);
+                if let Some(alt) = &a.alt {
+                    add(alt);
+                }
+            }
+        }
+        for (i, (used_name, occ_name)) in TIER_GAUGES.iter().enumerate() {
+            if cap[i] > 0 {
+                sink.gauge(used_name, used[i] as f64);
+                sink.gauge(occ_name, used[i] as f64 / cap[i] as f64);
+            }
+        }
+
+        if self.latency_ms.count() > 0 {
+            sink.gauge("latency_p50_ms", self.latency_ms.percentile(50.0));
+            sink.gauge("latency_p99_ms", self.latency_ms.percentile(99.0));
+        }
+        if self.ttft_ms.count() > 0 {
+            sink.gauge("ttft_p50_ms", self.ttft_ms.percentile(50.0));
+            sink.gauge("ttft_p99_ms", self.ttft_ms.percentile(99.0));
+        }
     }
 
     fn on_arrival(&mut self, now: SimTime) {
@@ -702,7 +813,11 @@ impl ClusterSim {
                 if !a.batch[i].first_token_done {
                     a.batch[i].first_token_done = true;
                     let ttft = now.duration_since(a.batch[i].arrival);
-                    self.ttft_ms.record(ttft.as_secs_f64() * 1e3);
+                    let ttft_ms = ttft.as_secs_f64() * 1e3;
+                    self.ttft_ms.record(ttft_ms);
+                    if let Some(sink) = self.telemetry.as_deref_mut() {
+                        sink.observe("ttft_ms", ttft_ms);
+                    }
                 }
                 if a.batch[i].output_remaining == 0 {
                     finished.push(a.batch.swap_remove(i));
@@ -714,7 +829,11 @@ impl ClusterSim {
         for r in finished {
             self.completions += 1;
             let latency = now.duration_since(r.arrival);
-            self.latency_ms.record(latency.as_secs_f64() * 1e3);
+            let latency_ms = latency.as_secs_f64() * 1e3;
+            self.latency_ms.record(latency_ms);
+            if let Some(sink) = self.telemetry.as_deref_mut() {
+                sink.observe("latency_ms", latency_ms);
+            }
             // Cache the context for follow-ups.
             let ctx = self.next_ctx;
             self.next_ctx += 1;
@@ -839,6 +958,10 @@ impl ClusterSim {
                             c.deadline = now.saturating_add(retention);
                         }
                         self.scrubs += 1;
+                        self.scrub_bytes += bytes;
+                        if let Some(sink) = self.telemetry.as_deref_mut() {
+                            sink.event(now, "scrub", bytes as f64);
+                        }
                     }
                     Some(ExpiryAction::Migrate) => {
                         // Rewrite at the 7-day class: one-time cost, long
@@ -855,10 +978,22 @@ impl ClusterSim {
                             c.retention = long;
                         }
                         self.migrations += 1;
+                        self.migration_bytes += bytes;
+                        if let Some(sink) = self.telemetry.as_deref_mut() {
+                            sink.event(now, "migrate", bytes as f64);
+                        }
                     }
                     Some(ExpiryAction::Drop) | None => {
+                        let bytes = self.accels[acc]
+                            .cached
+                            .get(&ctx)
+                            .map(|c| c.kv_bytes)
+                            .unwrap_or(0);
                         self.free_cached(acc, ctx);
                         self.drops += 1;
+                        if let Some(sink) = self.telemetry.as_deref_mut() {
+                            sink.event(now, "drop", bytes as f64);
+                        }
                     }
                 }
             }
@@ -891,6 +1026,9 @@ impl ClusterSim {
     }
 
     fn finish(mut self, end: SimTime) -> ClusterReport {
+        // Close out any snapshot boundaries between the last event and the
+        // end of the simulated window.
+        self.pump_telemetry(end);
         let elapsed = end.duration_since(SimTime::ZERO);
         // Background energy for the whole window on every tier.
         for a in &mut self.accels {
@@ -970,6 +1108,18 @@ pub fn run_cluster(cfg: ClusterConfig) -> ClusterReport {
     ClusterSim::new(cfg).run()
 }
 
+/// [`run_cluster`] with a telemetry sink attached. Produces the exact same
+/// report as [`run_cluster`] on the same config: the sink is observe-only
+/// (see [`ClusterSim::attach_telemetry`]).
+pub fn run_cluster_with_telemetry(
+    cfg: ClusterConfig,
+    sink: &mut dyn TelemetrySink,
+) -> ClusterReport {
+    let mut sim = ClusterSim::new(cfg);
+    sim.attach_telemetry(sink);
+    sim.run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -991,6 +1141,41 @@ mod tests {
             assert!(r.p50_latency_ms > 0.0);
             assert!(r.p99_latency_ms >= r.p50_latency_ms);
         }
+    }
+
+    #[test]
+    fn telemetry_sink_does_not_perturb_report() {
+        let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 2, 8.0);
+        cfg.duration = SimDuration::from_secs(30);
+        let plain = run_cluster(cfg.clone());
+        let mut tele = mrm_telemetry::SimTelemetry::new(SimDuration::from_secs(5));
+        let traced = run_cluster_with_telemetry(cfg, &mut tele);
+
+        // The report must be bit-identical with the sink attached.
+        assert_eq!(plain.tokens, traced.tokens);
+        assert_eq!(plain.completions, traced.completions);
+        assert_eq!(plain.cache_hits, traced.cache_hits);
+        assert_eq!(plain.scrubs, traced.scrubs);
+        assert_eq!(plain.migrations, traced.migrations);
+        assert_eq!(plain.evictions, traced.evictions);
+        assert_eq!(plain.energy_total_j, traced.energy_total_j);
+        assert_eq!(plain.p99_latency_ms, traced.p99_latency_ms);
+
+        // 30 s pumped at 5 s → exactly 6 boundary-stamped snapshots.
+        let snaps = tele.snapshots();
+        assert_eq!(snaps.len(), 6);
+        for (k, s) in snaps.iter().enumerate() {
+            assert_eq!(s.sim_time_ns, (k as u64 + 1) * 5_000_000_000);
+        }
+        let reg = tele.registry();
+        assert_eq!(reg.counter_value("cluster_tokens"), Some(traced.tokens));
+        assert_eq!(reg.counter_value("cluster_scrubs"), Some(traced.scrubs));
+        // Under HbmMrm the weights and KV live in MRM; HBM only streams
+        // activations, so its occupancy gauge exists but may read zero.
+        assert!(reg.gauge_value("tier_hbm_occupancy").is_some());
+        assert!(reg.gauge_value("tier_mrm_occupancy").unwrap() > 0.0);
+        let lat = reg.histogram_by_name("latency_ms").expect("latency hist");
+        assert_eq!(lat.count(), traced.completions);
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod refresh;
 pub mod tier;
 pub mod wear;
 
-pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, MemorySystemKind};
+pub use cluster::{
+    run_cluster, run_cluster_with_telemetry, ClusterConfig, ClusterReport, ClusterSim,
+    MemorySystemKind,
+};
 pub use lifetime::LifetimeEstimator;
 pub use placement::PlacementPolicy;
 pub use refresh::{ExpiryAction, ExpiryTracker};

@@ -10,6 +10,7 @@ use mrm_controller::mrm_block::{MrmBlockController, ZoneId};
 use mrm_device::device::MemoryDevice;
 use mrm_device::tech::Technology;
 use mrm_sim::time::{SimDuration, SimTime};
+use mrm_telemetry::{NullSink, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 /// Zone-allocation policy for the wear experiment.
@@ -68,6 +69,36 @@ pub fn simulate_wear(
     window: SimDuration,
     policy: WearPolicy,
 ) -> WearReport {
+    simulate_wear_with_telemetry(
+        tech,
+        zone_bytes,
+        stream_bytes,
+        write_bytes_per_s,
+        window,
+        policy,
+        &mut NullSink,
+    )
+}
+
+/// [`simulate_wear`] with a telemetry sink attached. Each churn step counts
+/// the bytes written; at every due snapshot boundary the current peak/mean
+/// zone write-cycle counts are published as gauges; the final per-zone wear
+/// distribution goes into the `zone_write_cycles` histogram. The simulation
+/// draws no randomness, so attaching a sink cannot change the report.
+///
+/// # Panics
+///
+/// Panics if the configuration cannot fit two streams in the device.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_wear_with_telemetry(
+    tech: Technology,
+    zone_bytes: u64,
+    stream_bytes: u64,
+    write_bytes_per_s: f64,
+    window: SimDuration,
+    policy: WearPolicy,
+    sink: &mut dyn TelemetrySink,
+) -> WearReport {
     let endurance = tech.endurance;
     let capacity = tech.capacity_bytes;
     let zones_per_stream = stream_bytes.div_ceil(zone_bytes).max(1);
@@ -109,15 +140,21 @@ pub fn simulate_wear(
         live.push_back(zones);
         bytes_written += stream_bytes;
         now += step;
+        sink.count("wear_bytes_written", stream_bytes);
+        while let Some(at) = sink.snapshot_due(now) {
+            let (max_c, mean_c) = zone_cycle_stats(&ctrl);
+            sink.gauge("wear_max_zone_cycles", max_c as f64);
+            sink.gauge("wear_mean_zone_cycles", mean_c);
+            sink.snapshot(at);
+        }
     }
 
-    let mut max_cycles = 0u64;
-    let mut total_cycles = 0u64;
-    let n = ctrl.zone_count();
-    for i in 0..n {
-        let c = ctrl.write_cycles(ZoneId(i as u32)).unwrap();
-        max_cycles = max_cycles.max(c);
-        total_cycles += c;
+    let (max_cycles, mean_cycles) = zone_cycle_stats(&ctrl);
+    if sink.enabled() {
+        for i in 0..ctrl.zone_count() {
+            let c = ctrl.write_cycles(ZoneId(i as u32)).unwrap();
+            sink.observe("zone_write_cycles", c as f64);
+        }
     }
     let elapsed_s = window.as_secs_f64();
     let hottest_cycles_per_s = max_cycles as f64 / elapsed_s;
@@ -131,9 +168,22 @@ pub fn simulate_wear(
         policy,
         bytes_written,
         max_zone_cycles: max_cycles,
-        mean_zone_cycles: total_cycles as f64 / n as f64,
+        mean_zone_cycles: mean_cycles,
         projected_lifetime_years,
     }
+}
+
+/// Peak and mean per-zone write-cycle counts across the whole device.
+fn zone_cycle_stats(ctrl: &MrmBlockController) -> (u64, f64) {
+    let n = ctrl.zone_count();
+    let mut max_cycles = 0u64;
+    let mut total_cycles = 0u64;
+    for i in 0..n {
+        let c = ctrl.write_cycles(ZoneId(i as u32)).unwrap();
+        max_cycles = max_cycles.max(c);
+        total_cycles += c;
+    }
+    (max_cycles, total_cycles as f64 / n.max(1) as f64)
 }
 
 #[cfg(test)]
@@ -189,6 +239,39 @@ mod tests {
             r.max_zone_cycles,
             r.mean_zone_cycles
         );
+    }
+
+    #[test]
+    fn telemetry_does_not_change_report() {
+        let base = run(WearPolicy::LeastWorn);
+        let mut tele = mrm_telemetry::SimTelemetry::new(SimDuration::from_secs(60));
+        let traced = simulate_wear_with_telemetry(
+            small_mrm(),
+            4 * MIB,
+            16 * MIB,
+            64.0 * MIB as f64,
+            SimDuration::from_secs(600),
+            WearPolicy::LeastWorn,
+            &mut tele,
+        );
+        assert_eq!(base.bytes_written, traced.bytes_written);
+        assert_eq!(base.max_zone_cycles, traced.max_zone_cycles);
+        assert_eq!(base.mean_zone_cycles, traced.mean_zone_cycles);
+        assert_eq!(
+            base.projected_lifetime_years,
+            traced.projected_lifetime_years
+        );
+        // 600 s window pumped at 60 s → boundaries 60..=600.
+        assert_eq!(tele.snapshots().len(), 10);
+        assert_eq!(
+            tele.registry().counter_value("wear_bytes_written"),
+            Some(traced.bytes_written)
+        );
+        let wear = tele
+            .registry()
+            .histogram_by_name("zone_write_cycles")
+            .expect("wear histogram");
+        assert!(wear.count() > 0);
     }
 
     #[test]

@@ -12,5 +12,6 @@ pub use mrm_device as device;
 pub use mrm_ecc as ecc;
 pub use mrm_sim as sim;
 pub use mrm_sweep as sweep;
+pub use mrm_telemetry as telemetry;
 pub use mrm_tiering as tiering;
 pub use mrm_workload as workload;
