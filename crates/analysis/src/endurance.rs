@@ -74,7 +74,7 @@ pub fn paper_requirements() -> EnduranceRequirements {
     let lifetime = SimDuration::from_years(5);
     let model = ModelConfig::llama2_70b();
     let (stack, n) = presets::b200_hbm_system();
-    let capacity = stack.capacity_bytes * n as u64;
+    let capacity = stack.capacity_bytes * u64::from(n);
     let kv = kv_cache_requirement(
         &model,
         Quantization::Fp16,
@@ -176,7 +176,7 @@ mod tests {
             "kv requirement {}",
             req.kv_cache
         );
-        assert_eq!(req.kv_cache_headroom, req.kv_cache * 10.0);
+        assert!((req.kv_cache_headroom - req.kv_cache * 10.0).abs() < 1e-9 * req.kv_cache);
     }
 
     #[test]

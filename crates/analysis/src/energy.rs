@@ -48,10 +48,10 @@ pub fn accelerator_energy(
     bw_utilization: f64,
     board_w: f64,
 ) -> AcceleratorEnergy {
-    let bw = stack.read_bw * stacks as f64 * bw_utilization.clamp(0.0, 1.0);
+    let bw = stack.read_bw * f64::from(stacks) * bw_utilization.clamp(0.0, 1.0);
     let memory_io_w = bw * 8.0 * stack.read_energy_pj_bit * 1e-12 * HOST_SIDE_OVERHEAD;
-    let refresh_w = stack.refresh_power_w() * stacks as f64;
-    let idle_w = stack.idle_power_w() * stacks as f64;
+    let refresh_w = stack.refresh_power_w() * f64::from(stacks);
+    let idle_w = stack.idle_power_w() * f64::from(stacks);
     let mem = memory_io_w + refresh_w + idle_w;
     AcceleratorEnergy {
         board_w,
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn refresh_burns_even_at_zero_utilization() {
         let idle = accelerator_energy(&presets::hbm3e(), 8, 0.0, 1000.0);
-        assert_eq!(idle.memory_io_w, 0.0);
+        assert!(idle.memory_io_w.abs() < f64::EPSILON);
         assert!(idle.refresh_w > 1.0, "idle refresh {} W", idle.refresh_w);
         assert!(idle.memory_fraction > 0.0);
     }
@@ -191,9 +191,9 @@ mod tests {
         let rows = paper_housekeeping();
         let matched = rows.iter().find(|r| r.tech.contains("12h")).unwrap();
         assert_eq!(matched.events, 0);
-        assert_eq!(matched.housekeeping_j, 0.0);
+        assert!(matched.housekeeping_j.abs() < f64::EPSILON);
         let days = rows.iter().find(|r| r.tech.contains("7d")).unwrap();
-        assert_eq!(days.housekeeping_j, 0.0);
+        assert!(days.housekeeping_j.abs() < f64::EPSILON);
     }
 
     #[test]
@@ -244,6 +244,6 @@ mod tests {
         };
         assert!(g("HBM3e") > g("SLC"));
         assert!(g("SLC") > g("12h"));
-        assert_eq!(g("12h"), 0.0);
+        assert!(g("12h").abs() < f64::EPSILON);
     }
 }

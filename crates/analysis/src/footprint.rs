@@ -42,7 +42,7 @@ pub fn footprint_table() -> Vec<FootprintRow> {
                 weights_bytes: model.weights_bytes(q),
                 kv_per_token_bytes: model.kv_bytes_per_token(q),
                 kv_at_2k_bytes: model.kv_cache_bytes(2048, q),
-                kv_at_max_bytes: model.kv_cache_bytes(model.max_context as u64, q),
+                kv_at_max_bytes: model.kv_cache_bytes(u64::from(model.max_context), q),
                 activation_bytes: model.activation_bytes(32, q),
             });
         }

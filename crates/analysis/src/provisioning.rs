@@ -73,9 +73,9 @@ pub fn hbm_scorecard(stack: &Technology, stacks: u32, model: &ModelConfig) -> Ve
     let batch = 32u32;
     let cost = engine.batch_cost(&vec![2048u32; batch as usize]);
 
-    let read_bw = stack.read_bw * stacks as f64;
-    let write_bw = stack.write_bw * stacks as f64;
-    let capacity = stack.capacity_bytes * stacks as u64;
+    let read_bw = stack.read_bw * f64::from(stacks);
+    let write_bw = stack.write_bw * f64::from(stacks);
+    let capacity = stack.capacity_bytes * u64::from(stacks);
 
     // Iteration time if fully memory bound: reads / read bandwidth.
     let reads = (cost.weights_read + cost.kv_read + cost.activation_rw) as f64;

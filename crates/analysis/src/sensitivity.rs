@@ -170,7 +170,7 @@ mod tests {
         let rows = tornado(&[0.1, 10.0]);
         let get = |input: &str, f: f64| {
             rows.iter()
-                .find(|r| r.input == input && r.factor == f)
+                .find(|r| r.input == input && (r.factor - f).abs() < 1e-12)
                 .unwrap()
                 .kv_requirement
         };

@@ -83,29 +83,29 @@ pub fn system_row(kind: SystemKind) -> SystemRow {
 
     let hbm_unit = |n: u32| {
         (
-            hbm.capacity_bytes * n as u64,
-            hbm.read_bw * n as f64,
+            hbm.capacity_bytes * u64::from(n),
+            hbm.read_bw * f64::from(n),
             hbm.read_energy_pj_bit,
-            hbm.refresh_power_w() * n as f64,
-            hbm.capacity_bytes as f64 * n as f64 / 1e9 * hbm.cost_per_gb_rel,
+            hbm.refresh_power_w() * f64::from(n),
+            hbm.capacity_bytes as f64 * f64::from(n) / 1e9 * hbm.cost_per_gb_rel,
         )
     };
     let lpddr_unit = |n: u32| {
         (
-            lpddr.capacity_bytes * n as u64,
-            lpddr.read_bw * n as f64,
+            lpddr.capacity_bytes * u64::from(n),
+            lpddr.read_bw * f64::from(n),
             lpddr.read_energy_pj_bit,
-            lpddr.refresh_power_w() * n as f64,
-            lpddr.capacity_bytes as f64 * n as f64 / 1e9 * lpddr.cost_per_gb_rel,
+            lpddr.refresh_power_w() * f64::from(n),
+            lpddr.capacity_bytes as f64 * f64::from(n) / 1e9 * lpddr.cost_per_gb_rel,
         )
     };
     let mrm_unit = |n: u32| {
         (
-            mrm.capacity_bytes * n as u64,
-            mrm.read_bw * n as f64,
+            mrm.capacity_bytes * u64::from(n),
+            mrm.read_bw * f64::from(n),
             mrm.read_energy_pj_bit,
             0.0,
-            mrm.capacity_bytes as f64 * n as f64 / 1e9 * mrm.cost_per_gb_rel,
+            mrm.capacity_bytes as f64 * f64::from(n) / 1e9 * mrm.cost_per_gb_rel,
         )
     };
 

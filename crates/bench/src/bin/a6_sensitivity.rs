@@ -44,7 +44,7 @@ fn main() {
             .map(|&f| {
                 let r = rows
                     .iter()
-                    .find(|r| r.input == input && r.factor == f)
+                    .find(|r| r.input == input && (r.factor - f).abs() < 1e-12)
                     .unwrap();
                 format_sci(r.kv_requirement)
             })

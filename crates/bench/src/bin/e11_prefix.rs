@@ -43,9 +43,9 @@ fn main() {
         // user turn unique ones.
         let mut chunks: Vec<u64> = (0..8).map(|c| system.wrapping_mul(1000) + c).collect();
         let user_chunks = user_tokens.div_ceil(chunk_tokens);
-        chunks.extend((0..user_chunks as u64).map(|c| 0x55AA_0000_0000 + i as u64 * 1000 + c));
+        chunks.extend((0..u64::from(user_chunks)).map(|c| 0x55AA_0000_0000 + i as u64 * 1000 + c));
         let ins = pc.insert(&chunks, total);
-        baseline_tokens += total as u64;
+        baseline_tokens += u64::from(total);
         live_paths.push(ins.path);
         // Contexts retire after a while: release in FIFO waves.
         if live_paths.len() > 512 {

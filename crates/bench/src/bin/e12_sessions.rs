@@ -58,7 +58,7 @@ fn main() {
                         recompute_bytes += context * kvpt;
                     }
                 }
-                context += turn.prompt_tokens as u64 + turn.output_tokens as u64;
+                context += u64::from(turn.prompt_tokens) + u64::from(turn.output_tokens);
             }
             if all {
                 covered_sessions += 1;

@@ -81,13 +81,13 @@ fn main() {
             &h.name,
             &h.layers.to_string(),
             &format_bytes(h.capacity_bytes),
-            &format!("{:.2}", h.capacity_bytes as f64 / h.layers as f64 / 1e9),
+            &format!("{:.2}", h.capacity_bytes as f64 / f64::from(h.layers) / 1e9),
             &format!("{:.1} TB/s", h.read_bw / 1e12),
         ]);
     }
     print!("{}", t.render());
-    let gain = (h4.capacity_bytes as f64 / h4.layers as f64)
-        / (h3.capacity_bytes as f64 / h3.layers as f64);
+    let gain = (h4.capacity_bytes as f64 / f64::from(h4.layers))
+        / (h3.capacity_bytes as f64 / f64::from(h3.layers));
     println!("per-layer capacity gain: {:.0}% (paper: \"only expected to increase capacity per layer by 30%\")", (gain - 1.0) * 100.0);
 
     save_json("t3_hbm", &(nominal, rows));

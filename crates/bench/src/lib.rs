@@ -108,7 +108,7 @@ pub fn log_bar(value: f64, min_decade: i32, max_decade: i32) -> String {
         return String::new();
     }
     let decades = value.log10();
-    let filled = ((decades - min_decade as f64).max(0.0)).round() as usize;
+    let filled = ((decades - f64::from(min_decade)).max(0.0)).round() as usize;
     let width = (max_decade - min_decade).max(1) as usize;
     let filled = filled.min(width);
     format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))

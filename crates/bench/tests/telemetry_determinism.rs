@@ -66,8 +66,15 @@ fn telemetry_sink_leaves_report_unchanged() {
     assert_eq!(plain.completions, traced.completions);
     assert_eq!(plain.cache_hits, traced.cache_hits);
     assert_eq!(plain.scrubs, traced.scrubs);
-    assert_eq!(plain.energy_total_j, traced.energy_total_j);
-    assert_eq!(plain.p99_latency_ms, traced.p99_latency_ms);
+    // Telemetry must be a pure observer: bit-identical results.
+    assert_eq!(
+        plain.energy_total_j.to_bits(),
+        traced.energy_total_j.to_bits()
+    );
+    assert_eq!(
+        plain.p99_latency_ms.to_bits(),
+        traced.p99_latency_ms.to_bits()
+    );
     assert!(!tele.snapshots().is_empty());
 }
 

@@ -158,7 +158,7 @@ impl DramController {
     fn service(&mut self, now: SimTime, addr: u64, len: u64) -> SimTime {
         assert!(len > 0, "zero-length access");
         self.catch_up_refresh(now);
-        let row_bytes = self.geometry.row_bytes as u64;
+        let row_bytes = u64::from(self.geometry.row_bytes);
         let mut done = now;
         let mut offset = 0u64;
         while offset < len {

@@ -61,7 +61,7 @@ impl FtlConfig {
 
     /// Logical pages exported to the host.
     pub fn logical_pages(&self) -> u64 {
-        let physical = self.blocks as u64 * self.pages_per_block as u64;
+        let physical = u64::from(self.blocks) * u64::from(self.pages_per_block);
         (physical as f64 * self.logical_fraction) as u64
     }
 }
@@ -288,10 +288,10 @@ impl Ftl {
                 continue; // nothing to reclaim
             }
             let score = match self.cfg.wear_leveling {
-                WearLeveling::None => b.valid as f64,
+                WearLeveling::None => f64::from(b.valid),
                 // Penalize hot blocks: effective score grows with wear.
                 WearLeveling::Dynamic | WearLeveling::Static { .. } => {
-                    b.valid as f64 + (b.erase_count as f64 - max_erase as f64).abs() * 0.5
+                    f64::from(b.valid) + (b.erase_count as f64 - max_erase as f64).abs() * 0.5
                 }
             };
             if best.is_none_or(|(s, _)| score < s) {
@@ -597,7 +597,7 @@ mod tests {
         assert!((wa - f.stats().write_amplification()).abs() < 1e-12);
         f.emit_wear_histogram(&mut t);
         let h = t.registry().histogram_by_name("ftl_erase_cycles").unwrap();
-        assert_eq!(h.count(), f.config().blocks as u64);
+        assert_eq!(h.count(), u64::from(f.config().blocks));
     }
 
     #[test]

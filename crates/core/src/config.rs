@@ -144,7 +144,7 @@ mod tests {
         assert_eq!(d.tech.retention, mrm_sim::time::SimDuration::from_days(7));
         let fixed = MrmConfig::hours_class(GIB).without_dcm();
         assert!(!fixed.dcm);
-        let z = MrmConfig::hours_class(GIB).with_zone_bytes(1 << 20);
-        assert_eq!(z.zone_bytes, 1 << 20);
+        let z = MrmConfig::hours_class(GIB).with_zone_bytes(MIB);
+        assert_eq!(z.zone_bytes, MIB);
     }
 }

@@ -213,14 +213,24 @@ impl MrmDevice {
             };
             if tail_room == 0 {
                 let z = self.ctrl.open_zone_least_worn().map_err(MrmError::from)?;
-                self.streams.get_mut(&id).unwrap().zones.push(z);
+                self.streams
+                    .get_mut(&id)
+                    .expect("stream id validated at entry to append")
+                    .zones
+                    .push(z);
                 continue;
             }
             let chunk = remaining.min(tail_room);
-            let z = *self.streams[&id].zones.last().unwrap();
+            let z = *self.streams[&id]
+                .zones
+                .last()
+                .expect("tail_room > 0 implies the stream has an open tail zone");
             let res = self.ctrl.append(now, z, chunk, retention)?;
             service += res.service_time;
-            self.streams.get_mut(&id).unwrap().len += chunk;
+            self.streams
+                .get_mut(&id)
+                .expect("stream id validated at entry to append")
+                .len += chunk;
             remaining -= chunk;
         }
         Ok(AppendReceipt {
@@ -500,7 +510,10 @@ mod tests {
         let st = d.stats();
         assert_eq!(st.live_bytes, 2 * MIB);
         assert!(st.energy.write_j > 0.0);
-        assert_eq!(st.energy.housekeeping_j, 0.0, "no device-side housekeeping");
+        assert!(
+            st.energy.housekeeping_j.abs() < f64::EPSILON,
+            "no device-side housekeeping"
+        );
         assert_eq!(st.capacity_bytes, GIB);
     }
 

@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn occupancy() {
         let mut p = pool();
-        assert_eq!(p.occupancy(), 0.0);
+        assert!(p.occupancy().abs() < f64::EPSILON);
         let _ = p.alloc(32 * MIB).unwrap();
         assert!((p.occupancy() - 0.5).abs() < 1e-9);
     }
@@ -337,6 +337,7 @@ mod tests {
 mod proptests {
     use super::*;
     use mrm_device::tech::presets;
+    use mrm_sim::units::MIB;
     use proptest::prelude::*;
 
     proptest! {
@@ -347,7 +348,7 @@ mod proptests {
             ops in proptest::collection::vec((1u64..512, prop::bool::ANY), 1..200)
         ) {
             let mut tech = presets::mrm_hours();
-            tech.capacity_bytes = 1 << 20;
+            tech.capacity_bytes = MIB;
             let mut p = Pool::new(mrm_device::device::MemoryDevice::new(tech));
             let mut live: Vec<Allocation> = Vec::new();
             for (size, do_free) in ops {

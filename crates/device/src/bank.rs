@@ -151,7 +151,7 @@ impl Bank {
         }
         self.open_row = Some(row);
         let data_at = cmd_done + t.t_cas;
-        let transfer = t.t_burst.saturating_mul(bursts.max(1) as u64);
+        let transfer = t.t_burst.saturating_mul(u64::from(bursts.max(1)));
         let bank_free_at = data_at + transfer;
         self.ready_at = bank_free_at;
         AccessResult {

@@ -373,7 +373,7 @@ mod tests {
     fn endurance_respects_ceiling() {
         let t = rram_tradeoff();
         let extreme = t.at(SimDuration::from_micros(1));
-        assert_eq!(extreme.endurance, t.endurance_ceiling);
+        assert_eq!(extreme.endurance.to_bits(), t.endurance_ceiling.to_bits());
     }
 
     #[test]
@@ -396,17 +396,26 @@ mod tests {
         };
         let p = t.at(SimDuration::from_days(7));
         assert_eq!(p.retention, SimDuration::from_millis(64));
-        assert_eq!(p.write_energy_pj_bit, 4.0);
-        assert_eq!(p.endurance, 1e16);
+        // Clamped exactly at the ceiling, so bit equality holds.
+        assert_eq!(p.write_energy_pj_bit.to_bits(), 4.0f64.to_bits());
+        assert_eq!(p.endurance.to_bits(), 1e16f64.to_bits());
     }
 
     #[test]
     fn anchor_point_is_identity() {
         let t = stt_tradeoff();
         let p = t.at(SimDuration::from_years(10));
-        assert_eq!(p.write_energy_pj_bit, t.ref_write_energy_pj_bit);
-        assert_eq!(p.write_latency_ns, t.ref_write_latency_ns);
-        assert_eq!(p.endurance, t.ref_endurance);
+        // At the anchor the scaling exponent is zero, so the reference
+        // values come back bit-identical.
+        assert_eq!(
+            p.write_energy_pj_bit.to_bits(),
+            t.ref_write_energy_pj_bit.to_bits()
+        );
+        assert_eq!(
+            p.write_latency_ns.to_bits(),
+            t.ref_write_latency_ns.to_bits()
+        );
+        assert_eq!(p.endurance.to_bits(), t.ref_endurance.to_bits());
     }
 
     #[test]
@@ -456,7 +465,7 @@ mod tests {
     #[test]
     fn wear_state_progression() {
         let mut w = WearState::new();
-        assert_eq!(w.wear_fraction(1e6), 0.0);
+        assert!(w.wear_fraction(1e6).abs() < f64::EPSILON);
         assert!(!w.is_worn_out(1e6));
         w.record_writes(500_000);
         assert!((w.wear_fraction(1e6) - 0.5).abs() < 1e-12);

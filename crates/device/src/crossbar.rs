@@ -67,12 +67,12 @@ impl CrossbarModel {
     /// Read margin for an `n × n` array: selector nonlinearity over the
     /// sneak-path count.
     pub fn read_margin(&self, n: u32) -> f64 {
-        self.selector_nonlinearity / n.max(1) as f64
+        self.selector_nonlinearity / f64::from(n.max(1))
     }
 
     /// Energy multiplier on reads from sneak leakage: `1 + n/K`.
     pub fn sneak_energy_factor(&self, n: u32) -> f64 {
-        1.0 + n as f64 / self.selector_nonlinearity
+        1.0 + f64::from(n) / self.selector_nonlinearity
     }
 
     /// Worst-corner IR drop fraction for an `n × n` array: to first order
@@ -80,13 +80,13 @@ impl CrossbarModel {
     /// `n · r_wire · I / V = n · r_wire / R_lrs` over its length (row and
     /// column each contribute half at the worst corner).
     pub fn ir_drop_fraction(&self, n: u32) -> f64 {
-        n as f64 * self.wire_ohm_per_cell / self.cell_lrs_ohm
+        f64::from(n) * self.wire_ohm_per_cell / self.cell_lrs_ohm
     }
 
     /// Array-level area efficiency: cell area over cell + periphery area.
     /// Grows with `n` (periphery is per-line, cells are per-line²).
     pub fn area_efficiency(&self, n: u32) -> f64 {
-        let n = n as f64;
+        let n = f64::from(n);
         let cells = n * n;
         let periphery = 2.0 * n * self.periphery_cells_per_line;
         cells / (cells + periphery)
@@ -189,10 +189,12 @@ mod tests {
     fn sweep_is_consistent_with_predicates() {
         let m = CrossbarModel::rram_with_selector();
         for (n, margin, sneak, ir, eff, feasible) in m.sweep(1 << 14) {
-            assert_eq!(margin, m.read_margin(n));
-            assert_eq!(sneak, m.sneak_energy_factor(n));
-            assert_eq!(ir, m.ir_drop_fraction(n));
-            assert_eq!(eff, m.area_efficiency(n));
+            // The sweep re-evaluates the same pure functions, so the
+            // tuples are bit-identical.
+            assert_eq!(margin.to_bits(), m.read_margin(n).to_bits());
+            assert_eq!(sneak.to_bits(), m.sneak_energy_factor(n).to_bits());
+            assert_eq!(ir.to_bits(), m.ir_drop_fraction(n).to_bits());
+            assert_eq!(eff.to_bits(), m.area_efficiency(n).to_bits());
             assert_eq!(feasible, m.feasible(n));
         }
     }

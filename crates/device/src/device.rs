@@ -121,7 +121,7 @@ impl MemoryDevice {
             TechFamily::Dram | TechFamily::Lpddr => DeviceGeometry::dimm_like(tech.capacity_bytes),
             _ => DeviceGeometry::block_like(
                 tech.capacity_bytes,
-                tech.access_unit_bytes.max(512).min(u32::MAX as u64) as u32,
+                tech.access_unit_bytes.max(512).min(u64::from(u32::MAX)) as u32,
             ),
         };
         let capacity = tech.capacity_bytes;
@@ -426,7 +426,7 @@ mod tests {
             .read(now() + SimDuration::from_days(30), 0, MIB)
             .unwrap();
         assert!(!r.expired);
-        assert_eq!(r.rber, 0.0);
+        assert!(r.rber.abs() < f64::EPSILON);
     }
 
     #[test]
@@ -479,7 +479,7 @@ mod tests {
         assert!(bytes >= MIB);
         let after = dev.energy();
         assert!(after.housekeeping_j > before.housekeeping_j);
-        assert_eq!(after.write_j, before.write_j);
+        assert_eq!(after.write_j.to_bits(), before.write_j.to_bits());
         // Refreshed data no longer expires at the original deadline.
         let r = dev
             .read(now() + SimDuration::from_hours(13), 0, MIB)
@@ -495,7 +495,7 @@ mod tests {
 
         let mut mrm = MemoryDevice::new(presets::mrm_hours());
         mrm.background_refresh_pass();
-        assert_eq!(mrm.energy().housekeeping_j, 0.0);
+        assert!(mrm.energy().housekeeping_j.abs() < f64::EPSILON);
     }
 
     #[test]
@@ -505,7 +505,7 @@ mod tests {
         let first = dev.energy().idle_j;
         assert!(first > 0.0);
         dev.elapse_idle(SimTime::from_secs(10)); // same instant: no double count
-        assert_eq!(dev.energy().idle_j, first);
+        assert_eq!(dev.energy().idle_j.to_bits(), first.to_bits());
         dev.elapse_idle(SimTime::from_secs(20));
         assert!((dev.energy().idle_j - 2.0 * first).abs() < 1e-9);
     }

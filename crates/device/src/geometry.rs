@@ -59,10 +59,10 @@ impl DeviceGeometry {
     /// rows per bank.
     pub fn fit(capacity_bytes: u64, channels: u32, banks_per_channel: u32, row_bytes: u32) -> Self {
         assert!(channels > 0 && banks_per_channel > 0 && row_bytes > 0);
-        let banks_total = channels as u64 * banks_per_channel as u64;
+        let banks_total = u64::from(channels) * u64::from(banks_per_channel);
         let per_bank = capacity_bytes.div_ceil(banks_total);
-        let rows = per_bank.div_ceil(row_bytes as u64);
-        assert!(rows <= u32::MAX as u64, "too many rows per bank");
+        let rows = per_bank.div_ceil(u64::from(row_bytes));
+        assert!(rows <= u64::from(u32::MAX), "too many rows per bank");
         DeviceGeometry {
             channels,
             banks_per_channel,
@@ -73,10 +73,10 @@ impl DeviceGeometry {
 
     /// Total addressable capacity, bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        self.channels as u64
-            * self.banks_per_channel as u64
-            * self.rows_per_bank as u64
-            * self.row_bytes as u64
+        u64::from(self.channels)
+            * u64::from(self.banks_per_channel)
+            * u64::from(self.rows_per_bank)
+            * u64::from(self.row_bytes)
     }
 
     /// Total number of banks across all channels.
@@ -86,7 +86,7 @@ impl DeviceGeometry {
 
     /// Total number of rows across the device.
     pub fn total_rows(&self) -> u64 {
-        self.total_banks() as u64 * self.rows_per_bank as u64
+        u64::from(self.total_banks()) * u64::from(self.rows_per_bank)
     }
 
     /// Decodes a byte address. Layout interleaves consecutive rows across
@@ -99,12 +99,12 @@ impl DeviceGeometry {
     /// Panics if `addr` is out of range.
     pub fn decode(&self, addr: u64) -> DecodedAddr {
         assert!(addr < self.capacity_bytes(), "address out of range");
-        let offset = (addr % self.row_bytes as u64) as u32;
-        let row_index = addr / self.row_bytes as u64; // global row number
-        let channel = (row_index % self.channels as u64) as u32;
-        let per_channel = row_index / self.channels as u64;
-        let bank = (per_channel % self.banks_per_channel as u64) as u32;
-        let row = (per_channel / self.banks_per_channel as u64) as u32;
+        let offset = (addr % u64::from(self.row_bytes)) as u32;
+        let row_index = addr / u64::from(self.row_bytes); // global row number
+        let channel = (row_index % u64::from(self.channels)) as u32;
+        let per_channel = row_index / u64::from(self.channels);
+        let bank = (per_channel % u64::from(self.banks_per_channel)) as u32;
+        let row = (per_channel / u64::from(self.banks_per_channel)) as u32;
         DecodedAddr {
             channel,
             bank,
@@ -115,9 +115,9 @@ impl DeviceGeometry {
 
     /// Re-encodes a decoded address back to a byte address.
     pub fn encode(&self, d: DecodedAddr) -> u64 {
-        let per_channel = d.row as u64 * self.banks_per_channel as u64 + d.bank as u64;
-        let row_index = per_channel * self.channels as u64 + d.channel as u64;
-        row_index * self.row_bytes as u64 + d.offset as u64
+        let per_channel = u64::from(d.row) * u64::from(self.banks_per_channel) + u64::from(d.bank);
+        let row_index = per_channel * u64::from(self.channels) + u64::from(d.channel);
+        row_index * u64::from(self.row_bytes) + u64::from(d.offset)
     }
 
     /// Number of distinct rows an access of `len` bytes starting at `addr`
@@ -126,8 +126,8 @@ impl DeviceGeometry {
         if len == 0 {
             return 0;
         }
-        let first = addr / self.row_bytes as u64;
-        let last = (addr + len - 1) / self.row_bytes as u64;
+        let first = addr / u64::from(self.row_bytes);
+        let last = (addr + len - 1) / u64::from(self.row_bytes);
         last - first + 1
     }
 }
@@ -135,14 +135,16 @@ impl DeviceGeometry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrm_sim::units::GB;
+    use mrm_sim::units::{GB, MIB};
 
     #[test]
     fn fit_covers_capacity() {
         let g = DeviceGeometry::hbm_like(24 * GB);
         assert!(g.capacity_bytes() >= 24 * GB);
         // Over-provisioning from rounding stays under one row per bank.
-        assert!(g.capacity_bytes() - 24 * GB <= g.total_banks() as u64 * g.row_bytes as u64);
+        assert!(
+            g.capacity_bytes() - 24 * GB <= u64::from(g.total_banks()) * u64::from(g.row_bytes)
+        );
     }
 
     #[test]
@@ -193,7 +195,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "address out of range")]
     fn decode_out_of_range_panics() {
-        let g = DeviceGeometry::fit(1024 * 1024, 2, 2, 1024);
+        let g = DeviceGeometry::fit(MIB, 2, 2, 1024);
         g.decode(g.capacity_bytes());
     }
 }

@@ -58,7 +58,7 @@ impl HbmStackModel {
 
     /// Total stack capacity, bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        self.layers as u64 * self.layer_capacity_bytes
+        u64::from(self.layers) * self.layer_capacity_bytes
     }
 
     /// Compound manufacturing yield of the assembled stack: every layer
@@ -87,7 +87,7 @@ impl HbmStackModel {
     /// Relative thermal resistance of the full stack (K/W-ish units):
     /// grows with stacking height, capping practical power density.
     pub fn thermal_resistance(&self) -> f64 {
-        1.0 + self.thermal_resistance_per_layer * self.layers as f64
+        1.0 + self.thermal_resistance_per_layer * f64::from(self.layers)
     }
 
     /// Capacity per good (yielded) wafer-normalized unit — the quantity

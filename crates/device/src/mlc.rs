@@ -73,8 +73,8 @@ pub fn apply_mlc(base: &Technology, levels: CellLevels) -> Technology {
     let f = |x: f64, per_bit: f64| x * per_bit.powi(extra);
     let mut t = base.clone();
     t.name = format!("{} [{}]", base.name, levels.label());
-    t.capacity_bytes = base.capacity_bytes * (levels.bits() as u64);
-    t.cost_per_gb_rel = base.cost_per_gb_rel / levels.bits() as f64;
+    t.capacity_bytes = base.capacity_bytes * u64::from(levels.bits());
+    t.cost_per_gb_rel = base.cost_per_gb_rel / f64::from(levels.bits());
     t.write_latency_ns = f(base.write_latency_ns, 2.5);
     t.write_energy_pj_bit = f(base.write_energy_pj_bit, 1.6);
     t.read_latency_ns = f(base.read_latency_ns, 1.3);
@@ -95,7 +95,7 @@ mod tests {
         let base = presets::mrm_hours();
         let slc = apply_mlc(&base, CellLevels::Slc);
         assert_eq!(slc.capacity_bytes, base.capacity_bytes);
-        assert_eq!(slc.endurance, base.endurance);
+        assert_eq!(slc.endurance.to_bits(), base.endurance.to_bits());
         assert!(slc.name.contains("[SLC]"));
     }
 

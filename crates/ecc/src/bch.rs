@@ -374,7 +374,7 @@ mod tests {
     fn clean_roundtrip() {
         for (m, t) in [(4u32, 1usize), (4, 2), (6, 3), (8, 4), (10, 5)] {
             let code = Bch::new(m, t);
-            let data = data_pattern(code.k(), (m as u64) << 8 | t as u64);
+            let data = data_pattern(code.k(), u64::from(m) << 8 | t as u64);
             let cw = code.encode(&data);
             assert_eq!(cw.len(), code.n());
             let (out, fixed) = code.decode(&cw).unwrap();

@@ -1,0 +1,162 @@
+//! The D5 debt baseline: incremental adoption with a one-way ratchet.
+//!
+//! `lint-baseline.txt` (workspace root) records, per file, how many bare
+//! `unwrap()`/`expect("")` sites existed when the lint was introduced. A
+//! file may never *exceed* its baseline count — new debt fails `--deny` —
+//! and when debt is paid down the baseline must be tightened to match
+//! (`--update-baseline`), so counts only ever shrink. Only D5 is
+//! baseline-eligible: the determinism rules (D1–D4, U1) are hard invariants
+//! with no pre-existing backlog.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::{RuleId, Violation};
+
+/// Parsed baseline: `(file) -> allowed D5 count`.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, usize>,
+}
+
+/// Outcome of applying the baseline to a run's D5 violations.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Violations that survive (files over their allowance emit all sites).
+    pub kept: Vec<Violation>,
+    /// Number of D5 sites absorbed by the baseline.
+    pub suppressed: usize,
+    /// Files whose count shrank below the baseline: the ratchet must be
+    /// tightened. `(file, baseline, actual)`.
+    pub stale: Vec<(String, usize, usize)>,
+}
+
+impl Baseline {
+    /// Loads a baseline file. Missing file is an empty baseline. Lines are
+    /// `D5 <path> <count>`; `#` starts a comment.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(e),
+        };
+        let mut counts = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (rule, file, count) = (parts.next(), parts.next(), parts.next());
+            let parsed = match (rule, file, count) {
+                (Some("D5"), Some(f), Some(c)) => c.parse::<usize>().ok().map(|n| (f, n)),
+                _ => None,
+            };
+            let Some((file, n)) = parsed else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}:{}: baseline lines are `D5 <path> <count>` (only D5 is \
+                         baseline-eligible), got: {line}",
+                        path.display(),
+                        idx + 1
+                    ),
+                ));
+            };
+            counts.insert(file.to_string(), n);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Splits `violations` into suppressed and kept according to the
+    /// allowance, and reports stale (shrunken) entries.
+    pub fn apply(&self, violations: Vec<Violation>) -> BaselineOutcome {
+        let mut per_file: BTreeMap<String, usize> = BTreeMap::new();
+        for v in violations.iter().filter(|v| v.rule == RuleId::D5) {
+            *per_file.entry(v.path.clone()).or_default() += 1;
+        }
+        let mut out = BaselineOutcome::default();
+        for v in violations {
+            if v.rule != RuleId::D5 {
+                out.kept.push(v);
+                continue;
+            }
+            let actual = per_file.get(&v.path).copied().unwrap_or(0);
+            let allowed = self.counts.get(&v.path).copied().unwrap_or(0);
+            if actual <= allowed {
+                out.suppressed += 1;
+            } else {
+                out.kept.push(v);
+            }
+        }
+        for (file, &allowed) in &self.counts {
+            let actual = per_file.get(file).copied().unwrap_or(0);
+            if actual < allowed {
+                out.stale.push((file.clone(), allowed, actual));
+            }
+        }
+        out
+    }
+
+    /// Renders a baseline from a run's D5 violations.
+    pub fn render_from(violations: &[Violation]) -> String {
+        let mut per_file: BTreeMap<&str, usize> = BTreeMap::new();
+        for v in violations.iter().filter(|v| v.rule == RuleId::D5) {
+            *per_file.entry(v.path.as_str()).or_default() += 1;
+        }
+        let mut out = String::from(
+            "# mrm-lint baseline: pre-existing D5 (bare unwrap/expect(\"\")) debt.\n\
+             # Counts may only shrink; regenerate with `cargo run -p mrm-lint -- --update-baseline`.\n",
+        );
+        for (file, n) in per_file {
+            out.push_str(&format!("D5 {file} {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d5(path: &str, line: u32) -> Violation {
+        Violation {
+            rule: RuleId::D5,
+            path: path.into(),
+            line,
+            message: "bare unwrap".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_absorbs_exact_count_and_flags_growth() {
+        let mut b = Baseline::default();
+        b.counts.insert("a.rs".into(), 2);
+        // Exactly at the allowance: fully suppressed.
+        let out = b.apply(vec![d5("a.rs", 1), d5("a.rs", 9)]);
+        assert_eq!(out.suppressed, 2);
+        assert!(out.kept.is_empty() && out.stale.is_empty());
+        // One over: every site in the file reported (new debt blocks).
+        let out = b.apply(vec![d5("a.rs", 1), d5("a.rs", 9), d5("a.rs", 12)]);
+        assert_eq!(out.kept.len(), 3);
+        assert_eq!(out.suppressed, 0);
+    }
+
+    #[test]
+    fn shrunken_counts_are_stale() {
+        let mut b = Baseline::default();
+        b.counts.insert("a.rs".into(), 3);
+        let out = b.apply(vec![d5("a.rs", 1)]);
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.stale, vec![("a.rs".to_string(), 3, 1)]);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let rendered = Baseline::render_from(&[d5("b.rs", 1), d5("a.rs", 2), d5("b.rs", 7)]);
+        assert!(rendered.contains("D5 a.rs 1\n"));
+        assert!(rendered.contains("D5 b.rs 2\n"));
+    }
+}

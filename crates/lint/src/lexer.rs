@@ -1,0 +1,527 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `mrm-lint` needs token-level structure — identifiers, literals, operators,
+//! comments with line numbers — not a full parse. Rolling our own ~300-line
+//! lexer keeps the crate dependency-free (the build environment has no
+//! registry access; see `vendor/README.md`) and immune to its own inputs: a
+//! lint that pulled in `syn` would stop compiling the day the workspace
+//! adopts syntax `syn` cannot parse, while a token scan degrades gracefully.
+//!
+//! The lexer understands everything the rules need to be sound on this
+//! workspace: line/block comments (nested), string/char/byte/raw-string
+//! literals (so `"HashMap"` in a message is never confused with the type),
+//! lifetimes vs char literals, numeric literals with underscores, radix
+//! prefixes and type suffixes, and multi-character operators (`::`, `<<`,
+//! `..=`, ...). Anything else passes through as single-character punctuation.
+
+/// Lexical class of a token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers `r#type` are unescaped).
+    Ident,
+    /// Lifetime such as `'a` (without the quote in `text`? no: includes it).
+    Lifetime,
+    /// Integer literal; `value` is `Some` when it fits `u128` after removing
+    /// underscores, radix prefixes and type suffixes.
+    Int { value: Option<u128> },
+    /// Floating-point literal.
+    Float,
+    /// String, raw-string, byte-string or C-string literal. `text` is the
+    /// *content* (delimiters stripped, escapes left as written).
+    Str,
+    /// Character or byte literal (content, delimiters stripped).
+    Char,
+    /// Operator or punctuation, possibly multi-character (`::`, `<<`, `->`).
+    Punct,
+    /// `// ...` comment (content after the slashes, including doc comments).
+    LineComment,
+    /// `/* ... */` comment (content between delimiters, nesting preserved).
+    BlockComment,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+}
+
+/// Tokenizes `source`. The lexer is total: invalid input degrades to
+/// single-character `Punct` tokens rather than failing, so a half-edited
+/// file still gets linted.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const PUNCTS: [&str; 24] = [
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                // Raw identifiers and raw strings: r#ident, r"..", r#".."#,
+                // plus byte/C-string forms b".." br".." c"..".
+                'r' | 'b' | 'c' if self.string_prefix() => {}
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                '"' => {
+                    self.bump();
+                    self.string_body(0, line);
+                }
+                '\'' => self.lifetime_or_char(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Handles `r#ident`, `r".."`, `r#".."#`, `b".."`, `br#".."#`, `b'x'`,
+    /// `c".."`. Returns false (consuming nothing) when the `r`/`b`/`c` is
+    /// just the start of an ordinary identifier.
+    fn string_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0).unwrap_or(' ');
+        // Longest prefixes first: br, cr (raw byte/C strings).
+        let (skip, raw, quote) = match (c0, self.peek(1), self.peek(2)) {
+            ('b', Some('r'), Some('"' | '#')) => (2, true, '"'),
+            ('c', Some('r'), Some('"' | '#')) => (2, true, '"'),
+            ('r', Some('"' | '#'), _) => (1, true, '"'),
+            ('b' | 'c', Some('"'), _) => (1, false, '"'),
+            ('b', Some('\''), _) => (1, false, '\''),
+            _ => return false,
+        };
+        for _ in 0..skip {
+            self.bump();
+        }
+        if raw {
+            // Count hashes; `r#ident` (raw identifier) has no quote after them.
+            let mut hashes = 0usize;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) != Some('"') {
+                // Raw identifier r#foo: consume hashes, lex as ident.
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.ident(line);
+                return true;
+            }
+            for _ in 0..=hashes {
+                self.bump(); // hashes + opening quote
+            }
+            self.raw_string_body(hashes, line);
+        } else if quote == '"' {
+            self.bump();
+            self.string_body(0, line);
+        } else {
+            self.bump();
+            self.char_body(line);
+        }
+        true
+    }
+
+    fn string_body(&mut self, _hashes: usize, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes {
+                    if self.peek(matched) == Some('#') {
+                        matched += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if matched == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break 'outer;
+                }
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn char_body(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn lifetime_or_char(&mut self, line: u32) {
+        // 'x' is a char; '\n' is a char; 'abc (no closing quote nearby with
+        // ident chars) is a lifetime.
+        let c1 = self.peek(1);
+        let is_char = match c1 {
+            Some('\\') => true,
+            Some(c) if c == '_' || c.is_alphanumeric() => self.peek(2) == Some('\''),
+            _ => true, // e.g. '(' — malformed; treat as char-ish and move on
+        };
+        self.bump(); // the opening quote
+        if is_char {
+            self.char_body(line);
+        } else {
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Radix prefix.
+        let radix = if self.peek(0) == Some('0') {
+            match self.peek(1) {
+                Some('x' | 'X') => 16,
+                Some('o' | 'O') => 8,
+                Some('b' | 'B') => 2,
+                _ => 10,
+            }
+        } else {
+            10
+        };
+        if radix != 10 {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+        }
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_hexdigit() && radix == 16 => {
+                    text.push(c);
+                    self.bump();
+                }
+                Some(c) if c.is_ascii_digit() => {
+                    text.push(c);
+                    self.bump();
+                }
+                Some('_') => {
+                    text.push('_');
+                    self.bump();
+                }
+                // Decimal point: only if followed by a digit (so `1..10` and
+                // `x.0.1` tuple chains stay punctuation) — `1.` at expression
+                // end is rare enough to ignore.
+                Some('.')
+                    if radix == 10
+                        && !is_float
+                        && self.peek(1).is_some_and(|c| c.is_ascii_digit()) =>
+                {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                }
+                // Exponent.
+                Some('e' | 'E')
+                    if radix == 10
+                        && self
+                            .peek(1)
+                            .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-') =>
+                {
+                    is_float = true;
+                    text.push('e');
+                    self.bump();
+                    if let Some(s) = self.peek(0) {
+                        if s == '+' || s == '-' {
+                            text.push(s);
+                            self.bump();
+                        }
+                    }
+                }
+                // Type suffix (u64, f32, usize, ...).
+                Some(c) if c.is_alphabetic() => {
+                    if c == 'f' {
+                        is_float = true;
+                    }
+                    while let Some(s) = self.peek(0) {
+                        if s == '_' || s.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if is_float {
+            self.push(TokenKind::Float, text, line);
+        } else {
+            let digits: String = text
+                .chars()
+                .filter(|c| *c != '_')
+                .skip(if radix == 10 { 0 } else { 2 })
+                .collect();
+            let value = u128::from_str_radix(&digits, radix).ok();
+            self.push(TokenKind::Int { value }, text, line);
+        }
+    }
+
+    fn punct(&mut self, line: u32) {
+        for p in PUNCTS {
+            if p.len() > 1 && self.matches(p) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, p.to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+
+    fn matches(&self, p: &str) -> bool {
+        p.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("use std::collections::BTreeMap;");
+        assert_eq!(toks[0], (TokenKind::Ident, "use".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "::".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "BTreeMap".into()));
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let toks = kinds(r#"let s = "no HashMap here";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(k == &TokenKind::Ident && t == "HashMap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| k == &TokenKind::Str && t.contains("HashMap")));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds("let x = r#\"quote \" inside\"#; let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| k == &TokenKind::Str && t.contains("quote")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| k == &TokenKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| k == &TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| k == &TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_parse_values() {
+        let toks = lex("1_000 0x1F 0b101 2e9 1.5 30u64");
+        assert_eq!(toks[0].kind, TokenKind::Int { value: Some(1000) });
+        assert_eq!(toks[1].kind, TokenKind::Int { value: Some(31) });
+        assert_eq!(toks[2].kind, TokenKind::Int { value: Some(5) });
+        assert_eq!(toks[3].kind, TokenKind::Float);
+        assert_eq!(toks[4].kind, TokenKind::Float);
+        assert_eq!(toks[5].kind, TokenKind::Int { value: Some(30) });
+    }
+
+    #[test]
+    fn shift_sequence_survives() {
+        let toks = lex("let g = 1u64 << 30;");
+        let shift = toks
+            .iter()
+            .position(|t| t.is_punct("<<"))
+            .expect("<< token");
+        assert_eq!(toks[shift - 1].kind, TokenKind::Int { value: Some(1) });
+        assert_eq!(toks[shift + 1].kind, TokenKind::Int { value: Some(30) });
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ tail */ x");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].1.contains("inner"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = lex("for i in 1..10 {}");
+        assert_eq!(toks[3].kind, TokenKind::Int { value: Some(1) });
+        assert!(toks[4].is_punct(".."));
+        assert_eq!(toks[5].kind, TokenKind::Int { value: Some(10) });
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\"s1\ns2\"\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3); // string starts on line 3
+        assert_eq!(toks[3].line, 5); // newline inside the string counted
+    }
+}

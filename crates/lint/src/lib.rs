@@ -1,0 +1,105 @@
+//! # `mrm-lint` — workspace determinism & unit-safety auditor
+//!
+//! The paper's quantitative claims are reproducible only because every
+//! simulation in this workspace is bit-identical for a given seed at any
+//! thread count. That contract (DESIGN.md §3.8) was previously enforced
+//! only by runtime golden tests — `sweep_determinism.rs`,
+//! `telemetry_determinism.rs` — which catch a violation long after it is
+//! introduced. `mrm-lint` moves the check to the source level: a
+//! dependency-free token scan over the workspace that names each invariant
+//! as a severity-ranked rule (D1–D5, U1) and fails CI the moment one is
+//! broken.
+//!
+//! See [`rules`] for the rule catalogue, [`baseline`] for the incremental
+//! adoption ratchet, and the `mrm-lint` binary for the CLI.
+//!
+//! ```
+//! use mrm_lint::rules::{lint_source, FileCtx, RuleId};
+//!
+//! let ctx = FileCtx::classify("crates/tiering/src/prefix.rs");
+//! let report = lint_source("use std::collections::HashMap;", &ctx);
+//! assert_eq!(report.violations[0].rule, RuleId::D2);
+//! ```
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use rules::{lint_source, FileCtx, Violation};
+
+/// Lints every auditable source file under `root`.
+///
+/// Runs in two passes: the first discovers `#[cfg(test)] mod x;`
+/// declarations so the out-of-line module files they point at (e.g.
+/// `crates/sim/src/proptests.rs`) are re-linted as test code, where D5 does
+/// not apply. Violations come back sorted by path then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let files = walk::workspace_sources(root)?;
+    let mut reports = Vec::with_capacity(files.len());
+    let mut test_only_files: Vec<String> = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let ctx = FileCtx::classify(rel);
+        let report = lint_source(&source, &ctx);
+        for m in &report.test_only_modules {
+            test_only_files.extend(test_module_candidates(rel, m));
+        }
+        reports.push((rel.clone(), source, report));
+    }
+    let mut violations = Vec::new();
+    for (rel, source, report) in reports {
+        if test_only_files.contains(&rel) {
+            let mut ctx = FileCtx::classify(&rel);
+            if ctx.library {
+                ctx.library = false;
+                violations.extend(lint_source(&source, &ctx).violations);
+                continue;
+            }
+        }
+        violations.extend(report.violations);
+    }
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(violations)
+}
+
+/// Paths (repo-relative) where `mod name;` declared in `decl_file` may live.
+fn test_module_candidates(decl_file: &str, name: &str) -> Vec<String> {
+    let (dir, stem) = match decl_file.rsplit_once('/') {
+        Some((d, f)) => (d, f.trim_end_matches(".rs")),
+        None => ("", decl_file.trim_end_matches(".rs")),
+    };
+    let base = if matches!(stem, "lib" | "mod" | "main") {
+        dir.to_string()
+    } else {
+        format!("{dir}/{stem}")
+    };
+    vec![format!("{base}/{name}.rs"), format!("{base}/{name}/mod.rs")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_candidates_resolve_siblings_and_subdirs() {
+        assert_eq!(
+            test_module_candidates("crates/sim/src/lib.rs", "proptests"),
+            vec![
+                "crates/sim/src/proptests.rs".to_string(),
+                "crates/sim/src/proptests/mod.rs".to_string()
+            ]
+        );
+        assert_eq!(
+            test_module_candidates("crates/x/src/foo.rs", "inner"),
+            vec![
+                "crates/x/src/foo/inner.rs".to_string(),
+                "crates/x/src/foo/inner/mod.rs".to_string()
+            ]
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! `mrm-lint` CLI.
+//!
+//! ```text
+//! cargo run -p mrm-lint                    # report, always exit 0
+//! cargo run -p mrm-lint -- --deny          # CI gate: nonzero on violations
+//! cargo run -p mrm-lint -- --update-baseline
+//! cargo run -p mrm-lint -- --rules
+//! ```
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mrm_lint::baseline::Baseline;
+use mrm_lint::rules::{RuleId, Severity};
+use mrm_lint::{lint_workspace, walk};
+
+const USAGE: &str = "\
+mrm-lint: workspace determinism & unit-safety auditor
+
+USAGE: mrm-lint [OPTIONS]
+
+OPTIONS:
+  --deny               Exit nonzero when violations (or a stale baseline) remain
+  --root <DIR>         Workspace root (default: nearest ancestor with [workspace])
+  --baseline <FILE>    Baseline file (default: <root>/lint-baseline.txt)
+  --update-baseline    Rewrite the baseline from the current D5 debt
+  --rules              Print the rule catalogue and exit
+  -h, --help           Show this help
+
+Suppression: `// mrm-lint: allow(RULE, ...) reason` on the offending line or
+the line above; `// mrm-lint: allow-file(RULE) reason` anywhere in a file.
+A reason is mandatory.";
+
+struct Args {
+    deny: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        root: None,
+        baseline: None,
+        update_baseline: false,
+        rules: false,
+    };
+    let mut it = env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--rules" => args.rules = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                ))
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a file argument")?,
+                ))
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mrm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.rules {
+        for r in RuleId::ALL {
+            let sev = match r.severity() {
+                Severity::Error => "error",
+                Severity::Warn => "warn ",
+            };
+            println!("{:4} [{sev}] {}", r.as_str(), r.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.or_else(|| {
+        env::current_dir()
+            .ok()
+            .and_then(|d| walk::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("mrm-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let violations = match lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("mrm-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        let rendered = Baseline::render_from(&violations);
+        if let Err(e) = std::fs::write(&baseline_path, &rendered) {
+            eprintln!("mrm-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let entries = rendered.lines().filter(|l| l.starts_with("D5 ")).count();
+        println!(
+            "mrm-lint: wrote {} ({} D5 entries)",
+            baseline_path.display(),
+            entries
+        );
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mrm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = baseline.apply(violations);
+
+    let mut kept = outcome.kept;
+    kept.sort_by(|a, b| {
+        (a.rule.severity(), &a.path, a.line, a.rule).cmp(&(
+            b.rule.severity(),
+            &b.path,
+            b.line,
+            b.rule,
+        ))
+    });
+    for v in &kept {
+        println!("{}", v.render());
+    }
+    for (file, allowed, actual) in &outcome.stale {
+        println!(
+            "{file}: stale baseline: D5 allowance is {allowed} but only {actual} remain — \
+             run `cargo run -p mrm-lint -- --update-baseline` to tighten the ratchet"
+        );
+    }
+
+    let errors = kept
+        .iter()
+        .filter(|v| v.rule.severity() == Severity::Error)
+        .count();
+    let warns = kept.len() - errors;
+    println!(
+        "mrm-lint: {} error(s), {} warning(s), {} baselined, {} stale baseline entr{}",
+        errors,
+        warns,
+        outcome.suppressed,
+        outcome.stale.len(),
+        if outcome.stale.len() == 1 { "y" } else { "ies" }
+    );
+
+    if args.deny && (!kept.is_empty() || !outcome.stale.is_empty()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,797 @@
+//! The workspace invariant rules and the token-level engine that checks them.
+//!
+//! Every rule exists because a runtime test already failed — or would fail,
+//! hours of CI later — for the class of bug it catches statically:
+//!
+//! * **D1–D3** pin the determinism contract of the simulation kernel
+//!   (DESIGN.md §3.8): results must be bit-identical for a given seed at any
+//!   thread count. Wall-clock reads, unordered map iteration and ambient
+//!   entropy are the three ways Rust code silently breaks that.
+//! * **D4** pins PR 2's telemetry contract: sinks observe, they never draw
+//!   randomness or schedule events.
+//! * **D5** keeps panics out of library hot paths: a controller that
+//!   `unwrap()`s mid-sweep takes out the whole parallel run.
+//! * **U1** guards the unit conventions of `sim/src/units.rs`: the paper's
+//!   cost-model conclusions die silently when `*_ns` meets `*_bytes` in an
+//!   addition, or a capacity is re-derived as `1 << 30` with the wrong shift.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Identifier of a lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Wall-clock time (`Instant`, `SystemTime`) in a sim-path crate.
+    D1,
+    /// `HashMap`/`HashSet` in a sim-path crate (iteration order is
+    /// nondeterministic; use `BTreeMap`/`BTreeSet` or sorted iteration).
+    D2,
+    /// Entropy source other than `SimRng` in a sim-path crate.
+    D3,
+    /// Telemetry referencing `SimRng` or the event-scheduling API.
+    D4,
+    /// Bare `unwrap()` or `expect("")` in non-test library code.
+    D5,
+    /// Unit-suffix mixing or raw capacity literal outside `sim/src/units.rs`.
+    U1,
+    /// Malformed `mrm-lint` annotation (cannot be allowed or baselined).
+    Meta,
+}
+
+/// How bad a violation is. `Error` rules are hard invariants; `Warn` rules
+/// (D5) carry a pre-existing backlog tracked in the baseline file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warn,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 6] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::D5,
+        RuleId::U1,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+            RuleId::D5 => "D5",
+            RuleId::U1 => "U1",
+            RuleId::Meta => "LINT",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "D4" => Some(RuleId::D4),
+            "D5" => Some(RuleId::D5),
+            "U1" => Some(RuleId::U1),
+            _ => None,
+        }
+    }
+
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::D5 => Severity::Warn,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description, shown by `--rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::D1 => "no wall-clock time (Instant/SystemTime) in sim-path crates; use SimTime",
+            RuleId::D2 => {
+                "no HashMap/HashSet in sim-path crates; use BTreeMap/BTreeSet or sorted iteration"
+            }
+            RuleId::D3 => "no entropy source other than SimRng in sim-path crates",
+            RuleId::D4 => "telemetry is observe-only: no SimRng, no event scheduling",
+            RuleId::D5 => "no bare unwrap()/expect(\"\") in non-test library code",
+            RuleId::U1 => {
+                "no arithmetic mixing *_ns/*_bytes/*_pj identifiers; \
+                 no raw capacity literals outside sim/src/units.rs"
+            }
+            RuleId::Meta => "malformed mrm-lint annotation",
+        }
+    }
+}
+
+/// Where a file sits in the workspace, which decides which rules apply.
+#[derive(Clone, Debug, Default)]
+pub struct FileCtx {
+    /// Repo-relative path with forward slashes (used in diagnostics).
+    pub path: String,
+    /// True for crates whose code runs on the simulated timeline:
+    /// sim, device, controller, tiering, workload, ecc.
+    pub sim_path: bool,
+    /// True for `crates/telemetry`.
+    pub telemetry: bool,
+    /// True for library code: under `src/`, not `src/bin/`, not a
+    /// test-only module file. D5 only fires here.
+    pub library: bool,
+    /// True for `crates/sim/src/units.rs`, the one place capacity
+    /// literals are allowed to be spelled raw.
+    pub units_file: bool,
+}
+
+/// Crates whose simulation results must be bit-identical for a given seed.
+pub const SIM_PATH_CRATES: [&str; 6] =
+    ["sim", "device", "controller", "tiering", "workload", "ecc"];
+
+impl FileCtx {
+    /// Classifies a repo-relative path (forward slashes).
+    pub fn classify(rel_path: &str) -> FileCtx {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = if parts.len() >= 2 && parts[0] == "crates" {
+            Some(parts[1])
+        } else {
+            None
+        };
+        let in_src = parts.contains(&"src");
+        let in_bin = rel_path.contains("/src/bin/");
+        // Library code: a crate's (or the root package's) src/ tree, minus
+        // binary targets. tests/, benches/ and examples/ are not libraries.
+        let library = in_src
+            && !in_bin
+            && !parts
+                .iter()
+                .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+        FileCtx {
+            path: rel_path.to_string(),
+            sim_path: crate_name.is_some_and(|c| SIM_PATH_CRATES.contains(&c)),
+            telemetry: crate_name == Some("telemetry"),
+            library,
+            units_file: rel_path == "crates/sim/src/units.rs",
+        }
+    }
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub rule: RuleId,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Violation {
+    /// The canonical `file:line RULE message` diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{} {} {}",
+            self.path,
+            self.line,
+            self.rule.as_str(),
+            self.message
+        )
+    }
+}
+
+/// Everything the engine learned from one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub violations: Vec<Violation>,
+    /// Module names declared as `#[cfg(test)] mod name;` — the walker marks
+    /// the corresponding files (`name.rs` / `name/mod.rs`) as test-only so
+    /// D5 skips them (e.g. `crates/sim/src/proptests.rs`).
+    pub test_only_modules: Vec<String>,
+}
+
+/// Lints one file's source under the given context.
+pub fn lint_source(source: &str, ctx: &FileCtx) -> FileReport {
+    let tokens = lex(source);
+    let allows = parse_allows(&tokens, ctx);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let (in_test, test_only_modules) = test_regions(&code);
+
+    let mut raw = Vec::new();
+    scan_d1_d2_d3(&code, ctx, &mut raw);
+    scan_d4(&code, ctx, &mut raw);
+    scan_d5(&code, &in_test, ctx, &mut raw);
+    scan_u1(&code, ctx, &mut raw);
+
+    let mut violations: Vec<Violation> = raw
+        .into_iter()
+        .filter(|v| !allows.suppresses(v.rule, v.line))
+        .collect();
+    violations.extend(allows.malformed);
+    violations.sort_by_key(|a| (a.line, a.rule));
+    FileReport {
+        violations,
+        test_only_modules,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// allow annotations
+// ---------------------------------------------------------------------------
+
+struct Allows {
+    /// (rule, line) pairs: the annotation suppresses matches on its own line
+    /// and the line directly below (so it can sit above the offending code).
+    sites: Vec<(RuleId, u32)>,
+    file_wide: Vec<RuleId>,
+    malformed: Vec<Violation>,
+}
+
+impl Allows {
+    fn suppresses(&self, rule: RuleId, line: u32) -> bool {
+        self.file_wide.contains(&rule)
+            || self
+                .sites
+                .iter()
+                .any(|&(r, l)| r == rule && (l == line || l + 1 == line))
+    }
+}
+
+/// Parses `// mrm-lint: allow(D2, U1) reason...` and
+/// `// mrm-lint: allow-file(D5) reason...` comments.
+fn parse_allows(tokens: &[Token], ctx: &FileCtx) -> Allows {
+    let mut allows = Allows {
+        sites: Vec::new(),
+        file_wide: Vec::new(),
+        malformed: Vec::new(),
+    };
+    for t in tokens {
+        if !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let Some(rest) = t.text.trim().strip_prefix("mrm-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            (false, r)
+        } else {
+            allows.malformed.push(Violation {
+                rule: RuleId::Meta,
+                path: ctx.path.clone(),
+                line: t.line,
+                message: format!("unknown mrm-lint directive: `{}`", rest),
+            });
+            continue;
+        };
+        let bad = |msg: &str| Violation {
+            rule: RuleId::Meta,
+            path: ctx.path.clone(),
+            line: t.line,
+            message: msg.to_string(),
+        };
+        let rest = rest.trim_start();
+        let Some(inner_end) = rest.strip_prefix('(').and_then(|r| r.find(')')) else {
+            allows
+                .malformed
+                .push(bad("allow annotation needs a rule list: allow(D2) reason"));
+            continue;
+        };
+        let inner = &rest[1..=inner_end];
+        let reason = rest[inner_end + 2..].trim();
+        if reason.is_empty() {
+            allows.malformed.push(bad(
+                "allow annotation needs a reason: // mrm-lint: allow(RULE) why it is safe",
+            ));
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut ok = true;
+        for part in inner.trim_end_matches(')').split(',') {
+            match RuleId::parse(part.trim()) {
+                Some(r) => rules.push(r),
+                None => {
+                    allows.malformed.push(bad(&format!(
+                        "unknown rule `{}` in allow annotation",
+                        part.trim()
+                    )));
+                    ok = false;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        for r in rules {
+            if file_wide {
+                allows.file_wide.push(r);
+            } else {
+                allows.sites.push((r, t.line));
+            }
+        }
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------------
+// test-region detection
+// ---------------------------------------------------------------------------
+
+/// Returns, per code token, whether it sits inside a `#[cfg(test)]` item or a
+/// `#[test]` function — plus the names of test-only out-of-line modules
+/// (`#[cfg(test)] mod foo;`).
+fn test_regions(code: &[&Token]) -> (Vec<bool>, Vec<String>) {
+    let mut in_test = vec![false; code.len()];
+    let mut test_mods = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is_punct("#") && i + 1 < code.len() && code[i + 1].is_punct("[") {
+            let attr_end = match matching(code, i + 1, "[", "]") {
+                Some(e) => e,
+                None => break,
+            };
+            let is_test_attr = {
+                let inner = &code[i + 2..attr_end];
+                let cfg_test = inner.first().is_some_and(|t| t.is_ident("cfg"))
+                    && inner.iter().any(|t| t.is_ident("test"));
+                let plain_test = inner.len() == 1 && inner[0].is_ident("test");
+                cfg_test || plain_test
+            };
+            if is_test_attr {
+                // Skip any further attributes, then the item they decorate.
+                let mut j = attr_end + 1;
+                while j + 1 < code.len() && code[j].is_punct("#") && code[j + 1].is_punct("[") {
+                    match matching(code, j + 1, "[", "]") {
+                        Some(e) => j = e + 1,
+                        None => break,
+                    }
+                }
+                let item_end = item_extent(code, j, &mut test_mods);
+                for flag in in_test.iter_mut().take(item_end.min(code.len())).skip(i) {
+                    *flag = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    (in_test, test_mods)
+}
+
+/// Index of the token matching the opener at `open_idx` (same nesting level).
+fn matching(code: &[&Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// One past the end of the item starting at `start`: the matching `}` of its
+/// first top-level brace, or its terminating `;`. Records `mod name;`
+/// declarations in `test_mods`.
+fn item_extent(code: &[&Token], mut start: usize, test_mods: &mut Vec<String>) -> usize {
+    // Skip a `pub` / `pub(crate)` visibility prefix.
+    if code.get(start).is_some_and(|t| t.is_ident("pub")) {
+        start += 1;
+        if code.get(start).is_some_and(|t| t.is_punct("(")) {
+            start = match matching(code, start, "(", ")") {
+                Some(e) => e + 1,
+                None => return code.len(),
+            };
+        }
+    }
+    if start + 2 < code.len() && code[start].is_ident("mod") && code[start + 2].is_punct(";") {
+        test_mods.push(code[start + 1].text.clone());
+        return start + 3;
+    }
+    let mut k = start;
+    while k < code.len() {
+        if code[k].is_punct(";") {
+            return k + 1;
+        }
+        if code[k].is_punct("{") {
+            return match matching(code, k, "{", "}") {
+                Some(e) => e + 1,
+                None => code.len(),
+            };
+        }
+        k += 1;
+    }
+    code.len()
+}
+
+// ---------------------------------------------------------------------------
+// rule scanners
+// ---------------------------------------------------------------------------
+
+fn push(out: &mut Vec<Violation>, rule: RuleId, ctx: &FileCtx, line: u32, message: String) {
+    out.push(Violation {
+        rule,
+        path: ctx.path.clone(),
+        line,
+        message,
+    });
+}
+
+/// D1 wall clock, D2 unordered maps, D3 ambient entropy — sim-path crates.
+fn scan_d1_d2_d3(code: &[&Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.sim_path {
+        return;
+    }
+    for t in code {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant" | "SystemTime" | "UNIX_EPOCH" => push(
+                out,
+                RuleId::D1,
+                ctx,
+                t.line,
+                format!(
+                    "wall-clock `{}` in a sim-path crate; simulations must read \
+                     time from `SimTime`/`EventQueue::now` only",
+                    t.text
+                ),
+            ),
+            "HashMap" | "HashSet" => push(
+                out,
+                RuleId::D2,
+                ctx,
+                t.line,
+                format!(
+                    "`{}` in a sim-path crate: iteration order is nondeterministic \
+                     and breaks bit-identical replay; use `BTree{}` or iterate in \
+                     sorted order (annotate `// mrm-lint: allow(D2) ...` if iteration \
+                     order provably never escapes)",
+                    t.text,
+                    &t.text[4..]
+                ),
+            ),
+            "thread_rng" | "from_entropy" | "RandomState" | "OsRng" | "getrandom" => push(
+                out,
+                RuleId::D3,
+                ctx,
+                t.line,
+                format!(
+                    "`{}` is an entropy source outside `SimRng`; all randomness \
+                     must come from the seeded, splittable `SimRng`",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// D4: telemetry is observe-only (DESIGN.md §3.8).
+fn scan_d4(code: &[&Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.telemetry {
+        return;
+    }
+    for t in code {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if matches!(
+            t.text.as_str(),
+            "SimRng" | "EventQueue" | "schedule" | "schedule_after"
+        ) {
+            push(
+                out,
+                RuleId::D4,
+                ctx,
+                t.line,
+                format!(
+                    "telemetry references `{}`: sinks are observe-only — they must \
+                     never draw randomness or schedule events (§3.8 determinism \
+                     contract: reports are bit-identical with a sink attached)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D5: bare `unwrap()` / `expect("")` in non-test library code.
+fn scan_d5(code: &[&Token], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.library {
+        return;
+    }
+    for i in 0..code.len() {
+        if in_test[i] || !code[i].is_punct(".") {
+            continue;
+        }
+        let Some(name) = code.get(i + 1) else {
+            continue;
+        };
+        if !code.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        if name.is_ident("unwrap") && code.get(i + 3).is_some_and(|t| t.is_punct(")")) {
+            push(
+                out,
+                RuleId::D5,
+                ctx,
+                name.line,
+                "bare `unwrap()` in library code: return a typed error or use \
+                 `expect(\"actionable message\")`"
+                    .to_string(),
+            );
+        } else if name.is_ident("expect")
+            && code
+                .get(i + 3)
+                .is_some_and(|t| t.kind == TokenKind::Str && t.text.is_empty())
+            && code.get(i + 4).is_some_and(|t| t.is_punct(")"))
+        {
+            push(
+                out,
+                RuleId::D5,
+                ctx,
+                name.line,
+                "`expect(\"\")` carries no information: say what invariant failed".to_string(),
+            );
+        }
+    }
+}
+
+/// Unit-suffix class of an identifier, per the `sim/src/units.rs` conventions.
+fn unit_class(ident: &str) -> Option<&'static str> {
+    if ident.ends_with("_ns") || ident.ends_with("_us") || ident.ends_with("_ms") {
+        Some("time")
+    } else if ident.ends_with("_bytes") {
+        Some("bytes")
+    } else if ident.ends_with("_pj") || ident.ends_with("_nj") {
+        Some("energy")
+    } else {
+        None
+    }
+}
+
+const MIXING_OPS: [&str; 8] = ["+", "-", "<", ">", "<=", ">=", "==", "!="];
+const CAPACITY_SHIFTS: [u128; 5] = [10, 20, 30, 40, 50];
+
+/// U1: unit-suffix mixing across additive/comparison operators, and raw
+/// capacity literals (`1 << 30`, `1024 * 1024`) outside `sim/src/units.rs`.
+fn scan_u1(code: &[&Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        // (a) `a_ns + b_bytes`: the identifier immediately left of the
+        // operator vs the last identifier of the postfix chain on the right
+        // (`x.total_bytes`, `y.stats.sum_pj()`).
+        if MIXING_OPS.contains(&t.text.as_str()) && i > 0 {
+            let lhs = code[i - 1];
+            if lhs.kind == TokenKind::Ident {
+                if let (Some(lc), Some((rc, rt))) =
+                    (unit_class(&lhs.text), rhs_unit_class(code, i + 1))
+                {
+                    if lc != rc {
+                        push(
+                            out,
+                            RuleId::U1,
+                            ctx,
+                            t.line,
+                            format!(
+                                "`{}` ({}) {} `{}` ({}) mixes unit classes; convert \
+                                 explicitly via `sim::units` before combining",
+                                lhs.text, lc, t.text, rt, rc
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // (b) capacity literals.
+        if ctx.units_file {
+            continue;
+        }
+        if t.is_punct("<<") && i > 0 {
+            if let (TokenKind::Int { .. }, TokenKind::Int { value: Some(sh) }) = (
+                &code[i - 1].kind,
+                code.get(i + 1)
+                    .map(|t| t.kind.clone())
+                    .unwrap_or(TokenKind::Punct),
+            ) {
+                if CAPACITY_SHIFTS.contains(&sh) {
+                    push(
+                        out,
+                        RuleId::U1,
+                        ctx,
+                        t.line,
+                        format!(
+                            "raw capacity literal `{} << {}`: use the named constants \
+                             in `mrm_sim::units` (KIB/MIB/GIB/TIB)",
+                            code[i - 1].text,
+                            sh
+                        ),
+                    );
+                }
+            }
+        }
+        if t.is_punct("*") && i > 0 {
+            let is_1024 = |k: &TokenKind| matches!(k, TokenKind::Int { value: Some(1024) });
+            if is_1024(&code[i - 1].kind) && code.get(i + 1).is_some_and(|r| is_1024(&r.kind)) {
+                push(
+                    out,
+                    RuleId::U1,
+                    ctx,
+                    t.line,
+                    "raw capacity literal `1024 * 1024`: use the named constants in \
+                     `mrm_sim::units` (KIB/MIB/GIB/TIB)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Unit class of the right operand: walks the postfix chain
+/// (`ident (:: | .) ident ...`) and returns the last identifier's class.
+/// Stops at `as` so `lat_ns as f64` resolves to `lat_ns`, not `f64`.
+fn rhs_unit_class(code: &[&Token], mut j: usize) -> Option<(&'static str, String)> {
+    let mut last: Option<&Token> = None;
+    while j < code.len() {
+        let t = code[j];
+        if t.is_ident("as") {
+            break;
+        }
+        if t.kind == TokenKind::Ident {
+            last = Some(t);
+            j += 1;
+        } else if t.is_punct(".") || t.is_punct("::") {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    let t = last?;
+    unit_class(&t.text).map(|c| (c, t.text.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_sim() -> FileCtx {
+        FileCtx {
+            path: "crates/sim/src/x.rs".into(),
+            sim_path: true,
+            library: true,
+            ..FileCtx::default()
+        }
+    }
+
+    fn rules_of(report: &FileReport) -> Vec<RuleId> {
+        report.violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = FileCtx::classify("crates/tiering/src/prefix.rs");
+        assert!(c.sim_path && c.library && !c.telemetry);
+        let c = FileCtx::classify("crates/telemetry/src/sink.rs");
+        assert!(c.telemetry && !c.sim_path);
+        let c = FileCtx::classify("crates/bench/src/bin/e7_dcm.rs");
+        assert!(!c.library);
+        let c = FileCtx::classify("crates/sim/src/units.rs");
+        assert!(c.units_file);
+        let c = FileCtx::classify("tests/determinism.rs");
+        assert!(!c.library && !c.sim_path);
+    }
+
+    #[test]
+    fn d2_fires_on_hashmap_not_string() {
+        let r = lint_source("use std::collections::HashMap;", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::D2]);
+        let r = lint_source(r#"let s = "HashMap";"#, &ctx_sim());
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line() {
+        let src = "// mrm-lint: allow(D2) sorted before iteration\n\
+                   use std::collections::HashMap;\n";
+        let r = lint_source(src, &ctx_sim());
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // Wrong rule in the annotation does not suppress.
+        let src = "// mrm-lint: allow(D1) wrong rule\nuse std::collections::HashMap;\n";
+        let r = lint_source(src, &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::D2]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "// mrm-lint: allow(D2)\nuse std::collections::HashMap;\n";
+        let r = lint_source(src, &ctx_sim());
+        assert!(rules_of(&r).contains(&RuleId::Meta));
+        assert!(
+            rules_of(&r).contains(&RuleId::D2),
+            "malformed allow must not suppress"
+        );
+    }
+
+    #[test]
+    fn d5_skips_cfg_test_and_records_test_mods() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   #[cfg(test)]\nmod tests {\n  fn g() { None::<u32>.unwrap(); }\n}\n\
+                   #[cfg(test)]\nmod proptests;\n";
+        let r = lint_source(src, &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::D5]);
+        assert_eq!(r.violations[0].line, 1);
+        assert_eq!(r.test_only_modules, vec!["proptests".to_string()]);
+    }
+
+    #[test]
+    fn d5_expect_empty_vs_actionable() {
+        let r = lint_source("fn f() { o().expect(\"\"); }", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::D5]);
+        let r = lint_source(
+            "fn f() { o().expect(\"queue non-empty by invariant\"); }",
+            &ctx_sim(),
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn u1_mixing_and_literals() {
+        let r = lint_source("let x = lat_ns + size_bytes;", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::U1]);
+        let r = lint_source("let x = read_ns + decode_ns;", &ctx_sim());
+        assert!(r.violations.is_empty(), "same class is fine");
+        let r = lint_source("let x = lat_ns * per_ns_pj;", &ctx_sim());
+        assert!(
+            r.violations.is_empty(),
+            "multiplication legitimately mixes units"
+        );
+        let r = lint_source("let e_pj = total_pj + dev.stats.sum_bytes;", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::U1], "postfix chain rhs");
+        let r = lint_source("let g = 1u64 << 30;", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::U1]);
+        let r = lint_source("let m = 1024 * 1024;", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::U1]);
+        let r = lint_source("let flags = 1 << 3;", &ctx_sim());
+        assert!(r.violations.is_empty(), "small shifts are not capacities");
+        let units = FileCtx::classify("crates/sim/src/units.rs");
+        let r = lint_source("pub const GIB: u64 = 1 << 30;", &units);
+        assert!(r.violations.is_empty(), "units.rs is the one allowed home");
+    }
+
+    #[test]
+    fn d4_in_telemetry_only() {
+        let tele = FileCtx::classify("crates/telemetry/src/sink.rs");
+        let r = lint_source("use mrm_sim::SimRng;", &tele);
+        assert_eq!(rules_of(&r), vec![RuleId::D4]);
+        let r = lint_source(
+            "use mrm_sim::SimRng;",
+            &FileCtx::classify("crates/bench/src/lib.rs"),
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn d1_d3_fire_in_sim_path() {
+        let r = lint_source("let t = Instant::now();", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::D1]);
+        let r = lint_source("let mut rng = thread_rng();", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::D3]);
+        let bench = FileCtx::classify("crates/bench/benches/device_ops.rs");
+        let r = lint_source("let t = Instant::now();", &bench);
+        assert!(r.violations.is_empty(), "bench harness may time things");
+    }
+}

@@ -1,0 +1,16 @@
+//! D1 fixture: wall-clock reads in a sim-path crate.
+//! Not compiled — consumed as text by `lint_tests.rs`.
+
+pub fn bad_instant() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn bad_wall() {
+    let _ = SystemTime::now().duration_since(UNIX_EPOCH);
+}
+
+pub fn suppressed() {
+    // mrm-lint: allow(D1) fixture: demonstrates a justified suppression
+    let _ = SystemTime::now();
+}

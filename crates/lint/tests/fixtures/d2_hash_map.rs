@@ -1,0 +1,17 @@
+//! D2 fixture: unordered collections in a sim-path crate.
+//! Not compiled — consumed as text by `lint_tests.rs`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Index {
+    by_zone: HashMap<u64, u32>,
+}
+
+// A string mention is not a violation:
+pub const DOC: &str = "HashMap is banned here";
+
+// mrm-lint: allow(D2) iteration is sorted into a Vec before any draw
+pub fn suppressed(m: &HashMap<u64, u32>) -> usize {
+    m.len()
+}

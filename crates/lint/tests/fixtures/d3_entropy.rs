@@ -1,0 +1,8 @@
+//! D3 fixture: ambient entropy in a sim-path crate.
+//! Not compiled — consumed as text by `lint_tests.rs`.
+
+pub fn bad() {
+    let mut rng = thread_rng();
+    let seeded = SmallRng::from_entropy();
+    let state = RandomState::new();
+}

@@ -1,0 +1,8 @@
+//! D4 fixture: telemetry reaching for randomness or the scheduler.
+//! Not compiled — consumed as text by `lint_tests.rs`.
+
+use mrm_sim::SimRng;
+
+pub fn bad_sink(queue: &mut EventQueue<u32>) {
+    queue.schedule_after(delay, 7);
+}

@@ -1,0 +1,27 @@
+//! D5 fixture: bare unwraps in library code, none in test code.
+//! Not compiled — consumed as text by `lint_tests.rs`.
+
+pub fn bad(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("")
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.expect("caller guarantees a queued event")
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // mrm-lint: allow(D5) fixture: invariant documented one line up
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! U1 fixture: unit-suffix mixing and raw capacity literals.
+//! Not compiled — consumed as text by `lint_tests.rs`.
+
+pub fn bad_mix(lat_ns: u64, size_bytes: u64, energy_pj: f64) {
+    let a = lat_ns + size_bytes;
+    let b = energy_pj < lat_ns as f64;
+    let c = total_pj - dev.stats.sum_bytes;
+}
+
+pub fn fine_mix(read_ns: u64, decode_ns: u64, size_bytes: u64, per_byte_pj: f64) {
+    let a = read_ns + decode_ns;
+    let e = size_bytes as f64 * per_byte_pj;
+}
+
+pub fn bad_literals() -> u64 {
+    let zone = 16 << 20;
+    let meg = 1024 * 1024;
+    zone + meg
+}
+
+pub fn fine_literals() -> u64 {
+    let flags = 1 << 3;
+    flags
+}
+
+pub fn suppressed() -> u64 {
+    // mrm-lint: allow(U1) fixture: a shift that is genuinely not a capacity
+    1 << 30
+}

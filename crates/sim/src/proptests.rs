@@ -36,6 +36,7 @@ proptest! {
     }
 
     #[test]
+    // mrm-lint: allow(U1) nanosecond range bound for proptest, not a byte capacity
     fn duration_arithmetic_is_consistent(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
         let da = SimDuration::from_nanos(a);
         let db = SimDuration::from_nanos(b);
@@ -47,6 +48,7 @@ proptest! {
     }
 
     #[test]
+    // mrm-lint: allow(U1) nanosecond range bound for proptest, not a byte capacity
     fn duration_float_roundtrip(ns in 1u64..1u64 << 50) {
         let d = SimDuration::from_nanos(ns);
         let back = SimDuration::from_secs_f64(d.as_secs_f64());
@@ -106,7 +108,7 @@ proptest! {
         let d = Empirical::from_quantiles(table);
         let mut last = f64::NEG_INFINITY;
         for i in 0..=20 {
-            let q = i as f64 / 20.0;
+            let q = f64::from(i) / 20.0;
             let v = d.quantile(q);
             prop_assert!(v >= last, "quantile not monotone at {}", q);
             last = v;
@@ -138,8 +140,8 @@ proptest! {
         prop_assert_eq!(ab.count(), whole.count());
         prop_assert!((ab.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
         prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
-        prop_assert_eq!(ab.min(), whole.min());
-        prop_assert_eq!(ab.max(), whole.max());
+        prop_assert_eq!(ab.min().to_bits(), whole.min().to_bits());
+        prop_assert_eq!(ab.max().to_bits(), whole.max().to_bits());
     }
 
     #[test]
@@ -179,8 +181,8 @@ proptest! {
             merged.merge(p);
         }
         prop_assert_eq!(merged.count(), whole.count());
-        prop_assert_eq!(merged.min(), whole.min());
-        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.min().to_bits(), whole.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), whole.max().to_bits());
         let scale = 1.0 + whole.mean().abs();
         prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6 * scale);
         prop_assert!((merged.sum() - whole.sum()).abs() < 1e-6 * scale * xs.len() as f64);
@@ -206,12 +208,17 @@ proptest! {
             merged.merge(p);
         }
         prop_assert_eq!(merged.count(), whole.count());
-        prop_assert_eq!(merged.min(), whole.min());
-        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(merged.min().to_bits(), whole.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), whole.max().to_bits());
         // Bucket counts (and so percentiles) must agree exactly: merging is
         // pure counter addition.
         for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
-            prop_assert_eq!(merged.percentile(p), whole.percentile(p), "p{}", p);
+            prop_assert_eq!(
+                merged.percentile(p).to_bits(),
+                whole.percentile(p).to_bits(),
+                "p{}",
+                p
+            );
         }
     }
 }

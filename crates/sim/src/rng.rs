@@ -91,7 +91,7 @@ impl SimRng {
         // Lemire's multiply-shift rejection method.
         loop {
             let x = self.next_u64();
-            let m = (x as u128).wrapping_mul(bound as u128);
+            let m = u128::from(x).wrapping_mul(u128::from(bound));
             let low = m as u64;
             if low >= bound {
                 return (m >> 64) as u64;
@@ -187,7 +187,7 @@ mod tests {
     fn f64_mean_near_half() {
         let mut r = SimRng::seed_from(99);
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / f64::from(n);
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
@@ -209,8 +209,11 @@ mod tests {
             counts[r.gen_range_u64(10) as usize] += 1;
         }
         for &c in &counts {
-            let expected = n as f64 / 10.0;
-            assert!((c as f64 - expected).abs() < expected * 0.05, "count {c}");
+            let expected = f64::from(n) / 10.0;
+            assert!(
+                (f64::from(c) - expected).abs() < expected * 0.05,
+                "count {c}"
+            );
         }
     }
 

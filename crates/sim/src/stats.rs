@@ -211,7 +211,7 @@ impl LogHistogram {
         let lg = x.log2();
         let octave = lg.floor();
         let frac = lg - octave;
-        let idx = octave as u32 * self.sub + (frac * self.sub as f64) as u32;
+        let idx = octave as u32 * self.sub + (frac * f64::from(self.sub)) as u32;
         Some((idx as usize).min(self.counts.len() - 1))
     }
 
@@ -265,10 +265,10 @@ impl LogHistogram {
             seen += c;
             if seen >= target {
                 // Geometric midpoint of the bucket.
-                let octave = (i as u32 / self.sub) as f64;
-                let subi = (i as u32 % self.sub) as f64;
-                let lo = octave + subi / self.sub as f64;
-                let hi = octave + (subi + 1.0) / self.sub as f64;
+                let octave = f64::from(i as u32 / self.sub);
+                let subi = f64::from(i as u32 % self.sub);
+                let lo = octave + subi / f64::from(self.sub);
+                let hi = octave + (subi + 1.0) / f64::from(self.sub);
                 return 2f64.powf(0.5 * (lo + hi));
             }
         }
@@ -403,14 +403,14 @@ mod tests {
     #[test]
     fn welford_basics() {
         let mut s = StreamingStats::new();
-        assert_eq!(s.mean(), 0.0);
+        assert!(s.mean().abs() < f64::EPSILON);
         for x in 1..=100 {
-            s.record(x as f64);
+            s.record(f64::from(x));
         }
         assert_eq!(s.count(), 100);
         assert!((s.mean() - 50.5).abs() < 1e-9);
-        assert_eq!(s.min(), 1.0);
-        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.min().to_bits(), 1.0f64.to_bits());
+        assert_eq!(s.max().to_bits(), 100.0f64.to_bits());
         assert!((s.sample_variance() - 841.6666667).abs() < 1e-4);
     }
 
@@ -420,7 +420,7 @@ mod tests {
         let mut a = StreamingStats::new();
         let mut b = StreamingStats::new();
         for i in 0..1000 {
-            let x = (i as f64).sin() * 10.0 + 5.0;
+            let x = f64::from(i).sin() * 10.0 + 5.0;
             all.record(x);
             if i % 2 == 0 {
                 a.record(x)
@@ -480,7 +480,7 @@ mod tests {
         assert_eq!(h.count(), 0);
         h.record(0.5); // underflow bucket
         assert_eq!(h.count(), 1);
-        assert_eq!(h.percentile(50.0), 0.5);
+        assert_eq!(h.percentile(50.0).to_bits(), 0.5f64.to_bits());
     }
 
     #[test]
@@ -507,7 +507,7 @@ mod tests {
         w.update(t(20), 0.0); // 100 for 10 s
         let avg = w.average_at(t(20));
         assert!((avg - 50.0).abs() < 1e-9, "avg {avg}");
-        assert_eq!(w.max(), 100.0);
+        assert_eq!(w.max().to_bits(), 100.0f64.to_bits());
         // Holding the last value extends the integral.
         let avg30 = w.average_at(t(40));
         assert!((avg30 - 25.0).abs() < 1e-9, "avg30 {avg30}");
@@ -516,8 +516,11 @@ mod tests {
     #[test]
     fn time_weighted_empty_window() {
         let w = TimeWeighted::new(SimTime::from_secs(5), 7.0);
-        assert_eq!(w.average_at(SimTime::from_secs(5)), 7.0);
-        assert_eq!(w.current(), 7.0);
+        assert_eq!(
+            w.average_at(SimTime::from_secs(5)).to_bits(),
+            7.0f64.to_bits()
+        );
+        assert_eq!(w.current().to_bits(), 7.0f64.to_bits());
     }
 
     #[test]
@@ -530,12 +533,12 @@ mod tests {
         assert!(!json.contains("inf"), "no non-finite leak: {json}");
         let mut back: StreamingStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back.count(), 0);
-        assert_eq!(back.min(), f64::INFINITY);
-        assert_eq!(back.max(), f64::NEG_INFINITY);
+        assert_eq!(back.min().to_bits(), f64::INFINITY.to_bits());
+        assert_eq!(back.max().to_bits(), f64::NEG_INFINITY.to_bits());
         // A revived accumulator keeps working like a fresh one.
         back.record(2.0);
-        assert_eq!(back.min(), 2.0);
-        assert_eq!(back.max(), 2.0);
+        assert_eq!(back.min().to_bits(), 2.0f64.to_bits());
+        assert_eq!(back.max().to_bits(), 2.0f64.to_bits());
     }
 
     #[test]
@@ -547,8 +550,8 @@ mod tests {
         let back: StreamingStats =
             serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back.count(), 3);
-        assert_eq!(back.min(), -1.25);
-        assert_eq!(back.max(), 10.0);
+        assert_eq!(back.min().to_bits(), (-1.25f64).to_bits());
+        assert_eq!(back.max().to_bits(), 10.0f64.to_bits());
         assert!((back.mean() - s.mean()).abs() < 1e-12);
         assert!((back.sample_variance() - s.sample_variance()).abs() < 1e-12);
     }
@@ -561,7 +564,7 @@ mod tests {
         let json = serde_json::to_string(&h).unwrap();
         let back: LogHistogram = serde_json::from_str(&json).unwrap();
         assert_eq!(back.count(), 0);
-        assert_eq!(back.percentile(50.0), 0.0);
+        assert!(back.percentile(50.0).abs() < f64::EPSILON);
     }
 
     #[test]

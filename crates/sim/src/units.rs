@@ -143,7 +143,8 @@ mod tests {
 
     #[test]
     fn bandwidth_helpers() {
-        assert_eq!(gb_per_s(8.0), 8e9);
-        assert_eq!(tb_per_s(8.0), 8e12); // B200-class HBM bandwidth
+        // Pure scaling by a power-of-ten constant: exact in f64.
+        assert_eq!(gb_per_s(8.0).to_bits(), 8e9f64.to_bits());
+        assert_eq!(tb_per_s(8.0).to_bits(), 8e12f64.to_bits()); // B200-class HBM bandwidth
     }
 }

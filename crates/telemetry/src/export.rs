@@ -102,7 +102,7 @@ mod tests {
         r.set(g, 0.5);
         let h = r.histogram("latency_ms");
         for x in 1..=100 {
-            r.observe(h, x as f64);
+            r.observe(h, f64::from(x));
         }
         r
     }

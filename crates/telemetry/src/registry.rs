@@ -366,7 +366,7 @@ mod tests {
         let mut r = MetricsRegistry::new();
         let h = r.histogram("lat");
         for x in 1..=100 {
-            r.observe(h, x as f64);
+            r.observe(h, f64::from(x));
         }
         let hist = r.histogram_by_name("lat").unwrap();
         assert_eq!(hist.count(), 100);

@@ -84,7 +84,8 @@ mod tests {
         let (at, ev) = t.events().iter().next().unwrap();
         assert_eq!(at.as_nanos(), 1_000);
         assert_eq!(ev.name, "gc_pass");
-        assert_eq!(ev.value, 750.0);
+        // Integer nanoseconds convert exactly into f64 here.
+        assert_eq!(ev.value.to_bits(), 750.0f64.to_bits());
     }
 
     #[test]

@@ -657,7 +657,8 @@ impl<'t> ClusterSim<'t> {
             // absorbs (the first admission may exceed the budget so big
             // prompts are never starved).
             if prefill_tokens > 0
-                && prefill_tokens + p.prompt_tokens as u64 > self.cfg.prefill_chunk_tokens as u64
+                && prefill_tokens + u64::from(p.prompt_tokens)
+                    > u64::from(self.cfg.prefill_chunk_tokens)
             {
                 break;
             }
@@ -672,7 +673,7 @@ impl<'t> ClusterSim<'t> {
                 },
                 None => (0, Vec::new(), 0),
             };
-            let new_tokens = p.prompt_tokens as u64 + p.output_tokens as u64;
+            let new_tokens = u64::from(p.prompt_tokens) + u64::from(p.output_tokens);
             let need = new_tokens * kvpt;
             let lifetime = self.estimator.kv_lifetime(p.output_tokens);
             let retention = policy.retention_for(
@@ -730,8 +731,8 @@ impl<'t> ClusterSim<'t> {
             };
             a.queue.pop_front();
             // Prefill traffic: the new prompt's KV vectors are written.
-            prefill_write_bytes += p.prompt_tokens as u64 * kvpt;
-            prefill_tokens += p.prompt_tokens as u64;
+            prefill_write_bytes += u64::from(p.prompt_tokens) * kvpt;
+            prefill_tokens += u64::from(p.prompt_tokens);
             let mut kv_allocs = base_allocs;
             kv_allocs.push(alloc);
             a.batch.push(Active {
@@ -754,7 +755,11 @@ impl<'t> ClusterSim<'t> {
         // Iteration duration from memory traffic (§2.2 arithmetic).
         let weights_bytes = self.cfg.model.weights_bytes(self.cfg.quant);
         let batch_len = a.batch.len() as u64;
-        let kv_read_total: u64 = a.batch.iter().map(|r| r.context_tokens as u64 * kvpt).sum();
+        let kv_read_total: u64 = a
+            .batch
+            .iter()
+            .map(|r| u64::from(r.context_tokens) * kvpt)
+            .sum();
         let act_bytes = self
             .cfg
             .model
@@ -1158,8 +1163,15 @@ mod tests {
         assert_eq!(plain.scrubs, traced.scrubs);
         assert_eq!(plain.migrations, traced.migrations);
         assert_eq!(plain.evictions, traced.evictions);
-        assert_eq!(plain.energy_total_j, traced.energy_total_j);
-        assert_eq!(plain.p99_latency_ms, traced.p99_latency_ms);
+        // Telemetry must be a pure observer: bit-identical results.
+        assert_eq!(
+            plain.energy_total_j.to_bits(),
+            traced.energy_total_j.to_bits()
+        );
+        assert_eq!(
+            plain.p99_latency_ms.to_bits(),
+            traced.p99_latency_ms.to_bits()
+        );
 
         // 30 s pumped at 5 s → exactly 6 boundary-stamped snapshots.
         let snaps = tele.snapshots();

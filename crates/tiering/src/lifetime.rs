@@ -41,7 +41,7 @@ impl LifetimeEstimator {
     /// still to decode: the decode tail plus the follow-up window.
     pub fn kv_lifetime(&self, remaining_tokens: u32) -> SimDuration {
         let decode_tail =
-            SimDuration::from_secs_f64(remaining_tokens as f64 / self.decode_tokens_per_s);
+            SimDuration::from_secs_f64(f64::from(remaining_tokens) / self.decode_tokens_per_s);
         decode_tail + self.followup_window
     }
 

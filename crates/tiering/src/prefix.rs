@@ -14,7 +14,7 @@
 //! `(parent node, chunk hash)` with reference counts, exactly the shape a
 //! control plane would pin MRM zones with.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -61,7 +61,7 @@ pub struct PrefixInsert {
 #[derive(Clone, Debug, Default)]
 pub struct PrefixCache {
     chunk_tokens: u32,
-    children: HashMap<(PrefixNodeId, u64), PrefixNodeId>,
+    children: BTreeMap<(PrefixNodeId, u64), PrefixNodeId>,
     nodes: Vec<Node>,
     /// Cumulative stats.
     hits_tokens: u64,
@@ -94,7 +94,7 @@ impl PrefixCache {
 
     /// Total KV tokens resident in the cache (deduplicated).
     pub fn resident_tokens(&self) -> u64 {
-        self.nodes.iter().map(|n| n.tokens as u64).sum()
+        self.nodes.iter().map(|n| u64::from(n.tokens)).sum()
     }
 
     /// Cumulative `(hit_tokens, miss_tokens)`.
@@ -129,7 +129,7 @@ impl PrefixCache {
             let id = match self.children.get(&(parent, h)) {
                 Some(&id) if self.nodes[id.0 as usize].tokens > 0 => {
                     self.nodes[id.0 as usize].refcount += 1;
-                    hit_tokens += chunk as u64;
+                    hit_tokens += u64::from(chunk);
                     id
                 }
                 _ => {
@@ -139,7 +139,7 @@ impl PrefixCache {
                         tokens: chunk,
                     });
                     self.children.insert((parent, h), id);
-                    new_tokens += chunk as u64;
+                    new_tokens += u64::from(chunk);
                     id
                 }
             };
@@ -183,7 +183,7 @@ impl PrefixCache {
             };
             for (i, n) in self.nodes.iter_mut().enumerate() {
                 if n.tokens > 0 && n.refcount == 0 && !has_live_child[i] {
-                    reclaimed += n.tokens as u64;
+                    reclaimed += u64::from(n.tokens);
                     n.tokens = 0;
                     changed = true;
                 }

@@ -256,10 +256,14 @@ mod tests {
         );
         assert_eq!(base.bytes_written, traced.bytes_written);
         assert_eq!(base.max_zone_cycles, traced.max_zone_cycles);
-        assert_eq!(base.mean_zone_cycles, traced.mean_zone_cycles);
+        // Telemetry must be a pure observer: bit-identical results.
         assert_eq!(
-            base.projected_lifetime_years,
-            traced.projected_lifetime_years
+            base.mean_zone_cycles.to_bits(),
+            traced.mean_zone_cycles.to_bits()
+        );
+        assert_eq!(
+            base.projected_lifetime_years.to_bits(),
+            traced.projected_lifetime_years.to_bits()
         );
         // 600 s window pumped at 60 s → boundaries 60..=600.
         assert_eq!(tele.snapshots().len(), 10);

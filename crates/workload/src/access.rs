@@ -135,6 +135,7 @@ impl TraceRecord for MemOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrm_sim::units::GIB;
 
     #[test]
     fn constructors_set_kinds() {
@@ -151,7 +152,7 @@ mod tests {
         assert!(a.is_write());
         assert_eq!(a.request, Some(RequestId(3)));
 
-        let w = MemOp::write(DataClass::Weights, 1 << 30, SimDuration::from_days(30));
+        let w = MemOp::write(DataClass::Weights, GIB, SimDuration::from_days(30));
         assert!(w.is_write());
         assert_eq!(w.kind, MemOpKind::Write);
     }

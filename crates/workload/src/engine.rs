@@ -73,7 +73,7 @@ pub struct BatchTokenCost {
 impl BatchTokenCost {
     /// Per-token average cost across the batch.
     pub fn per_token(&self) -> TokenCost {
-        let b = self.batch.max(1) as u64;
+        let b = u64::from(self.batch.max(1));
         TokenCost {
             weights_read: self.weights_read / b,
             kv_read: self.kv_read / b,
@@ -118,7 +118,9 @@ impl DecodeEngine {
     pub fn token_cost(&self, context_tokens: u32) -> TokenCost {
         TokenCost {
             weights_read: self.model.weights_bytes(self.quant),
-            kv_read: self.model.kv_cache_bytes(context_tokens as u64, self.quant),
+            kv_read: self
+                .model
+                .kv_cache_bytes(u64::from(context_tokens), self.quant),
             kv_write: self.model.kv_bytes_per_token(self.quant),
             activation_rw: self.model.activation_bytes(1, self.quant),
         }
@@ -131,13 +133,13 @@ impl DecodeEngine {
         let batch = context_tokens.len() as u32;
         let kv_read: u64 = context_tokens
             .iter()
-            .map(|&c| self.model.kv_cache_bytes(c as u64, self.quant))
+            .map(|&c| self.model.kv_cache_bytes(u64::from(c), self.quant))
             .sum();
         BatchTokenCost {
             batch,
             weights_read: self.model.weights_bytes(self.quant),
             kv_read,
-            kv_write: batch as u64 * self.model.kv_bytes_per_token(self.quant),
+            kv_write: u64::from(batch) * self.model.kv_bytes_per_token(self.quant),
             activation_rw: self.model.activation_bytes(batch.max(1), self.quant),
         }
     }
@@ -149,8 +151,12 @@ impl DecodeEngine {
     pub fn prefill_cost(&self, prompt_tokens: u32) -> TokenCost {
         TokenCost {
             weights_read: self.model.weights_bytes(self.quant),
-            kv_read: self.model.kv_cache_bytes(prompt_tokens as u64, self.quant),
-            kv_write: self.model.kv_cache_bytes(prompt_tokens as u64, self.quant),
+            kv_read: self
+                .model
+                .kv_cache_bytes(u64::from(prompt_tokens), self.quant),
+            kv_write: self
+                .model
+                .kv_cache_bytes(u64::from(prompt_tokens), self.quant),
             activation_rw: self
                 .model
                 .activation_bytes(prompt_tokens.max(1), self.quant),

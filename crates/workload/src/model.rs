@@ -81,9 +81,9 @@ impl ModelConfig {
     /// dimension.
     pub fn kv_bytes_per_token(&self, q: Quantization) -> u64 {
         let values = 2u64 // K and V
-            * self.n_layers as u64
-            * self.n_kv_heads as u64
-            * self.head_dim() as u64;
+            * u64::from(self.n_layers)
+            * u64::from(self.n_kv_heads)
+            * u64::from(self.head_dim());
         (values as f64 * q.bytes_per_value()) as u64
     }
 
@@ -98,9 +98,9 @@ impl ModelConfig {
     /// over layers — activations are freed as the pass proceeds (§2:
     /// "only stored during the forward pass computation").
     pub fn activation_bytes(&self, batch: u32, q: Quantization) -> u64 {
-        let per_token = (1 + 4) * self.d_model as u64; // hidden + MLP intermediate
-        (batch as u64 * per_token) * 2 // fp16 accumulation regardless of weight q
-            + (batch as u64 * self.d_model as u64 * q.bytes_per_value() as u64)
+        let per_token = (1 + 4) * u64::from(self.d_model); // hidden + MLP intermediate
+        (u64::from(batch) * per_token) * 2 // fp16 accumulation regardless of weight q
+            + (u64::from(batch) * u64::from(self.d_model) * q.bytes_per_value() as u64)
     }
 
     /// Llama2-7B.

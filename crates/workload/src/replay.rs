@@ -290,7 +290,7 @@ mod tests {
         let t = RequestTrace::new();
         assert!(t.is_empty());
         assert_eq!(t.duration(), SimDuration::ZERO);
-        assert_eq!(t.arrival_rate(), 0.0);
+        assert!(t.arrival_rate().abs() < f64::EPSILON);
         assert_eq!(RequestTrace::from_csv("").unwrap(), t);
     }
 }

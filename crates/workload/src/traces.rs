@@ -112,8 +112,8 @@ impl RequestSampler {
         let (ps, os) = kind.sigma();
         RequestSampler {
             kind,
-            prompt: LogNormal::from_median(kind.median_prompt_tokens() as f64, ps),
-            output: LogNormal::from_median(kind.median_output_tokens() as f64, os),
+            prompt: LogNormal::from_median(f64::from(kind.median_prompt_tokens()), ps),
+            output: LogNormal::from_median(f64::from(kind.median_output_tokens()), os),
             max_context,
         }
     }
@@ -212,6 +212,7 @@ mod tests {
     fn medians_match_published_values() {
         let mut rng = SimRng::seed_from(1);
         for kind in [TraceKind::Conversation, TraceKind::Coding] {
+            // mrm-lint: allow(U1) token-count truncation bound, not a byte capacity
             let s = RequestSampler::new(kind, 1 << 20); // effectively untruncated
             let (prompts, outputs): (Vec<u32>, Vec<u32>) =
                 (0..40_001).map(|_| s.sample(&mut rng)).unzip();
@@ -220,11 +221,11 @@ mod tests {
             let p_target = kind.median_prompt_tokens();
             let o_target = kind.median_output_tokens();
             assert!(
-                (pm as f64 / p_target as f64 - 1.0).abs() < 0.06,
+                (f64::from(pm) / f64::from(p_target) - 1.0).abs() < 0.06,
                 "{kind:?} prompt median {pm} vs {p_target}"
             );
             assert!(
-                (om as f64 / o_target as f64 - 1.0).abs() < 0.12,
+                (f64::from(om) / f64::from(o_target) - 1.0).abs() < 0.12,
                 "{kind:?} output median {om} vs {o_target}"
             );
         }
@@ -246,8 +247,8 @@ mod tests {
         let mut rng = SimRng::seed_from(2);
         let conv = RequestSampler::new(TraceKind::Conversation, 4096);
         let code = RequestSampler::new(TraceKind::Coding, 4096);
-        let conv_out: u64 = (0..5000).map(|_| conv.sample(&mut rng).1 as u64).sum();
-        let code_out: u64 = (0..5000).map(|_| code.sample(&mut rng).1 as u64).sum();
+        let conv_out: u64 = (0..5000).map(|_| u64::from(conv.sample(&mut rng).1)).sum();
+        let code_out: u64 = (0..5000).map(|_| u64::from(code.sample(&mut rng).1)).sum();
         assert!(
             conv_out > 3 * code_out,
             "conv {conv_out} vs code {code_out}"
@@ -262,7 +263,7 @@ mod tests {
         let conv = (0..n)
             .filter(|_| matches!(mix.sample_request(&mut rng).0, TraceKind::Conversation))
             .count();
-        let frac = conv as f64 / n as f64;
+        let frac = conv as f64 / f64::from(n);
         assert!((frac - 0.7).abs() < 0.02, "conversation fraction {frac}");
     }
 
@@ -274,7 +275,7 @@ mod tests {
         let total: f64 = (0..n)
             .map(|_| mix.next_interarrival(&mut rng).as_secs_f64())
             .sum();
-        let mean = total / n as f64;
+        let mean = total / f64::from(n);
         assert!((mean - 0.02).abs() < 0.001, "mean gap {mean}");
     }
 
@@ -285,6 +286,6 @@ mod tests {
             t.prefill_tokens_per_s > t.decode_tokens_per_s,
             "prefill is higher throughput (§3)"
         );
-        assert_eq!(t.total_tokens_per_s(), 8500.0);
+        assert!((t.total_tokens_per_s() - 8500.0).abs() < f64::EPSILON);
     }
 }

@@ -41,11 +41,11 @@ fn main() {
         let (prompt, output) = sampler.sample(&mut rng);
         // Lifetime hint: decode tail + a 10-minute follow-up window.
         let lifetime =
-            SimDuration::from_secs_f64(output as f64 / 30.0) + SimDuration::from_mins(10);
+            SimDuration::from_secs_f64(f64::from(output) / 30.0) + SimDuration::from_mins(10);
         let stream = dev.create_stream(lifetime).unwrap();
 
         // Prefill: the whole prompt's vectors land as one append burst.
-        dev.append(now, stream, prompt as u64 * kvpt).unwrap();
+        dev.append(now, stream, u64::from(prompt) * kvpt).unwrap();
 
         // Decode: read-everything / append-one-vector per token (§2.2).
         let mut context = prompt;

@@ -3,6 +3,7 @@
 
 use mrm::sim::rng::SimRng;
 use mrm::sim::time::SimDuration;
+use mrm::sim::units::MIB;
 use mrm::tiering::cluster::{run_cluster, ClusterConfig};
 use mrm::tiering::placement::PlacementPolicy;
 use mrm::tiering::wear::{simulate_wear, WearPolicy};
@@ -57,12 +58,12 @@ fn trace_mix_reproducible_across_instances() {
 fn wear_sim_reproducible() {
     let run = || {
         let mut tech = mrm::device::tech::presets::mrm_hours();
-        tech.capacity_bytes = 256 << 20;
+        tech.capacity_bytes = 256 * MIB;
         simulate_wear(
             tech,
-            4 << 20,
-            16 << 20,
-            (64 << 20) as f64,
+            4 * MIB,
+            16 * MIB,
+            (64 * MIB) as f64,
             SimDuration::from_secs(300),
             WearPolicy::LeastWorn,
         )

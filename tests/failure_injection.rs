@@ -9,7 +9,7 @@ use mrm::ecc::hamming::{Hamming, HammingOutcome};
 use mrm::ecc::interleave::Interleaver;
 use mrm::sim::rng::SimRng;
 use mrm::sim::time::{SimDuration, SimTime};
-use mrm::sim::units::GIB;
+use mrm::sim::units::{GIB, MIB};
 
 /// Monte-Carlo RBER injection against the analytic binomial-tail model:
 /// the measured codeword failure rate must agree with the prediction.
@@ -35,7 +35,7 @@ fn measured_bch_failure_rate_matches_analysis() {
             _ => failures += 1,
         }
     }
-    let measured = failures as f64 / trials as f64;
+    let measured = f64::from(failures) / f64::from(trials);
     let predicted = codeword_failure_prob(code.n() as u64, code.t() as u64, rber);
     assert!(
         (measured / predicted - 1.0).abs() < 0.25,
@@ -51,12 +51,12 @@ fn aged_reads_rber_is_consistent_with_integrity() {
     let mut dev = MrmDevice::new(MrmConfig::hours_class(GIB));
     let t0 = SimTime::ZERO;
     let s = dev.create_stream(SimDuration::from_mins(8)).unwrap(); // 10m class
-    dev.append(t0, s, 32 << 20).unwrap();
+    dev.append(t0, s, 32 * MIB).unwrap();
 
     let ecc: EccConfig = dev.config().ecc;
     for mins in [1u64, 5, 9, 15] {
         let r = dev
-            .read(t0 + SimDuration::from_mins(mins), s, 0, 32 << 20)
+            .read(t0 + SimDuration::from_mins(mins), s, 0, 32 * MIB)
             .unwrap();
         let recomputed = codeword_failure_prob(ecc.codeword_bits() as u64, ecc.t as u64, r.rber);
         assert!(
@@ -131,7 +131,7 @@ fn wearout_is_reported_not_hidden() {
     use mrm::device::device::MemoryDevice;
     let mut tech = mrm::device::tech::presets::rram_product();
     tech.endurance = 5.0;
-    tech.capacity_bytes = 1 << 20;
+    tech.capacity_bytes = MIB;
     let mut dev = MemoryDevice::new(tech);
     for _ in 0..6 {
         dev.write(SimTime::ZERO, 0, 4096).unwrap();

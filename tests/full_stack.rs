@@ -5,7 +5,7 @@
 use mrm::core::config::MrmConfig;
 use mrm::core::device::{MrmDevice, MrmError, ReadIntegrity};
 use mrm::sim::time::{SimDuration, SimTime};
-use mrm::sim::units::GIB;
+use mrm::sim::units::{GIB, MIB};
 use mrm::workload::engine::DecodeEngine;
 use mrm::workload::model::{ModelConfig, Quantization};
 
@@ -63,7 +63,7 @@ fn integrity_lifecycle_clean_degraded_expired_scrubbed() {
     let t0 = SimTime::ZERO;
     // 8-minute lifetime hint -> 10-minute DCM class.
     let s = dev.create_stream(SimDuration::from_mins(8)).unwrap();
-    dev.append(t0, s, 64 << 20).unwrap();
+    dev.append(t0, s, 64 * MIB).unwrap();
 
     let at = |mins: u64| t0 + SimDuration::from_mins(mins);
     let len = dev.stream_len(s).unwrap();
@@ -84,9 +84,9 @@ fn integrity_lifecycle_clean_degraded_expired_scrubbed() {
     // Scrub just before expiry on a fresh device re-arms the deadline.
     let mut dev2 = device();
     let s2 = dev2.create_stream(SimDuration::from_mins(8)).unwrap();
-    dev2.append(t0, s2, 64 << 20).unwrap();
+    dev2.append(t0, s2, 64 * MIB).unwrap();
     dev2.scrub_stream(at(7), s2).unwrap();
-    let r = dev2.read(at(12), s2, 0, 64 << 20).unwrap();
+    let r = dev2.read(at(12), s2, 0, 64 * MIB).unwrap();
     assert_ne!(r.integrity, ReadIntegrity::Expired);
     assert!(dev2.stats().energy.housekeeping_j > 0.0);
 }
@@ -97,8 +97,8 @@ fn expiry_registry_feeds_the_control_plane() {
     let t0 = SimTime::ZERO;
     let short = dev.create_stream(SimDuration::from_mins(5)).unwrap();
     let long = dev.create_stream(SimDuration::from_hours(8)).unwrap(); // 12h class
-    dev.append(t0, short, 1 << 20).unwrap();
-    dev.append(t0, long, 1 << 20).unwrap();
+    dev.append(t0, short, MIB).unwrap();
+    dev.append(t0, long, MIB).unwrap();
 
     let horizon = t0 + SimDuration::from_hours(1);
     let due = dev.streams_expiring_before(horizon);
@@ -112,17 +112,14 @@ fn expiry_registry_feeds_the_control_plane() {
 
 #[test]
 fn capacity_exhaustion_and_reclaim() {
-    let mut dev = MrmDevice::new(MrmConfig::hours_class(1 << 30).with_zone_bytes(16 << 20));
+    let mut dev = MrmDevice::new(MrmConfig::hours_class(GIB).with_zone_bytes(16 * MIB));
     let t0 = SimTime::ZERO;
     let a = dev.create_stream(SimDuration::from_hours(1)).unwrap();
-    dev.append(t0, a, 1 << 30).unwrap();
+    dev.append(t0, a, GIB).unwrap();
     let b = dev.create_stream(SimDuration::from_hours(1)).unwrap();
-    assert_eq!(
-        dev.append(t0, b, 1 << 20).unwrap_err(),
-        MrmError::OutOfSpace
-    );
+    assert_eq!(dev.append(t0, b, MIB).unwrap_err(), MrmError::OutOfSpace);
     dev.delete_stream(a).unwrap();
-    dev.append(t0, b, 1 << 20).unwrap();
+    dev.append(t0, b, MIB).unwrap();
 }
 
 #[test]

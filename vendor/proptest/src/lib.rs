@@ -62,10 +62,10 @@ impl TestRng {
     pub fn for_case(test_name: &str, case: u32) -> Self {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in test_name.bytes() {
-            h ^= b as u64;
+            h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        let mut sm = h ^ ((case as u64) << 32) ^ case as u64;
+        let mut sm = h ^ (u64::from(case) << 32) ^ u64::from(case);
         TestRng {
             s: [
                 splitmix64(&mut sm),
@@ -99,7 +99,7 @@ impl TestRng {
         debug_assert!(bound > 0);
         // Multiply-shift; the tiny modulo bias is irrelevant for test-input
         // generation.
-        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 }
 
@@ -122,6 +122,9 @@ macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
+            // `as` casts are required: the macro also instantiates for
+            // usize/isize, which have no `From` conversion into i128.
+            #[allow(clippy::cast_lossless)]
             fn sample(&self, rng: &mut TestRng) -> $t {
                 assert!(self.start < self.end, "empty range strategy");
                 let width = (self.end as i128 - self.start as i128) as u64;
@@ -130,6 +133,7 @@ macro_rules! impl_int_range_strategy {
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
+            #[allow(clippy::cast_lossless)]
             fn sample(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");

@@ -154,24 +154,41 @@ macro_rules! impl_ser_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
-                Value::U64(*self as u64)
+                Value::U64(u64::from(*self))
             }
         }
     )*};
 }
-impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
 
 macro_rules! impl_ser_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
-                let v = *self as i64;
+                let v = i64::from(*self);
                 if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
             }
         }
     )*};
 }
-impl_ser_int!(i8, i16, i32, i64, isize);
+impl_ser_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        let v = *self as i64;
+        if v >= 0 {
+            Value::U64(v as u64)
+        } else {
+            Value::I64(v)
+        }
+    }
+}
 
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
@@ -181,7 +198,7 @@ impl Serialize for f64 {
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
-        Value::F64(*self as f64)
+        Value::F64(f64::from(*self))
     }
 }
 
@@ -272,8 +289,8 @@ impl Deserialize for bool {
 
 fn int_from_value(v: &Value) -> Result<i128, Error> {
     match v {
-        Value::U64(x) => Ok(*x as i128),
-        Value::I64(x) => Ok(*x as i128),
+        Value::U64(x) => Ok(i128::from(*x)),
+        Value::I64(x) => Ok(i128::from(*x)),
         other => Err(Error::custom(format!(
             "expected integer, got {}",
             other.kind()
@@ -367,7 +384,10 @@ mod tests {
     fn scalars_round_trip_through_values() {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
-        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            f64::from_value(&1.5f64.to_value()).unwrap().to_bits(),
+            1.5f64.to_bits()
+        );
         assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_value()).unwrap(),

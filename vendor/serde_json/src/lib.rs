@@ -146,9 +146,11 @@ fn write_f64(out: &mut String, x: f64) {
         out.push_str("null");
         return;
     }
-    let _ = if x == x.trunc() && x.abs() < 1e15 {
+    // Bit-equality with trunc() is exact integrality (x is finite here, and
+    // trunc preserves the sign of zero); `abs() > 0.0` is exact non-zeroness.
+    let _ = if x.to_bits() == x.trunc().to_bits() && x.abs() < 1e15 {
         write!(out, "{x:.1}")
-    } else if x != 0.0 && (x.abs() >= 1e16 || x.abs() < 1e-6) {
+    } else if x.abs() > 0.0 && (x.abs() >= 1e16 || x.abs() < 1e-6) {
         write!(out, "{x:e}")
     } else {
         write!(out, "{x}")
@@ -386,10 +388,11 @@ mod tests {
         assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        // The writer emits enough digits for an exact round-trip.
         let big: f64 = from_str(&to_string(&1.23e300f64).unwrap()).unwrap();
-        assert_eq!(big, 1.23e300);
+        assert_eq!(big.to_bits(), 1.23e300f64.to_bits());
         let tiny: f64 = from_str(&to_string(&4.5e-9f64).unwrap()).unwrap();
-        assert_eq!(tiny, 4.5e-9);
+        assert_eq!(tiny.to_bits(), 4.5e-9f64.to_bits());
     }
 
     #[test]
