@@ -1,0 +1,471 @@
+//! **perf_suite** — wall-clock performance harness for the simulator's hot
+//! paths.
+//!
+//! Unlike the experiment binaries (which report *simulated* quantities),
+//! this one measures real elapsed time on pinned scenarios and writes the
+//! numbers to `BENCH_pool.json` / `BENCH_cluster.json` in the current
+//! directory, so regressions show up as a diff. Timing is a hand-rolled
+//! warmup + median-of-k loop — no external bench framework, and the
+//! medians are robust to a noisy neighbour or two.
+//!
+//! Scenarios:
+//!
+//! * `pool_churn` — a deterministic alloc/free churn with ~10 k live
+//!   allocations, run through both the tree-based [`Pool`] and the retained
+//!   [`LegacyVecPool`] (the pre-optimization linear scan). Both see the
+//!   identical op sequence and must produce the identical address stream —
+//!   the checksum is asserted — so `speedup_vs_legacy` compares like for
+//!   like.
+//! * `e9_cluster` — one E9-shaped cluster simulation (the end-to-end hot
+//!   path: event queue, admission, tiering, maintenance).
+//! * `e12_sessions` — session sampling + per-class coverage accounting.
+//! * `sweep_fanout` — a small parallel sweep, exercising the deterministic
+//!   fan-out machinery.
+//!
+//! `--quick` shrinks the workloads and rep counts for CI smoke runs; the
+//! JSON schema (scenario keys and fields) is identical in both modes.
+//!
+//! Wall-clock timing is deliberately confined to this crate: the simulation
+//! crates are lint-barred from `std::time::Instant` (rule D1).
+
+use std::time::Instant;
+
+use mrm_bench::{heading, note};
+use mrm_controller::dcm::RetentionClass;
+use mrm_core::pool::{Allocation, LegacyVecPool, Pool};
+use mrm_device::device::MemoryDevice;
+use mrm_device::tech::presets;
+use mrm_sim::rng::SimRng;
+use mrm_sim::time::SimDuration;
+use mrm_sim::units::{GIB, KIB, MIB};
+use mrm_sweep::{Grid, Sweep};
+use mrm_tiering::cluster::{run_cluster, ClusterConfig};
+use mrm_tiering::placement::PlacementPolicy;
+use mrm_workload::model::{ModelConfig, Quantization};
+use mrm_workload::sessions::SessionSampler;
+use serde::Serialize;
+
+/// Wall-clock stats for one scenario, all in nanoseconds.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct Timing {
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    reps: u32,
+}
+
+/// Runs `f` `warmup` times untimed, then `reps` times timed, and returns
+/// the median/min/max. The closure's result is returned (last rep) so the
+/// caller can fold it into a checksum the optimizer cannot elide.
+fn time_median<R>(reps: u32, warmup: u32, mut f: impl FnMut() -> R) -> (Timing, R) {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<u64> = Vec::with_capacity(reps as usize);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed();
+        samples.push(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        last = Some(std::hint::black_box(r));
+    }
+    samples.sort_unstable();
+    let timing = Timing {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+        reps,
+    };
+    let Some(last) = last else {
+        unreachable!("reps is always at least 1");
+    };
+    (timing, last)
+}
+
+fn ms(t_ns: u64) -> f64 {
+    t_ns as f64 / 1e6
+}
+
+// ---------------------------------------------------------------------------
+// pool_churn
+// ---------------------------------------------------------------------------
+
+/// One churn op: either grow towards the live target or replace a
+/// pseudo-random live allocation. The sequence is a pure function of the
+/// seed, so both allocators replay the same trace.
+#[derive(Clone, Copy)]
+enum ChurnOp {
+    Alloc { len: u64 },
+    FreeAt { index: usize },
+}
+
+/// Trace generator that mirrors the replay loop's bookkeeping: the replay
+/// keeps live allocations in a `Vec` and frees with `swap_remove(index)`,
+/// so `FreeAt` indices are only meaningful against that exact Vec state —
+/// the generator simulates the same swaps to target specific blocks.
+struct TraceSim {
+    ops: Vec<ChurnOp>,
+    /// Replay-side live Vec, holding generator-assigned block ids.
+    mirror: Vec<usize>,
+    /// id -> current index in `mirror`.
+    pos: Vec<usize>,
+}
+
+impl TraceSim {
+    fn alloc(&mut self, len: u64) -> usize {
+        let id = self.pos.len();
+        self.pos.push(self.mirror.len());
+        self.mirror.push(id);
+        self.ops.push(ChurnOp::Alloc { len });
+        id
+    }
+
+    fn free(&mut self, id: usize) {
+        let index = self.pos[id];
+        self.ops.push(ChurnOp::FreeAt { index });
+        let last_id = *self.mirror.last().expect("free against empty mirror");
+        self.mirror.swap_remove(index);
+        if last_id != id {
+            self.pos[last_id] = index;
+        }
+    }
+}
+
+/// Pre-computes the churn trace: a fragmentation phase, then `churn_ops`
+/// free-one/alloc-one pairs at a stable `live_target` live count.
+///
+/// The fragmentation phase lays down a checkerboard: 4 KiB blocks filling
+/// the low address space, every other one freed and the rest never touched
+/// again, so each hole is flanked by permanently-live blocks and can never
+/// coalesce. The churn phase then cycles a separate population of
+/// geometric-sized blocks (1 MiB · 2^0..2^4 — the scale of real KV-cache
+/// blocks, hundreds of tokens × ~160 KiB/token for a 70B model). Every
+/// churn request dwarfs a 4 KiB hole, so a first-fit *scan* wades past the
+/// whole speckle field on every alloc, while the max-len-augmented tree
+/// descends straight to the first hole that fits. This is the allocator
+/// pathology the tree exists to fix: long-lived small fragments in front
+/// of a hot large-block churn.
+fn churn_trace(live_target: usize, churn_ops: usize, seed: u64) -> Vec<ChurnOp> {
+    let mut rng = SimRng::seed_from(seed);
+    let frozen = live_target * 9 / 10;
+    let churn_pool = live_target - frozen;
+    let mut sim = TraceSim {
+        ops: Vec::with_capacity(2 * frozen + frozen + churn_pool + churn_ops * 2),
+        mirror: Vec::new(),
+        pos: Vec::new(),
+    };
+    // Checkerboard: 2×frozen 4 KiB blocks, odd-indexed ones freed.
+    let ids: Vec<usize> = (0..2 * frozen).map(|_| sim.alloc(4 * KIB)).collect();
+    for id in ids.iter().skip(1).step_by(2) {
+        sim.free(*id);
+    }
+    // Prime the churn population, then cycle it.
+    let kv_len = |rng: &mut SimRng| MIB << rng.gen_range_u64(5);
+    let mut churn_ids: Vec<usize> = (0..churn_pool)
+        .map(|_| sim.alloc(kv_len(&mut rng)))
+        .collect();
+    for _ in 0..churn_ops {
+        let j = rng.gen_range_u64(churn_ids.len() as u64) as usize;
+        let id = churn_ids.swap_remove(j);
+        sim.free(id);
+        churn_ids.push(sim.alloc(kv_len(&mut rng)));
+    }
+    sim.ops
+}
+
+/// Replays the trace against the tree-based pool; returns an address
+/// checksum (wrapping sum of every allocated address) and the end-state
+/// free fragment count.
+fn churn_tree(ops: &[ChurnOp], capacity: u64, hint: usize) -> (u64, usize) {
+    let mut tech = presets::mrm_hours();
+    tech.capacity_bytes = capacity;
+    let mut pool = Pool::with_capacity_hint(MemoryDevice::new(tech), hint);
+    let mut live: Vec<Allocation> = Vec::with_capacity(hint);
+    let mut checksum = 0u64;
+    for op in ops {
+        match *op {
+            ChurnOp::Alloc { len } => {
+                let a = pool
+                    .alloc(len)
+                    .unwrap_or_else(|e| panic!("churn capacity sized wrong: {e}"));
+                checksum = checksum.wrapping_add(a.addr);
+                live.push(a);
+            }
+            ChurnOp::FreeAt { index } => {
+                let a = live.swap_remove(index);
+                pool.free(a)
+                    .unwrap_or_else(|e| panic!("double free in churn trace: {e}"));
+            }
+        }
+    }
+    (checksum, pool.free_fragments())
+}
+
+/// Replays the identical trace against the retained linear-scan pool.
+fn churn_legacy(ops: &[ChurnOp], capacity: u64) -> (u64, usize) {
+    let mut pool = LegacyVecPool::new(capacity);
+    let mut live: Vec<Allocation> = Vec::new();
+    let mut checksum = 0u64;
+    for op in ops {
+        match *op {
+            ChurnOp::Alloc { len } => {
+                let a = pool
+                    .alloc(len)
+                    .unwrap_or_else(|e| panic!("churn capacity sized wrong: {e}"));
+                checksum = checksum.wrapping_add(a.addr);
+                live.push(a);
+            }
+            ChurnOp::FreeAt { index } => {
+                let a = live.swap_remove(index);
+                pool.free(a)
+                    .unwrap_or_else(|e| panic!("double free in churn trace: {e}"));
+            }
+        }
+    }
+    (checksum, pool.free_fragments())
+}
+
+#[derive(Serialize)]
+struct PoolChurnResult {
+    live_allocations: usize,
+    churn_ops: usize,
+    /// Free fragments left when the trace ends — a determinism anchor for
+    /// the trace itself (identical on both allocators by construction).
+    end_fragments: usize,
+    tree: Timing,
+    legacy: Timing,
+    /// Legacy median over tree median: > 1 means the tree pool is faster.
+    speedup_vs_legacy: f64,
+}
+
+fn bench_pool_churn(quick: bool) -> PoolChurnResult {
+    let (live_target, churn_ops, reps, warmup) = if quick {
+        (1_000, 5_000, 3, 1)
+    } else {
+        (10_000, 50_000, 5, 1)
+    };
+    // 10 k live geometric allocations average ~6.2 MiB (~61 GiB); 128 GiB
+    // (simulated — nothing is actually mapped) leaves the pool uncrowded
+    // so the trace never OOMs on either allocator even under
+    // fragmentation.
+    let capacity = 128 * GIB;
+    let ops = churn_trace(live_target, churn_ops, 0x9E37_79B9);
+
+    let (tree, (tree_sum, end_fragments)) =
+        time_median(reps, warmup, || churn_tree(&ops, capacity, live_target));
+    let (legacy, (legacy_sum, legacy_fragments)) =
+        time_median(reps, warmup, || churn_legacy(&ops, capacity));
+    assert_eq!(
+        (tree_sum, end_fragments),
+        (legacy_sum, legacy_fragments),
+        "allocators diverged: first-fit must be address-identical"
+    );
+
+    let speedup = legacy.median_ns as f64 / tree.median_ns.max(1) as f64;
+    note(&format!(
+        "pool_churn: {live_target} live / {churn_ops} churn ops ({end_fragments} end fragments) — tree {:.2} ms, legacy {:.2} ms ({speedup:.1}x)",
+        ms(tree.median_ns),
+        ms(legacy.median_ns),
+    ));
+    PoolChurnResult {
+        live_allocations: live_target,
+        churn_ops,
+        end_fragments,
+        tree,
+        legacy,
+        speedup_vs_legacy: speedup,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cluster-side scenarios
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct ClusterScenario {
+    timing: Timing,
+    /// Simulated tokens decoded (sanity anchor: must not drift between
+    /// runs of the same binary).
+    tokens: u64,
+}
+
+fn e9_config(secs: u64, arrivals: f64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 4, arrivals);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg
+}
+
+fn bench_e9_cluster(quick: bool) -> ClusterScenario {
+    let (secs, reps) = if quick { (30, 3) } else { (120, 5) };
+    let cfg = e9_config(secs, 16.0);
+    let (timing, report) = time_median(reps, 1, || run_cluster(cfg.clone()));
+    note(&format!(
+        "e9_cluster: {secs} s simulated, {} tokens — {:.1} ms",
+        report.tokens,
+        ms(timing.median_ns)
+    ));
+    ClusterScenario {
+        timing,
+        tokens: report.tokens,
+    }
+}
+
+#[derive(Serialize)]
+struct SessionsScenario {
+    timing: Timing,
+    sessions: usize,
+    /// Gaps covered across the whole retention ladder (sanity anchor).
+    gaps_covered: u64,
+}
+
+fn bench_e12_sessions(quick: bool) -> SessionsScenario {
+    let (n, reps) = if quick { (5_000usize, 3) } else { (50_000, 5) };
+    let sampler = SessionSampler::conversation_default(4096);
+    let kvpt = ModelConfig::llama2_70b().kv_bytes_per_token(Quantization::Fp16);
+    let (timing, covered) = time_median(reps, 1, || {
+        let mut rng = SimRng::seed_from(7);
+        let sessions: Vec<_> = (0..n).map(|_| sampler.sample(&mut rng)).collect();
+        let mut gaps_covered = 0u64;
+        let mut recompute_bytes = 0u64;
+        for class in RetentionClass::ladder() {
+            let ret = class.duration();
+            for s in &sessions {
+                let mut context = 0u64;
+                for (i, turn) in s.turns.iter().enumerate() {
+                    if i > 0 {
+                        if turn.gap <= ret {
+                            gaps_covered += 1;
+                        } else {
+                            recompute_bytes += context * kvpt;
+                        }
+                    }
+                    context += u64::from(turn.prompt_tokens) + u64::from(turn.output_tokens);
+                }
+            }
+        }
+        std::hint::black_box(recompute_bytes);
+        gaps_covered
+    });
+    note(&format!(
+        "e12_sessions: {n} sessions x {} classes — {:.1} ms",
+        RetentionClass::ladder().len(),
+        ms(timing.median_ns)
+    ));
+    SessionsScenario {
+        timing,
+        sessions: n,
+        gaps_covered: covered,
+    }
+}
+
+#[derive(Serialize)]
+struct SweepScenario {
+    timing: Timing,
+    points: usize,
+    threads: usize,
+    tokens: u64,
+}
+
+fn bench_sweep_fanout(quick: bool) -> SweepScenario {
+    let (secs, arrivals, reps): (u64, &[f64], u32) = if quick {
+        (10, &[4.0, 8.0], 2)
+    } else {
+        (30, &[4.0, 8.0, 12.0, 16.0], 3)
+    };
+    let threads = 2usize;
+    let points = arrivals.len();
+    let (timing, tokens) = time_median(reps, 1, || {
+        let grid = Grid::axis(arrivals.iter().copied()).map(|a| e9_config(secs, a));
+        let reports = Sweep::new(grid, |cfg: &ClusterConfig, _rng| run_cluster(cfg.clone()))
+            .run_parallel(threads);
+        reports.iter().map(|r| r.tokens).sum::<u64>()
+    });
+    note(&format!(
+        "sweep_fanout: {points} points on {threads} threads — {:.1} ms",
+        ms(timing.median_ns)
+    ));
+    SweepScenario {
+        timing,
+        points,
+        threads,
+        tokens,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// output records
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize)]
+struct PoolBench {
+    suite: &'static str,
+    quick: bool,
+    scenarios: PoolScenarios,
+}
+
+#[derive(Serialize)]
+struct PoolScenarios {
+    pool_churn: PoolChurnResult,
+}
+
+#[derive(Serialize)]
+struct ClusterBench {
+    suite: &'static str,
+    quick: bool,
+    scenarios: ClusterScenarios,
+}
+
+#[derive(Serialize)]
+struct ClusterScenarios {
+    e9_cluster: ClusterScenario,
+    e12_sessions: SessionsScenario,
+    sweep_fanout: SweepScenario,
+}
+
+fn write_record<T: Serialize>(path: &str, record: &T) {
+    match serde_json::to_string_pretty(record) {
+        Ok(json) => match std::fs::write(path, json + "\n") {
+            Ok(()) => note(&format!("[saved {path}]")),
+            Err(e) => {
+                mrm_bench::warn(&format!("cannot write {path}: {e}"));
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            mrm_bench::warn(&format!("cannot serialize {path}: {e}"));
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    heading(&format!(
+        "perf_suite — wall-clock hot-path benchmarks{}",
+        if quick { " (--quick)" } else { "" }
+    ));
+    if cfg!(debug_assertions) {
+        mrm_bench::warn("running unoptimized: use --release for meaningful numbers");
+    }
+
+    let pool = PoolBench {
+        suite: "pool",
+        quick,
+        scenarios: PoolScenarios {
+            pool_churn: bench_pool_churn(quick),
+        },
+    };
+    write_record("BENCH_pool.json", &pool);
+
+    let cluster = ClusterBench {
+        suite: "cluster",
+        quick,
+        scenarios: ClusterScenarios {
+            e9_cluster: bench_e9_cluster(quick),
+            e12_sessions: bench_e12_sessions(quick),
+            sweep_fanout: bench_sweep_fanout(quick),
+        },
+    };
+    write_record("BENCH_cluster.json", &cluster);
+}

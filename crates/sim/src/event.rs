@@ -86,6 +86,22 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue pre-sized for about `n` pending events, so
+    /// steady-state simulations never reallocate the heap mid-run. Purely a
+    /// wall-clock hint: behaviour is identical to [`EventQueue::new`].
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// The current simulation time: the timestamp of the last popped event,
     /// or [`SimTime::ZERO`] before any event has been popped.
     pub fn now(&self) -> SimTime {
@@ -186,6 +202,25 @@ mod tests {
         q.schedule_after(SimDuration::from_secs(2), "b");
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn with_capacity_matches_new() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(1024);
+        for i in 0..100u32 {
+            let t = SimTime::from_nanos(u64::from(i % 7));
+            a.schedule(t, i);
+            b.schedule(t, i);
+        }
+        b.reserve(4096);
+        loop {
+            let (x, y) = (a.pop(), b.pop());
+            assert_eq!(x, y, "capacity hints must not change pop order");
+            if x.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -377,6 +377,19 @@ pub struct ClusterSim<'t> {
     kv_capacity_bytes: u64,
     iterations: u64,
     batch_sum: u64,
+    // Incremental aggregates for telemetry snapshots: maintained at every
+    // queue/batch/cache mutation so `sample_into` never rescans the
+    // accelerators. Observability only — they feed gauges, never decisions.
+    pending_total: usize,
+    active_total: usize,
+    cached_total: usize,
+    // Per-iteration constants hoisted out of `start_iteration` (derived
+    // once from `cfg`; identical values to recomputing them every
+    // iteration, so this is wall-clock only).
+    kvpt: u64,
+    weights_bytes: u64,
+    kv_native_retention: SimDuration,
+    hbm_retention: SimDuration,
     // Observability only: never consulted by the simulation logic and
     // never draws from `rng`, so an attached sink cannot change a report.
     telemetry: Option<&'t mut dyn TelemetrySink>,
@@ -398,20 +411,33 @@ impl<'t> ClusterSim<'t> {
         let weights_bytes = cfg.model.weights_bytes(cfg.quant);
         let mut kv_capacity = 0;
 
+        // Capacity hints are wall-clock-only: the KV tier holds the live
+        // batch plus the follow-up cache, so pre-size its allocator arena
+        // for a few batches' worth of allocations.
+        let alloc_hint = cfg.max_batch as usize * 8;
         let accels: Vec<Accel> = (0..cfg.accelerators)
             .map(|_| {
-                let hbm = Tier::new(TierKind::Hbm, presets::hbm3e(), cfg.hbm_stacks);
+                let hbm = Tier::with_capacity_hint(
+                    TierKind::Hbm,
+                    presets::hbm3e(),
+                    cfg.hbm_stacks,
+                    alloc_hint,
+                );
                 let alt = match cfg.policy {
-                    PlacementPolicy::HbmLpddr => Some(Tier::new(
+                    PlacementPolicy::HbmLpddr => Some(Tier::with_capacity_hint(
                         TierKind::Lpddr,
                         presets::lpddr5x(),
                         cfg.lpddr_packages,
+                        alloc_hint,
                     )),
-                    PlacementPolicy::HbmMrm | PlacementPolicy::HbmMrmDcm => Some(Tier::new(
-                        TierKind::Mrm,
-                        presets::mrm_hours(),
-                        cfg.mrm_packages,
-                    )),
+                    PlacementPolicy::HbmMrm | PlacementPolicy::HbmMrmDcm => {
+                        Some(Tier::with_capacity_hint(
+                            TierKind::Mrm,
+                            presets::mrm_hours(),
+                            cfg.mrm_packages,
+                            alloc_hint,
+                        ))
+                    }
                     PlacementPolicy::HbmOnly => None,
                 };
                 let mut acc = Accel {
@@ -434,7 +460,13 @@ impl<'t> ClusterSim<'t> {
             })
             .collect();
 
-        let mut queue = EventQueue::new();
+        // Pre-size the heap: every replayed trace entry is scheduled up
+        // front, and the steady state keeps a follow-up/expiry event per
+        // cached context plus per-accel maintenance timers in flight.
+        let event_hint = cfg.trace.as_ref().map_or(0, |t| t.entries().len())
+            + cfg.accelerators as usize * (cfg.max_batch as usize * 4 + 2)
+            + 16;
+        let mut queue = EventQueue::with_capacity(event_hint);
         // Seed arrivals (Poisson, or a recorded trace) and maintenance.
         match &cfg.trace {
             None => {
@@ -467,6 +499,13 @@ impl<'t> ClusterSim<'t> {
             followup_window: cfg.hint_window,
             ..LifetimeEstimator::default_serving()
         };
+        let kvpt = cfg.model.kv_bytes_per_token(cfg.quant);
+        let kv_native_retention = match cfg.policy.tier_for(DataClass::KvCache) {
+            TierKind::Hbm => presets::hbm3e().retention,
+            TierKind::Lpddr => presets::lpddr5x().retention,
+            TierKind::Mrm => presets::mrm_hours().retention,
+        };
+        let hbm_retention = presets::hbm3e().retention;
 
         ClusterSim {
             cfg,
@@ -494,6 +533,13 @@ impl<'t> ClusterSim<'t> {
             kv_capacity_bytes: kv_capacity,
             iterations: 0,
             batch_sum: 0,
+            pending_total: 0,
+            active_total: 0,
+            cached_total: 0,
+            kvpt,
+            weights_bytes,
+            kv_native_retention,
+            hbm_retention,
             telemetry: None,
         }
     }
@@ -508,10 +554,6 @@ impl<'t> ClusterSim<'t> {
         self.telemetry = Some(sink);
     }
 
-    fn kv_bytes_per_token(&self) -> u64 {
-        self.cfg.model.kv_bytes_per_token(self.cfg.quant)
-    }
-
     /// Runs to completion and produces the report.
     pub fn run(mut self) -> ClusterReport {
         let end = SimTime::ZERO + self.cfg.duration;
@@ -520,7 +562,9 @@ impl<'t> ClusterSim<'t> {
                 break;
             }
             self.pump_telemetry(t.min(end));
-            let (now, ev) = self.queue.pop().unwrap();
+            let Some((now, ev)) = self.queue.pop() else {
+                break; // unreachable: peek_time just returned Some
+            };
             match ev {
                 Ev::Arrival => self.on_arrival(now),
                 Ev::IterDone { acc } => self.on_iter_done(now, acc),
@@ -565,12 +609,24 @@ impl<'t> ClusterSim<'t> {
         sink.count_to("cluster_scrub_bytes", self.scrub_bytes);
         sink.count_to("cluster_migration_bytes", self.migration_bytes);
 
-        let pending: usize = self.accels.iter().map(|a| a.queue.len()).sum();
-        let active: usize = self.accels.iter().map(|a| a.batch.len()).sum();
-        let cached: usize = self.accels.iter().map(|a| a.cached.len()).sum();
-        sink.gauge("cluster_pending_requests", pending as f64);
-        sink.gauge("cluster_active_batch", active as f64);
-        sink.gauge("cluster_cached_contexts", cached as f64);
+        // Incremental aggregates (updated at each mutation) replace the
+        // per-snapshot rescan of every accelerator; the debug asserts pin
+        // the counters to the ground truth.
+        debug_assert_eq!(
+            self.pending_total,
+            self.accels.iter().map(|a| a.queue.len()).sum::<usize>()
+        );
+        debug_assert_eq!(
+            self.active_total,
+            self.accels.iter().map(|a| a.batch.len()).sum::<usize>()
+        );
+        debug_assert_eq!(
+            self.cached_total,
+            self.accels.iter().map(|a| a.cached.len()).sum::<usize>()
+        );
+        sink.gauge("cluster_pending_requests", self.pending_total as f64);
+        sink.gauge("cluster_active_batch", self.active_total as f64);
+        sink.gauge("cluster_cached_contexts", self.cached_total as f64);
 
         // Per-tier occupancy, aggregated across accelerators.
         let mut used = [0u64; 3];
@@ -627,6 +683,7 @@ impl<'t> ClusterSim<'t> {
             output_tokens: output.max(1),
             reuse: None,
         });
+        self.pending_total += 1;
         self.start_iteration(now, acc);
     }
 
@@ -637,35 +694,39 @@ impl<'t> ClusterSim<'t> {
             return;
         }
         let policy = self.cfg.policy;
-        let kvpt = self.kv_bytes_per_token();
-        let native = match policy.tier_for(DataClass::KvCache) {
-            TierKind::Hbm => presets::hbm3e().retention,
-            TierKind::Lpddr => presets::lpddr5x().retention,
-            TierKind::Mrm => presets::mrm_hours().retention,
-        };
+        let kvpt = self.kvpt;
+        let native = self.kv_native_retention;
 
         let mut prefill_write_bytes = 0u64;
         let mut prefill_tokens = 0u64;
-        // Admission.
+        // Admission. The queue head is inspected in place — `Pending` is
+        // all plain scalars, so its fields are read through the reference
+        // and the entry leaves the queue (one `pop_front`, no clone) only
+        // once its KV allocation has succeeded.
         loop {
             let a = &mut self.accels[acc];
-            if a.batch.len() >= self.cfg.max_batch as usize || a.queue.is_empty() {
+            if a.batch.len() >= self.cfg.max_batch as usize {
                 break;
             }
-            let p = a.queue.front().unwrap().clone();
+            let Some(p) = a.queue.front() else {
+                break;
+            };
+            let (arrival, prompt_tokens, output_tokens, reuse) =
+                (p.arrival, p.prompt_tokens, p.output_tokens, p.reuse);
             // Chunked prefill: bound the prompt tokens one iteration
             // absorbs (the first admission may exceed the budget so big
             // prompts are never starved).
             if prefill_tokens > 0
-                && prefill_tokens + u64::from(p.prompt_tokens)
+                && prefill_tokens + u64::from(prompt_tokens)
                     > u64::from(self.cfg.prefill_chunk_tokens)
             {
                 break;
             }
             // Reused (follow-up) context: existing KV is already resident.
-            let (base_tokens, base_allocs, base_bytes) = match p.reuse {
+            let (base_tokens, base_allocs, base_bytes) = match reuse {
                 Some(ctx) => match a.cached.remove(&ctx) {
                     Some(c) => {
+                        self.cached_total -= 1;
                         a.tracker.remove(ctx);
                         (c.tokens, c.kv_allocs, c.kv_bytes)
                     }
@@ -673,9 +734,9 @@ impl<'t> ClusterSim<'t> {
                 },
                 None => (0, Vec::new(), 0),
             };
-            let new_tokens = u64::from(p.prompt_tokens) + u64::from(p.output_tokens);
+            let new_tokens = u64::from(prompt_tokens) + u64::from(output_tokens);
             let need = new_tokens * kvpt;
-            let lifetime = self.estimator.kv_lifetime(p.output_tokens);
+            let lifetime = self.estimator.kv_lifetime(output_tokens);
             let retention = policy.retention_for(
                 DataClass::KvCache,
                 lifetime,
@@ -692,10 +753,11 @@ impl<'t> ClusterSim<'t> {
                     Ok(al) => break Some(al),
                     Err(_) => {
                         // Oldest cached context first (ids are monotonic).
-                        let victim = a.cached.keys().find(|&&c| Some(c) != p.reuse).copied();
+                        let victim = a.cached.keys().find(|&&c| Some(c) != reuse).copied();
                         match victim {
                             Some(v) => {
                                 if let Some(c) = a.cached.remove(&v) {
+                                    self.cached_total -= 1;
                                     a.tracker.remove(v);
                                     let kvt = a.kv_tier(policy);
                                     for al in c.kv_allocs {
@@ -713,7 +775,7 @@ impl<'t> ClusterSim<'t> {
             let Some(alloc) = alloc else {
                 // Genuinely out of memory even with an empty cache: put
                 // reused state back and stall admission.
-                if let Some(ctx) = p.reuse {
+                if let Some(ctx) = reuse {
                     if base_bytes > 0 {
                         a.cached.insert(
                             ctx,
@@ -725,25 +787,28 @@ impl<'t> ClusterSim<'t> {
                                 retention,
                             },
                         );
+                        self.cached_total += 1;
                     }
                 }
                 break;
             };
             a.queue.pop_front();
+            self.pending_total -= 1;
             // Prefill traffic: the new prompt's KV vectors are written.
-            prefill_write_bytes += u64::from(p.prompt_tokens) * kvpt;
-            prefill_tokens += u64::from(p.prompt_tokens);
+            prefill_write_bytes += u64::from(prompt_tokens) * kvpt;
+            prefill_tokens += u64::from(prompt_tokens);
             let mut kv_allocs = base_allocs;
             kv_allocs.push(alloc);
             a.batch.push(Active {
-                arrival: p.arrival,
-                context_tokens: base_tokens + p.prompt_tokens,
-                output_remaining: p.output_tokens,
+                arrival,
+                context_tokens: base_tokens + prompt_tokens,
+                output_remaining: output_tokens,
                 kv_allocs,
                 kv_bytes: base_bytes + need,
                 retention,
                 first_token_done: false,
             });
+            self.active_total += 1;
         }
 
         let a = &mut self.accels[acc];
@@ -753,7 +818,7 @@ impl<'t> ClusterSim<'t> {
         }
 
         // Iteration duration from memory traffic (§2.2 arithmetic).
-        let weights_bytes = self.cfg.model.weights_bytes(self.cfg.quant);
+        let weights_bytes = self.weights_bytes;
         let batch_len = a.batch.len() as u64;
         let kv_read_total: u64 = a
             .batch
@@ -771,25 +836,30 @@ impl<'t> ClusterSim<'t> {
             .weights_tier(policy)
             .stream_read(weights_bytes);
         // KV: all active contexts read; one vector appended per context;
-        // prefill KV written.
-        let retentions: Vec<SimDuration> =
-            self.accels[acc].batch.iter().map(|r| r.retention).collect();
+        // prefill KV written. The tier and the batch are disjoint fields,
+        // so the batch is walked in place — no per-iteration `Vec` of
+        // retentions on the hot path.
         {
-            let kvt = self.accels[acc].kv_tier(policy);
+            let Accel {
+                hbm, alt, batch, ..
+            } = &mut self.accels[acc];
+            let kvt = match policy.tier_for(DataClass::KvCache) {
+                TierKind::Hbm => &mut *hbm,
+                _ => alt.as_mut().expect("policy requires an alternate tier"),
+            };
             t += kvt.stream_read(kv_read_total);
-            for r in &retentions {
-                t += kvt.stream_write(kvpt, *r);
+            for r in batch.iter() {
+                t += kvt.stream_write(kvpt, r.retention);
             }
             if prefill_write_bytes > 0 {
                 // Prefill writes use the batch-average retention.
-                let rt = retentions.first().copied().unwrap_or(native);
+                let rt = batch.first().map(|r| r.retention).unwrap_or(native);
                 t += kvt.stream_write(prefill_write_bytes, rt);
             }
         }
         // Activations: write + read back in HBM.
-        t += self.accels[acc]
-            .hbm
-            .stream_write(act_bytes, presets::hbm3e().retention);
+        let hbm_retention = self.hbm_retention;
+        t += self.accels[acc].hbm.stream_write(act_bytes, hbm_retention);
         t += self.accels[acc].hbm.stream_read(act_bytes);
         // Prefill compute piggybacks on the decode iteration (chunked
         // prefill, [3]): the iteration takes the max of its memory time
@@ -826,6 +896,7 @@ impl<'t> ClusterSim<'t> {
                 }
                 if a.batch[i].output_remaining == 0 {
                     finished.push(a.batch.swap_remove(i));
+                    self.active_total -= 1;
                 } else {
                     i += 1;
                 }
@@ -859,6 +930,7 @@ impl<'t> ClusterSim<'t> {
                     retention: r.retention,
                 },
             );
+            self.cached_total += 1;
             if policy.uses_mrm() {
                 a.tracker.register(ctx, deadline, needed_until, r.retention);
             }
@@ -890,6 +962,7 @@ impl<'t> ClusterSim<'t> {
                     output_tokens: output,
                     reuse: Some(ctx),
                 });
+                self.pending_total += 1;
             }
             Some(_) => {
                 // Retention lapsed before the follow-up: recompute the
@@ -904,6 +977,7 @@ impl<'t> ClusterSim<'t> {
                     output_tokens: output,
                     reuse: None,
                 });
+                self.pending_total += 1;
             }
             None => {
                 // Already evicted (window raced the follow-up): recompute
@@ -917,6 +991,7 @@ impl<'t> ClusterSim<'t> {
                     output_tokens: o,
                     reuse: None,
                 });
+                self.pending_total += 1;
             }
         }
         self.start_iteration(now, acc);
@@ -931,6 +1006,7 @@ impl<'t> ClusterSim<'t> {
             for al in c.kv_allocs {
                 let _ = kvt.free(al);
             }
+            self.cached_total -= 1;
         }
     }
 

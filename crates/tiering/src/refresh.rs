@@ -7,7 +7,7 @@
 //! time (from the request state); [`ExpiryTracker::decide`] turns the two
 //! into the action the control plane executes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use mrm_sim::time::{SimDuration, SimTime};
 
@@ -47,9 +47,16 @@ struct Item {
 /// assert_eq!(due, vec![1]);
 /// assert_eq!(tr.decide(1, t0 + SimDuration::from_mins(9)), Some(ExpiryAction::Refresh));
 /// ```
+/// Items are held twice: by id for lookups, and in a `(deadline, id)`
+/// index so [`ExpiryTracker::due_before`] is a range scan that emits ids
+/// already in deadline order (soonest first, id-ascending within a tie) —
+/// the order the old implementation produced by sorting the full item set
+/// on every poll. The maintenance sweep polls every period, so the
+/// O(n log n) scan-and-sort is replaced by O(due · log n).
 #[derive(Clone, Debug, Default)]
 pub struct ExpiryTracker {
     items: BTreeMap<u64, Item>,
+    by_deadline: BTreeSet<(SimTime, u64)>,
 }
 
 impl ExpiryTracker {
@@ -68,14 +75,17 @@ impl ExpiryTracker {
         needed_until: SimTime,
         retention: SimDuration,
     ) {
-        self.items.insert(
+        if let Some(old) = self.items.insert(
             id,
             Item {
                 deadline,
                 needed_until,
                 retention,
             },
-        );
+        ) {
+            self.by_deadline.remove(&(old.deadline, id));
+        }
+        self.by_deadline.insert((deadline, id));
     }
 
     /// Extends the needed-until time (e.g. a follow-up arrived).
@@ -89,13 +99,19 @@ impl ExpiryTracker {
     /// from `now`.
     pub fn refreshed(&mut self, id: u64, now: SimTime) {
         if let Some(it) = self.items.get_mut(&id) {
+            let old = it.deadline;
             it.deadline = now.saturating_add(it.retention);
+            let new = it.deadline;
+            self.by_deadline.remove(&(old, id));
+            self.by_deadline.insert((new, id));
         }
     }
 
     /// Removes an item (dropped or migrated away).
     pub fn remove(&mut self, id: u64) {
-        self.items.remove(&id);
+        if let Some(it) = self.items.remove(&id) {
+            self.by_deadline.remove(&(it.deadline, id));
+        }
     }
 
     /// Number of tracked items.
@@ -108,16 +124,17 @@ impl ExpiryTracker {
         self.items.is_empty()
     }
 
-    /// Ids whose deadline falls before `horizon`, soonest first.
+    /// Ids whose deadline falls at or before `horizon`, soonest first
+    /// (id-ascending within a deadline tie).
+    ///
+    /// A bounded range scan over the `(deadline, id)` index: the ids come
+    /// out already sorted, so no per-poll scan-and-sort of the whole
+    /// registry.
     pub fn due_before(&self, horizon: SimTime) -> Vec<u64> {
-        let mut due: Vec<(SimTime, u64)> = self
-            .items
-            .iter()
-            .filter(|(_, it)| it.deadline <= horizon)
-            .map(|(&id, it)| (it.deadline, id))
-            .collect();
-        due.sort();
-        due.into_iter().map(|(_, id)| id).collect()
+        self.by_deadline
+            .range(..=(horizon, u64::MAX))
+            .map(|&(_, id)| id)
+            .collect()
     }
 
     /// The deadline of an item.
@@ -174,6 +191,31 @@ mod tests {
         assert_eq!(tr.due_before(t(35)), vec![2, 1]);
         assert_eq!(tr.due_before(t(5)), Vec::<u64>::new());
         assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn due_emission_order_is_deadline_then_id() {
+        // The emission order is load-bearing: the maintenance sweep
+        // processes ids in exactly this order, and reordering would change
+        // simulated results. Pin it: soonest deadline first, id-ascending
+        // within a deadline tie — identical to the old sort of
+        // `(deadline, id)` pairs.
+        let mut tr = ExpiryTracker::new();
+        let ret = SimDuration::from_mins(10);
+        tr.register(7, t(20), t(60), ret);
+        tr.register(3, t(10), t(60), ret);
+        tr.register(9, t(10), t(60), ret); // same deadline as 3: id breaks tie
+        tr.register(1, t(30), t(60), ret);
+        assert_eq!(tr.due_before(t(30)), vec![3, 9, 7, 1]);
+        // Re-registering moves an id's position, never duplicates it.
+        tr.register(7, t(5), t(60), ret);
+        assert_eq!(tr.due_before(t(30)), vec![7, 3, 9, 1]);
+        // Refresh re-arms the deadline and the index follows.
+        tr.refreshed(3, t(25));
+        assert_eq!(tr.due_before(t(30)), vec![7, 9, 1]);
+        assert_eq!(tr.due_before(t(35)), vec![7, 9, 1, 3]);
+        tr.remove(9);
+        assert_eq!(tr.due_before(t(35)), vec![7, 1, 3]);
     }
 
     #[test]

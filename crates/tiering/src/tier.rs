@@ -51,6 +51,12 @@ pub struct Tier {
     bytes_written: u64,
     /// Energy metered outside the pool device (bulk streams, background).
     extra_energy: EnergyBreakdown,
+    /// Last `(retention, write pJ/bit)` operating point, memoized: batches
+    /// overwhelmingly share one retention class, so the tradeoff-curve
+    /// math runs once per class change instead of once per write. The
+    /// cached value is the exact f64 the curve produces, so metered energy
+    /// is bit-identical to the unmemoized path.
+    write_point_memo: Option<(SimDuration, f64)>,
 }
 
 impl Tier {
@@ -59,6 +65,18 @@ impl Tier {
     /// The pool spans the aggregate capacity; bandwidth sums across
     /// devices (inference reads stripe across stacks, §2.1).
     pub fn new(kind: TierKind, tech: Technology, devices: u32) -> Self {
+        Tier::with_capacity_hint(kind, tech, devices, 0)
+    }
+
+    /// [`Tier::new`] with the pool allocator pre-sized for about
+    /// `expected_live` simultaneous allocations. Purely a wall-clock hint:
+    /// behaviour is identical to [`Tier::new`].
+    pub fn with_capacity_hint(
+        kind: TierKind,
+        tech: Technology,
+        devices: u32,
+        expected_live: usize,
+    ) -> Self {
         let mut fused = tech.clone();
         fused.capacity_bytes = tech.capacity_bytes * u64::from(devices);
         let read_bw = tech.read_bw * f64::from(devices);
@@ -66,7 +84,7 @@ impl Tier {
         let cost_units = fused.capacity_bytes as f64 / 1e9 * tech.cost_per_gb_rel;
         Tier {
             kind,
-            pool: Pool::new(MemoryDevice::new(fused)),
+            pool: Pool::with_capacity_hint(MemoryDevice::new(fused), expected_live),
             devices,
             read_bw,
             write_bw,
@@ -74,6 +92,7 @@ impl Tier {
             bytes_read: 0,
             bytes_written: 0,
             extra_energy: EnergyBreakdown::default(),
+            write_point_memo: None,
         }
     }
 
@@ -152,9 +171,16 @@ impl Tier {
     }
 
     fn meter_write_energy(&mut self, bytes: u64, retention: SimDuration) {
-        let tech = self.pool.device().tech();
-        let point = tech.tradeoff().at(retention);
-        let j = bytes as f64 * 8.0 * point.write_energy_pj_bit * 1e-12;
+        let pj_bit = match self.write_point_memo {
+            Some((r, pj)) if r == retention => pj,
+            _ => {
+                let tech = self.pool.device().tech();
+                let pj = tech.tradeoff().at(retention).write_energy_pj_bit;
+                self.write_point_memo = Some((retention, pj));
+                pj
+            }
+        };
+        let j = bytes as f64 * 8.0 * pj_bit * 1e-12;
         self.extra_energy.write_j += j;
     }
 
@@ -188,7 +214,7 @@ impl Tier {
     /// for DRAM-family technologies (the §2.1 "consuming power even when
     /// the memory is idle" term).
     pub fn charge_background(&mut self, elapsed: SimDuration) {
-        let tech = self.pool.device().tech().clone();
+        let tech = self.pool.device().tech();
         let idle_j = tech.idle_power_w() * elapsed.as_secs_f64();
         let refresh_j = tech.refresh_power_w() * elapsed.as_secs_f64();
         self.extra_energy.idle_j += idle_j;
