@@ -13,6 +13,7 @@
 
 use mrm_device::device::{DeviceError, MemoryDevice, OpResult};
 use mrm_device::energy::EnergyBreakdown;
+use mrm_faults::{FaultModel, FaultStats, ReadFaults, RecoveryAction};
 use mrm_sim::time::{SimDuration, SimTime};
 use mrm_telemetry::TelemetrySink;
 use serde::{Deserialize, Serialize};
@@ -118,6 +119,12 @@ pub struct DcmController {
     /// event count.
     reconfigs: u64,
     last_class: Option<RetentionClass>,
+    /// Optional fault-injection layer for checked reads.
+    faults: Option<FaultModel>,
+    /// Checked reads that needed a retry.
+    read_retries: u64,
+    /// Margin derates applied after persistent uncorrectables.
+    derates: u64,
 }
 
 impl DcmController {
@@ -130,7 +137,37 @@ impl DcmController {
             per_class: Default::default(),
             reconfigs: 0,
             last_class: None,
+            faults: None,
+            read_retries: 0,
+            derates: 0,
         }
+    }
+
+    /// Attaches a fault-injection layer; [`DcmController::read_checked`]
+    /// runs reads through it and derates the provisioning margin on
+    /// persistent uncorrectables.
+    pub fn attach_faults(&mut self, model: FaultModel) {
+        self.faults = Some(model);
+    }
+
+    /// Cumulative fault-layer totals, if a layer is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// The current lifetime safety margin (grows on derates).
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// Checked reads that needed a retry.
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries
+    }
+
+    /// Margin derates applied after persistent uncorrectables.
+    pub fn derates(&self) -> u64 {
+        self.derates
     }
 
     /// The underlying device.
@@ -218,6 +255,46 @@ impl DcmController {
         self.device.read(now, addr, len)
     }
 
+    /// Reads through the fault layer at the device's age-derived RBER. On
+    /// an uncorrectable outcome the recovery is:
+    ///
+    /// 1. **retry** — one re-read (transient decode failures clear);
+    /// 2. **derate** — a persistent UE means the cells hold retention
+    ///    worse than the class ladder promised, so the controller widens
+    ///    its safety margin by 25% (capped at 4×): *future* writes are
+    ///    programmed at longer-retention classes. The failed read itself
+    ///    is reported as [`RecoveryAction::Retired`] — this layer cannot
+    ///    restore the data, the caller must re-fetch or recompute.
+    ///
+    /// Without an attached fault layer this is [`DcmController::read`].
+    pub fn read_checked(
+        &mut self,
+        now: SimTime,
+        addr: u64,
+        len: u64,
+    ) -> Result<(OpResult, ReadFaults, RecoveryAction), DeviceError> {
+        let mut op = self.device.read(now, addr, len)?;
+        let Some(model) = self.faults.as_mut() else {
+            return Ok((op, ReadFaults::default(), RecoveryAction::None));
+        };
+        let mut faults = model.inject_read(len, op.rber);
+        if !faults.uncorrectable() {
+            return Ok((op, faults, RecoveryAction::None));
+        }
+        self.read_retries += 1;
+        op = self.device.read(now, addr, len)?;
+        let model = self.faults.as_mut().expect("fault layer attached");
+        let again = model.inject_read(len, op.rber);
+        let cleared = !again.uncorrectable();
+        faults.merge(&again);
+        if cleared {
+            return Ok((op, faults, RecoveryAction::Retried));
+        }
+        self.derates += 1;
+        self.margin = (self.margin * 1.25).min(4.0);
+        Ok((op, faults, RecoveryAction::Retired))
+    }
+
     /// Per-class constant metric names (counter interning needs `'static`).
     fn class_counters(c: RetentionClass) -> (&'static str, &'static str) {
         match c {
@@ -242,6 +319,17 @@ impl DcmController {
             sink.count_to(bytes, stats.bytes);
         }
         sink.count_to("dcm_reconfigs", self.reconfigs);
+        sink.count_to("dcm_read_retries", self.read_retries);
+        sink.count_to("dcm_derates", self.derates);
+        sink.gauge("dcm_margin", self.margin);
+        if let Some(fs) = self.fault_stats() {
+            sink.count_to("dcm_fault_raw_flips", fs.raw_flips);
+            sink.count_to("dcm_fault_corrected", fs.corrected);
+            sink.count_to("dcm_fault_detected_ue", fs.detected_ue);
+            sink.count_to("dcm_fault_miscorrected", fs.miscorrected);
+            sink.count_to("dcm_fault_silent", fs.silent);
+            sink.gauge("dcm_fault_raw_ber", fs.raw_ber());
+        }
     }
 }
 
@@ -369,6 +457,76 @@ mod tests {
         d.write_fixed(SimTime::ZERO, 16384, 100, RetentionClass::Hours1)
             .unwrap(); // Seconds30 → Hours1
         assert_eq!(d.reconfigs(), 2);
+    }
+
+    #[test]
+    fn read_checked_fresh_data_needs_no_recovery() {
+        use mrm_faults::FaultConfig;
+        let mut d = dcm();
+        d.attach_faults(FaultModel::new(FaultConfig::mrm(), 17));
+        d.write(SimTime::ZERO, 0, MIB, SimDuration::from_hours(6))
+            .unwrap();
+        let (op, faults, action) = d
+            .read_checked(SimTime::ZERO + SimDuration::from_mins(1), 0, MIB)
+            .unwrap();
+        assert!(!op.expired);
+        assert_eq!(action, RecoveryAction::None);
+        assert!(!faults.uncorrectable());
+        assert_eq!(d.derates(), 0);
+        assert!((d.margin() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persistent_ue_derates_the_margin() {
+        use mrm_faults::FaultConfig;
+        let mut d = dcm();
+        d.attach_faults(FaultModel::new(FaultConfig::mrm(), 23));
+        // 10-minute class, read far past expiry: RBER saturates and the
+        // UE persists through the retry, forcing a derate.
+        d.write(SimTime::ZERO, 0, 4 * MIB, SimDuration::from_mins(5))
+            .unwrap();
+        let (op, faults, action) = d
+            .read_checked(SimTime::ZERO + SimDuration::from_mins(60), 0, 4 * MIB)
+            .unwrap();
+        assert!(op.expired);
+        assert!(faults.uncorrectable());
+        assert_eq!(action, RecoveryAction::Retired);
+        assert_eq!(d.derates(), 1);
+        assert!((d.margin() - 1.5).abs() < 1e-12, "1.2 × 1.25 = 1.5");
+        // The derated controller now rounds the same lifetime hint up to
+        // a longer class: 45 min × 1.5 = 67.5 min > 1h → 12h.
+        let (class, _) = d
+            .write(SimTime::ZERO, 8 * MIB, 100, SimDuration::from_mins(45))
+            .unwrap();
+        assert_eq!(class, RetentionClass::Hours12);
+        // Margin growth saturates at 4×.
+        for _ in 0..20 {
+            d.write(SimTime::ZERO, 0, 4 * MIB, SimDuration::from_mins(5))
+                .unwrap();
+            d.read_checked(SimTime::ZERO + SimDuration::from_mins(60), 0, 4 * MIB)
+                .unwrap();
+        }
+        assert!(d.margin() <= 4.0 + 1e-12);
+    }
+
+    #[test]
+    fn fault_telemetry_is_published() {
+        use mrm_faults::FaultConfig;
+        use mrm_telemetry::SimTelemetry;
+        let mut d = dcm();
+        d.attach_faults(FaultModel::new(FaultConfig::mrm(), 23));
+        d.write(SimTime::ZERO, 0, 4 * MIB, SimDuration::from_mins(5))
+            .unwrap();
+        d.read_checked(SimTime::ZERO + SimDuration::from_mins(60), 0, 4 * MIB)
+            .unwrap();
+        let mut t = SimTelemetry::new(SimDuration::from_secs(1));
+        d.emit_telemetry(&mut t);
+        let r = t.registry();
+        assert_eq!(r.counter_value("dcm_read_retries"), Some(d.read_retries()));
+        assert_eq!(r.counter_value("dcm_derates"), Some(d.derates()));
+        assert!((r.gauge_value("dcm_margin").unwrap() - d.margin()).abs() < 1e-12);
+        let fs = *d.fault_stats().unwrap();
+        assert_eq!(r.counter_value("dcm_fault_raw_flips"), Some(fs.raw_flips));
     }
 
     #[test]

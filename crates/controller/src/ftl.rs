@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use mrm_faults::{FaultModel, FaultStats, ReadFaults, RecoveryAction};
 use mrm_telemetry::TelemetrySink;
 
 /// Wear-levelling policy.
@@ -43,6 +44,9 @@ pub struct FtlConfig {
     pub gc_threshold_blocks: u32,
     /// Wear-levelling policy.
     pub wear_leveling: WearLeveling,
+    /// Uncorrectable events on one block before it is retired (grown bad
+    /// block). Zero retires on the first event.
+    pub ue_retire_threshold: u32,
 }
 
 impl FtlConfig {
@@ -56,6 +60,7 @@ impl FtlConfig {
             logical_fraction: 0.875,
             gc_threshold_blocks: 4,
             wear_leveling: WearLeveling::Dynamic,
+            ue_retire_threshold: 2,
         }
     }
 
@@ -77,6 +82,13 @@ pub struct FtlStats {
     pub wl_moves: u64,
     /// Block erases performed.
     pub erases: u64,
+    /// Pages rewritten by UE-recovery remaps (including valid pages
+    /// evacuated from retiring blocks).
+    pub remap_moves: u64,
+    /// Checked reads that needed a retry.
+    pub read_retries: u64,
+    /// Blocks retired as grown bad blocks.
+    pub blocks_retired: u64,
 }
 
 impl FtlStats {
@@ -85,7 +97,8 @@ impl FtlStats {
         if self.host_writes == 0 {
             return 1.0;
         }
-        (self.host_writes + self.gc_moves + self.wl_moves) as f64 / self.host_writes as f64
+        (self.host_writes + self.gc_moves + self.wl_moves + self.remap_moves) as f64
+            / self.host_writes as f64
     }
 }
 
@@ -97,6 +110,10 @@ struct Block {
     write_ptr: u32,
     valid: u32,
     erase_count: u64,
+    /// Uncorrectable-error events recorded against this block.
+    ue_events: u32,
+    /// Grown bad block: permanently out of rotation.
+    retired: bool,
 }
 
 impl Block {
@@ -106,6 +123,8 @@ impl Block {
             write_ptr: 0,
             valid: 0,
             erase_count: 0,
+            ue_events: 0,
+            retired: false,
         }
     }
 
@@ -135,6 +154,23 @@ pub struct Ftl {
     free: VecDeque<u32>,
     open: u32,
     stats: FtlStats,
+    /// Optional fault-injection layer for checked reads.
+    faults: Option<FaultModel>,
+}
+
+/// Result of an [`Ftl::read_checked`] recovery sequence.
+#[derive(Clone, Copy, Debug)]
+pub struct FtlCheckedRead {
+    /// Physical location the data ended up at (post-remap if recovery
+    /// relocated it).
+    pub loc: (u32, u32),
+    /// Fault outcomes merged across every attempt.
+    pub faults: ReadFaults,
+    /// Deepest recovery step reached. For the FTL, `Scrubbed` means the
+    /// page was remapped (rewritten elsewhere) and `Retired` additionally
+    /// retired the source block as a grown bad block — in both cases the
+    /// data itself was recovered.
+    pub action: RecoveryAction,
 }
 
 /// FTL errors.
@@ -179,7 +215,19 @@ impl Ftl {
             open,
             cfg,
             stats: FtlStats::default(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection layer; [`Ftl::read_checked`] runs every
+    /// read through it and drives remap/retire recovery on uncorrectables.
+    pub fn attach_faults(&mut self, model: FaultModel) {
+        self.faults = Some(model);
+    }
+
+    /// Cumulative fault-layer totals, if a layer is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
     }
 
     /// The configuration.
@@ -197,17 +245,146 @@ impl Ftl {
         self.blocks.iter().map(|b| b.erase_count).collect()
     }
 
-    /// Spread between the most- and least-erased block.
+    /// Spread between the most- and least-erased in-service block.
+    /// Retired blocks are excluded: their counts are frozen and would pin
+    /// the minimum forever.
     pub fn erase_spread(&self) -> u64 {
-        let counts = self.erase_counts();
-        let max = counts.iter().copied().max().unwrap_or(0);
-        let min = counts.iter().copied().min().unwrap_or(0);
-        max - min
+        let mut max = 0u64;
+        let mut min = u64::MAX;
+        for b in self.blocks.iter().filter(|b| !b.retired) {
+            max = max.max(b.erase_count);
+            min = min.min(b.erase_count);
+        }
+        if min == u64::MAX {
+            0
+        } else {
+            max - min
+        }
     }
 
     /// Looks up the physical location of a logical page.
     pub fn read(&self, lpn: u64) -> Option<(u32, u32)> {
         self.map.get(lpn as usize).copied().flatten()
+    }
+
+    /// Reads a logical page through the fault layer at raw bit error rate
+    /// `rber` (supplied by the device/age model above this layer) and, on
+    /// an uncorrectable outcome, runs the FTL recovery machinery:
+    ///
+    /// 1. **retry** — a second decode attempt (transient UEs clear);
+    /// 2. **remap** — rewrite the recovered page at a fresh location
+    ///    (log-structured relocation) and charge a UE event against the
+    ///    source block;
+    /// 3. **retire** — once a block's UE events reach
+    ///    [`FtlConfig::ue_retire_threshold`], evacuate its remaining valid
+    ///    pages and take it out of rotation as a grown bad block.
+    ///
+    /// Returns `Ok(None)` for an unmapped page. Without an attached fault
+    /// layer this is exactly [`Ftl::read`] (plus the `Ok` wrapper).
+    pub fn read_checked(
+        &mut self,
+        lpn: u64,
+        rber: f64,
+    ) -> Result<Option<FtlCheckedRead>, FtlError> {
+        if lpn as usize >= self.map.len() {
+            return Err(FtlError::OutOfRange);
+        }
+        let Some(loc) = self.read(lpn) else {
+            return Ok(None);
+        };
+        let page_bytes = u64::from(self.cfg.page_bytes);
+        let Some(model) = self.faults.as_mut() else {
+            return Ok(Some(FtlCheckedRead {
+                loc,
+                faults: ReadFaults::default(),
+                action: RecoveryAction::None,
+            }));
+        };
+        let mut faults = model.inject_read(page_bytes, rber);
+        if !faults.uncorrectable() {
+            return Ok(Some(FtlCheckedRead {
+                loc,
+                faults,
+                action: RecoveryAction::None,
+            }));
+        }
+        // Step 1: retry.
+        self.stats.read_retries += 1;
+        let again = self
+            .faults
+            .as_mut()
+            .expect("fault layer attached")
+            .inject_read(page_bytes, rber);
+        let cleared = !again.uncorrectable();
+        faults.merge(&again);
+        if cleared {
+            return Ok(Some(FtlCheckedRead {
+                loc,
+                faults,
+                action: RecoveryAction::Retried,
+            }));
+        }
+        // Step 2: remap — the outer code recovered the data (or the host
+        // re-supplied it); rewrite it somewhere healthier and charge a UE
+        // event to the source block.
+        let (src, _) = loc;
+        self.stats.remap_moves += 1;
+        self.program(lpn)?;
+        self.blocks[src as usize].ue_events += 1;
+        // Step 3: grown-bad-block retirement at the configured threshold.
+        let action = if self.blocks[src as usize].ue_events >= self.cfg.ue_retire_threshold.max(1) {
+            self.retire_block(src)?;
+            RecoveryAction::Retired
+        } else {
+            RecoveryAction::Scrubbed
+        };
+        self.maybe_gc()?;
+        let loc = self.read(lpn).expect("page was just programmed");
+        Ok(Some(FtlCheckedRead {
+            loc,
+            faults,
+            action,
+        }))
+    }
+
+    /// Retires `block` as a grown bad block: evacuates its remaining valid
+    /// pages, then permanently removes it from rotation (never erased,
+    /// never re-enters the free pool, invisible to GC and wear levelling).
+    pub fn retire_block(&mut self, block: u32) -> Result<(), FtlError> {
+        if block as usize >= self.blocks.len() || self.blocks[block as usize].retired {
+            return Ok(());
+        }
+        // Never retire the open block in place: roll the write frontier
+        // to a fresh block first so evacuation has somewhere to go.
+        if block == self.open {
+            let next = self.free.pop_front().ok_or(FtlError::NoSpace)?;
+            self.open = next;
+        }
+        let lpns: Vec<u64> = self.blocks[block as usize]
+            .rmap
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        for lpn in lpns {
+            self.stats.remap_moves += 1;
+            self.program(lpn)?;
+        }
+        let b = &mut self.blocks[block as usize];
+        debug_assert_eq!(b.valid, 0, "retiring block with valid pages");
+        b.retired = true;
+        // Park the write pointer at the end so the block never looks open.
+        b.write_ptr = self.cfg.pages_per_block;
+        // The block may be sitting in the free pool (retired while empty):
+        // pull it out so it can never be popped as the write frontier.
+        self.free.retain(|&f| f != block);
+        self.stats.blocks_retired += 1;
+        self.maybe_gc()
+    }
+
+    /// Blocks retired as grown bad blocks so far.
+    pub fn blocks_retired(&self) -> u64 {
+        self.stats.blocks_retired
     }
 
     /// Writes (or overwrites) a logical page.
@@ -281,7 +458,7 @@ impl Ftl {
         #[allow(clippy::manual_find)] // scoring + filtering reads better imperatively
         for (i, b) in self.blocks.iter().enumerate() {
             let i = i as u32;
-            if i == self.open || !b.is_full(self.cfg.pages_per_block) {
+            if i == self.open || b.retired || !b.is_full(self.cfg.pages_per_block) {
                 continue;
             }
             if b.valid == self.cfg.pages_per_block {
@@ -320,9 +497,12 @@ impl Ftl {
     fn erase(&mut self, block: u32) {
         let b = &mut self.blocks[block as usize];
         debug_assert_eq!(b.valid, 0, "erasing block with valid pages");
+        debug_assert!(!b.retired, "erasing a retired block");
         let pages = self.cfg.pages_per_block;
         *b = Block {
             erase_count: b.erase_count + 1,
+            // UE history survives erase: grown bad blocks are grown.
+            ue_events: b.ue_events,
             ..Block::new(pages)
         };
         self.stats.erases += 1;
@@ -342,12 +522,20 @@ impl Ftl {
             // Coldest full block (not open). If the globally coldest block
             // is free or open it will rotate into service by itself, so
             // only full blocks are migration candidates.
-            let global_min = self.blocks.iter().map(|b| b.erase_count).min().unwrap_or(0);
+            let global_min = self
+                .blocks
+                .iter()
+                .filter(|b| !b.retired)
+                .map(|b| b.erase_count)
+                .min()
+                .unwrap_or(0);
             let coldest = self
                 .blocks
                 .iter()
                 .enumerate()
-                .filter(|(i, b)| *i as u32 != self.open && b.is_full(self.cfg.pages_per_block))
+                .filter(|(i, b)| {
+                    *i as u32 != self.open && !b.retired && b.is_full(self.cfg.pages_per_block)
+                })
                 .min_by_key(|(_, b)| b.erase_count)
                 .map(|(i, _)| (i as u32, self.blocks[i].erase_count));
             match coldest {
@@ -385,6 +573,17 @@ impl Ftl {
         sink.count_to("ftl_gc_moves", self.stats.gc_moves);
         sink.count_to("ftl_wl_moves", self.stats.wl_moves);
         sink.count_to("ftl_erases", self.stats.erases);
+        sink.count_to("ftl_remap_moves", self.stats.remap_moves);
+        sink.count_to("ftl_read_retries", self.stats.read_retries);
+        sink.count_to("ftl_blocks_retired", self.stats.blocks_retired);
+        if let Some(fs) = self.fault_stats() {
+            sink.count_to("ftl_fault_raw_flips", fs.raw_flips);
+            sink.count_to("ftl_fault_corrected", fs.corrected);
+            sink.count_to("ftl_fault_detected_ue", fs.detected_ue);
+            sink.count_to("ftl_fault_miscorrected", fs.miscorrected);
+            sink.count_to("ftl_fault_silent", fs.silent);
+            sink.gauge("ftl_fault_raw_ber", fs.raw_ber());
+        }
         sink.gauge("ftl_write_amplification", self.stats.write_amplification());
         sink.gauge("ftl_erase_spread", self.erase_spread() as f64);
         sink.gauge("ftl_free_blocks", self.free.len() as f64);
@@ -414,10 +613,20 @@ impl Ftl {
                 }
             }
         }
+        for (lpn, loc) in self.map.iter().enumerate() {
+            if let Some((b, _)) = loc {
+                if self.blocks[*b as usize].retired {
+                    return Err(format!("live lpn {lpn} points at retired block {b}"));
+                }
+            }
+        }
         for (i, b) in self.blocks.iter().enumerate() {
             let count = b.rmap.iter().flatten().count() as u32;
             if count != b.valid {
                 return Err(format!("valid counter mismatch in block {i}"));
+            }
+            if b.retired && b.valid != 0 {
+                return Err(format!("retired block {i} still holds valid pages"));
             }
             for (p, lpn) in b.rmap.iter().enumerate() {
                 if let Some(lpn) = lpn {
@@ -426,6 +635,12 @@ impl Ftl {
                     }
                 }
             }
+        }
+        if self.free.iter().any(|&b| self.blocks[b as usize].retired) {
+            return Err("retired block in the free pool".to_string());
+        }
+        if self.blocks[self.open as usize].retired {
+            return Err("open block is retired".to_string());
         }
         Ok(())
     }
@@ -576,6 +791,86 @@ mod tests {
             no_wl_spread,
             g.erase_spread()
         );
+    }
+
+    #[test]
+    fn read_checked_clean_path_leaves_map_alone() {
+        use mrm_faults::{FaultConfig, FaultModel};
+        let mut f = Ftl::new(FtlConfig::small());
+        f.attach_faults(FaultModel::new(FaultConfig::mrm(), 3));
+        f.write(9).unwrap();
+        let before = f.read(9).unwrap();
+        // Fresh-data RBER: nothing to recover.
+        let r = f.read_checked(9, 1e-9).unwrap().unwrap();
+        assert_eq!(r.action, RecoveryAction::None);
+        assert_eq!(r.loc, before);
+        assert!(f.read_checked(10, 1e-9).unwrap().is_none());
+        assert_eq!(f.stats().read_retries, 0);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ue_storm_remaps_then_retires_grown_bad_block() {
+        use mrm_faults::{FaultConfig, FaultModel, RecoveryAction};
+        let mut f = Ftl::new(FtlConfig::small());
+        f.attach_faults(FaultModel::new(FaultConfig::mrm(), 5));
+        let lp = f.config().logical_pages();
+        for i in 0..lp {
+            f.write(i).unwrap();
+        }
+        // An RBER far beyond the t=2 budget on a 16 KiB page: every
+        // checked read is uncorrectable, so the ladder must walk
+        // retry → remap → retire deterministically.
+        let mut actions = Vec::new();
+        for lpn in 0..64 {
+            if let Some(r) = f.read_checked(lpn, 1e-2).unwrap() {
+                assert!(r.faults.uncorrectable());
+                actions.push(r.action);
+                // Post-remap the page lives on a healthy block.
+                assert!(!matches!(r.action, RecoveryAction::None));
+            }
+            f.check_invariants().unwrap();
+        }
+        let s = f.stats();
+        assert!(s.read_retries > 0);
+        assert!(s.remap_moves > 0);
+        assert!(
+            actions.contains(&RecoveryAction::Retired),
+            "threshold 2 must retire under a UE storm: {actions:?}"
+        );
+        assert!(s.blocks_retired > 0);
+        assert!(s.write_amplification() > 1.0, "remaps are device writes");
+        // Every logical page is still mapped: recovery never loses data.
+        for lpn in 0..lp {
+            assert!(f.read(lpn).is_some(), "lost lpn {lpn}");
+        }
+    }
+
+    #[test]
+    fn retired_blocks_leave_rotation_for_good() {
+        use mrm_faults::{FaultConfig, FaultModel};
+        let mut cfg = FtlConfig::small();
+        cfg.ue_retire_threshold = 1; // retire on first UE event
+        let mut f = Ftl::new(cfg);
+        f.attach_faults(FaultModel::new(FaultConfig::mrm(), 9));
+        let lp = f.config().logical_pages();
+        for i in 0..lp {
+            f.write(i).unwrap();
+        }
+        let (src, _) = f.read(0).unwrap();
+        let r = f.read_checked(0, 1e-2).unwrap().unwrap();
+        assert_eq!(r.action, RecoveryAction::Retired);
+        assert_eq!(f.blocks_retired(), 1);
+        f.check_invariants().unwrap();
+        // Churn hard: the retired block must never host data again.
+        for k in 0..lp * 3 {
+            f.write(k % lp).unwrap();
+        }
+        f.check_invariants().unwrap();
+        for lpn in 0..lp {
+            let (b, _) = f.read(lpn).unwrap();
+            assert_ne!(b, src, "retired block re-entered rotation");
+        }
     }
 
     #[test]

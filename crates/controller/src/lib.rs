@@ -33,4 +33,4 @@ pub mod sched;
 pub use dcm::{DcmController, RetentionClass};
 pub use dram::DramController;
 pub use ftl::{Ftl, FtlConfig, WearLeveling};
-pub use mrm_block::{MrmBlockController, ZoneId, ZoneState};
+pub use mrm_block::{CheckedRead, MrmBlockController, ZoneId, ZoneState};

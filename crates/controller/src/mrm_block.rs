@@ -23,6 +23,7 @@
 
 use mrm_device::device::{DeviceError, MemoryDevice, OpResult};
 use mrm_device::energy::EnergyBreakdown;
+use mrm_faults::{FaultModel, FaultStats, ReadFaults, RecoveryAction};
 use mrm_sim::time::{SimDuration, SimTime};
 use mrm_telemetry::TelemetrySink;
 
@@ -39,6 +40,8 @@ pub enum ZoneState {
     Open,
     /// Finished: read-only until reset.
     Full,
+    /// Retired by the recovery machinery: permanently out of service.
+    Retired,
 }
 
 /// Errors from the block controller.
@@ -54,6 +57,8 @@ pub enum ZoneError {
     ReadBeyondWritePointer,
     /// No empty zone available.
     NoEmptyZones,
+    /// The zone has been retired and cannot be used again.
+    ZoneRetired,
     /// Underlying device error.
     Device(DeviceError),
 }
@@ -66,6 +71,7 @@ impl std::fmt::Display for ZoneError {
             ZoneError::ZoneOverflow => write!(f, "append exceeds zone capacity"),
             ZoneError::ReadBeyondWritePointer => write!(f, "read beyond write pointer"),
             ZoneError::NoEmptyZones => write!(f, "no empty zones available"),
+            ZoneError::ZoneRetired => write!(f, "zone is retired"),
             ZoneError::Device(e) => write!(f, "device error: {e}"),
         }
     }
@@ -127,6 +133,35 @@ pub struct MrmBlockController {
     scrub_ops: u64,
     /// Bytes rewritten by scrubs.
     scrub_bytes: u64,
+    /// Optional fault-injection layer for checked reads.
+    faults: Option<FaultModel>,
+    /// Checked reads that needed a retry re-read.
+    read_retries: u64,
+    /// Checked reads that escalated to an inline scrub.
+    scrub_escalations: u64,
+    /// Zones permanently retired by the recovery machinery.
+    zones_retired: u64,
+}
+
+/// Result of a [`MrmBlockController::read_checked`] recovery sequence.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckedRead {
+    /// The device-level result of the *final* read attempt (timing and
+    /// reliability of the data actually returned to the caller).
+    pub op: OpResult,
+    /// Fault outcomes merged across every attempt in the sequence.
+    pub faults: ReadFaults,
+    /// The deepest recovery step the sequence reached.
+    pub action: RecoveryAction,
+}
+
+impl CheckedRead {
+    /// Whether the data handed back is good (clean, corrected, or
+    /// recovered). `false` means the zone was retired and the caller must
+    /// re-fetch from a colder tier or recompute.
+    pub fn recovered(&self) -> bool {
+        self.action != RecoveryAction::Retired
+    }
 }
 
 impl MrmBlockController {
@@ -145,7 +180,37 @@ impl MrmBlockController {
             zones: (0..n).map(|_| Zone::new()).collect(),
             scrub_ops: 0,
             scrub_bytes: 0,
+            faults: None,
+            read_retries: 0,
+            scrub_escalations: 0,
+            zones_retired: 0,
         }
+    }
+
+    /// Attaches a fault-injection layer; [`MrmBlockController::read_checked`]
+    /// runs every read through it and drives recovery on uncorrectables.
+    pub fn attach_faults(&mut self, model: FaultModel) {
+        self.faults = Some(model);
+    }
+
+    /// Cumulative fault-layer totals, if a layer is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// Checked reads that needed a retry re-read.
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries
+    }
+
+    /// Checked reads that escalated to an inline scrub.
+    pub fn scrub_escalations(&self) -> u64 {
+        self.scrub_escalations
+    }
+
+    /// Zones permanently retired by the recovery machinery.
+    pub fn zones_retired(&self) -> u64 {
+        self.zones_retired
     }
 
     /// Number of zones.
@@ -243,6 +308,9 @@ impl MrmBlockController {
         let zone_bytes = self.zone_bytes;
         let base = self.base(z);
         let zone = self.zone_mut(z)?;
+        if zone.state == ZoneState::Retired {
+            return Err(ZoneError::ZoneRetired);
+        }
         if zone.state != ZoneState::Open {
             return Err(ZoneError::NotOpen);
         }
@@ -275,6 +343,9 @@ impl MrmBlockController {
     ) -> Result<OpResult, ZoneError> {
         let base = self.base(z);
         let zone = self.zone(z)?;
+        if zone.state == ZoneState::Retired {
+            return Err(ZoneError::ZoneRetired);
+        }
         if zone.state == ZoneState::Empty {
             return Err(ZoneError::NotOpen);
         }
@@ -282,6 +353,90 @@ impl MrmBlockController {
             return Err(ZoneError::ReadBeyondWritePointer);
         }
         Ok(self.device.read(now, base + offset, len)?)
+    }
+
+    /// Reads a zone range through the fault layer and, on an uncorrectable
+    /// outcome, runs the recovery state machine (DESIGN.md §9):
+    ///
+    /// 1. **retry** — re-read the range (transient decode failures clear);
+    /// 2. **scrub escalation** — rewrite the zone in place for
+    ///    `scrub_retention`, then re-read at the refreshed error rate;
+    /// 3. **retirement** — if the scrubbed re-read still fails (or the
+    ///    device reports the region worn out), the zone is permanently
+    ///    retired and the caller must restore the data from elsewhere.
+    ///
+    /// Without an attached fault layer this is exactly
+    /// [`MrmBlockController::read`].
+    pub fn read_checked(
+        &mut self,
+        now: SimTime,
+        z: ZoneId,
+        offset: u64,
+        len: u64,
+        scrub_retention: SimDuration,
+    ) -> Result<CheckedRead, ZoneError> {
+        let mut op = self.read(now, z, offset, len)?;
+        let Some(model) = self.faults.as_mut() else {
+            return Ok(CheckedRead {
+                op,
+                faults: ReadFaults::default(),
+                action: RecoveryAction::None,
+            });
+        };
+        let mut faults = model.inject_read(len, op.rber);
+        if !faults.uncorrectable() && !op.worn_out {
+            return Ok(CheckedRead {
+                op,
+                faults,
+                action: RecoveryAction::None,
+            });
+        }
+        // Step 1: retry. The re-read costs real device time/energy and the
+        // injection re-samples — a transient UE clears here.
+        let mut action = RecoveryAction::Retired;
+        if !op.worn_out {
+            self.read_retries += 1;
+            op = self.read(now, z, offset, len)?;
+            let model = self.faults.as_mut().expect("fault layer attached");
+            let again = model.inject_read(len, op.rber);
+            let clean = !again.uncorrectable();
+            faults.merge(&again);
+            if clean && !op.worn_out {
+                action = RecoveryAction::Retried;
+            }
+        }
+        // Step 2: scrub escalation — rewrite in place, then re-read at the
+        // refreshed (fresh-write) error rate.
+        if action == RecoveryAction::Retired && !op.worn_out {
+            self.scrub_escalations += 1;
+            self.scrub_zone(now, z, scrub_retention)?;
+            op = self.read(now, z, offset, len)?;
+            let model = self.faults.as_mut().expect("fault layer attached");
+            let again = model.inject_read(len, op.rber);
+            let clean = !again.uncorrectable();
+            faults.merge(&again);
+            if clean && !op.worn_out {
+                action = RecoveryAction::Scrubbed;
+            }
+        }
+        // Step 3: retirement.
+        if action == RecoveryAction::Retired {
+            self.retire_zone(z)?;
+        }
+        Ok(CheckedRead { op, faults, action })
+    }
+
+    /// Permanently takes a zone out of service. Retired zones reject every
+    /// operation and are excluded from zone selection and expiry scans.
+    pub fn retire_zone(&mut self, z: ZoneId) -> Result<(), ZoneError> {
+        let zone = self.zone_mut(z)?;
+        if zone.state == ZoneState::Retired {
+            return Ok(());
+        }
+        zone.state = ZoneState::Retired;
+        zone.deadline = SimTime::MAX;
+        self.zones_retired += 1;
+        Ok(())
     }
 
     /// Marks an open zone full (no further appends).
@@ -299,6 +454,9 @@ impl MrmBlockController {
     /// the software wear-leveller counts.
     pub fn reset_zone(&mut self, z: ZoneId) -> Result<(), ZoneError> {
         let zone = self.zone_mut(z)?;
+        if zone.state == ZoneState::Retired {
+            return Err(ZoneError::ZoneRetired);
+        }
         if zone.write_ptr > 0 {
             zone.write_cycles += 1;
         }
@@ -315,7 +473,9 @@ impl MrmBlockController {
             .zones
             .iter()
             .enumerate()
-            .filter(|(_, zn)| zn.state != ZoneState::Empty && zn.deadline <= horizon)
+            .filter(|(_, zn)| {
+                !matches!(zn.state, ZoneState::Empty | ZoneState::Retired) && zn.deadline <= horizon
+            })
             .map(|(i, zn)| (ZoneId(i as u32), zn.deadline))
             .collect();
         v.sort_by_key(|&(_, d)| d);
@@ -337,6 +497,9 @@ impl MrmBlockController {
             let zone = self.zone(z)?;
             (zone.write_ptr, zone.state)
         };
+        if state == ZoneState::Retired {
+            return Err(ZoneError::ZoneRetired);
+        }
         if state == ZoneState::Empty {
             return Err(ZoneError::NotOpen);
         }
@@ -375,7 +538,18 @@ impl MrmBlockController {
         }
         sink.count_to("mrm_scrub_ops", self.scrub_ops);
         sink.count_to("mrm_scrub_bytes", self.scrub_bytes);
-        let (mut empty, mut open, mut full) = (0u64, 0u64, 0u64);
+        sink.count_to("mrm_read_retries", self.read_retries);
+        sink.count_to("mrm_scrub_escalations", self.scrub_escalations);
+        sink.count_to("mrm_zones_retired", self.zones_retired);
+        if let Some(fs) = self.fault_stats() {
+            sink.count_to("mrm_fault_raw_flips", fs.raw_flips);
+            sink.count_to("mrm_fault_corrected", fs.corrected);
+            sink.count_to("mrm_fault_detected_ue", fs.detected_ue);
+            sink.count_to("mrm_fault_miscorrected", fs.miscorrected);
+            sink.count_to("mrm_fault_silent", fs.silent);
+            sink.gauge("mrm_fault_raw_ber", fs.raw_ber());
+        }
+        let (mut empty, mut open, mut full, mut retired) = (0u64, 0u64, 0u64, 0u64);
         let mut max_cycles = 0u64;
         let mut sum_cycles = 0u64;
         for zn in &self.zones {
@@ -383,6 +557,7 @@ impl MrmBlockController {
                 ZoneState::Empty => empty += 1,
                 ZoneState::Open => open += 1,
                 ZoneState::Full => full += 1,
+                ZoneState::Retired => retired += 1,
             }
             max_cycles = max_cycles.max(zn.write_cycles);
             sum_cycles += zn.write_cycles;
@@ -390,6 +565,7 @@ impl MrmBlockController {
         sink.gauge("mrm_zones_empty", empty as f64);
         sink.gauge("mrm_zones_open", open as f64);
         sink.gauge("mrm_zones_full", full as f64);
+        sink.gauge("mrm_zones_retired_now", retired as f64);
         sink.gauge("mrm_zone_cycles_max", max_cycles as f64);
         sink.gauge(
             "mrm_zone_cycles_mean",
@@ -598,6 +774,142 @@ mod tests {
         c.emit_wear_histogram(&mut t);
         let h = t.registry().histogram_by_name("zone_write_cycles").unwrap();
         assert_eq!(h.count(), c.zone_count() as u64);
+    }
+
+    #[test]
+    fn read_checked_without_fault_layer_is_plain_read() {
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, MIB, SimDuration::from_hours(1))
+            .unwrap();
+        let r = c
+            .read_checked(SimTime::ZERO, z, 0, MIB, SimDuration::from_hours(1))
+            .unwrap();
+        assert_eq!(r.action, mrm_faults::RecoveryAction::None);
+        assert_eq!(r.faults, mrm_faults::ReadFaults::default());
+        assert!(r.recovered());
+        assert_eq!(c.read_retries(), 0);
+        assert_eq!(c.fault_stats(), None);
+    }
+
+    #[test]
+    fn fresh_data_reads_clean_through_fault_layer() {
+        use mrm_faults::{FaultConfig, FaultModel};
+        let mut c = ctrl();
+        c.attach_faults(FaultModel::new(FaultConfig::mrm(), 42));
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, MIB, SimDuration::from_hours(12))
+            .unwrap();
+        // Minutes into a 12-hour retention: RBER is far below the t=2
+        // correction budget, so no recovery engages.
+        let r = c
+            .read_checked(
+                SimTime::ZERO + SimDuration::from_mins(5),
+                z,
+                0,
+                MIB,
+                SimDuration::from_hours(12),
+            )
+            .unwrap();
+        assert_eq!(r.action, mrm_faults::RecoveryAction::None);
+        assert_eq!(
+            c.read_retries() + c.scrub_escalations() + c.zones_retired(),
+            0
+        );
+    }
+
+    #[test]
+    fn expired_read_escalates_and_scrub_recovers() {
+        use mrm_faults::{FaultConfig, FaultModel, RecoveryAction};
+        let mut c = ctrl();
+        c.attach_faults(FaultModel::new(FaultConfig::mrm(), 7));
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, 4 * MIB, SimDuration::from_mins(10))
+            .unwrap();
+        // Far past the deadline the RBER saturates well above what t=2
+        // absorbs over 4 MiB; the recovery ladder must engage, and the
+        // scrub rewrite restores a fresh error rate.
+        let late = SimTime::ZERO + SimDuration::from_mins(60);
+        let r = c
+            .read_checked(late, z, 0, 4 * MIB, SimDuration::from_hours(1))
+            .unwrap();
+        assert!(r.faults.uncorrectable(), "{:?}", r.faults);
+        assert_eq!(r.action, RecoveryAction::Scrubbed, "{:?}", r);
+        assert!(r.recovered());
+        assert_eq!(c.read_retries(), 1);
+        assert_eq!(c.scrub_escalations(), 1);
+        assert_eq!(c.zones_retired(), 0);
+        // The scrubbed zone now reads clean.
+        let again = c
+            .read_checked(late, z, 0, 4 * MIB, SimDuration::from_hours(1))
+            .unwrap();
+        assert_eq!(again.action, RecoveryAction::None);
+    }
+
+    #[test]
+    fn retired_zone_rejects_everything_and_leaves_selection() {
+        let mut c = ctrl();
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, MIB, SimDuration::from_mins(10))
+            .unwrap();
+        c.retire_zone(z).unwrap();
+        assert_eq!(c.zone_state(z).unwrap(), ZoneState::Retired);
+        assert_eq!(c.zones_retired(), 1);
+        // Idempotent.
+        c.retire_zone(z).unwrap();
+        assert_eq!(c.zones_retired(), 1);
+        assert_eq!(
+            c.read(SimTime::ZERO, z, 0, 1).unwrap_err(),
+            ZoneError::ZoneRetired
+        );
+        assert_eq!(
+            c.append(SimTime::ZERO, z, 1, SimDuration::from_secs(1))
+                .unwrap_err(),
+            ZoneError::ZoneRetired
+        );
+        assert_eq!(c.reset_zone(z).unwrap_err(), ZoneError::ZoneRetired);
+        assert_eq!(
+            c.scrub_zone(SimTime::ZERO, z, SimDuration::from_hours(1))
+                .unwrap_err(),
+            ZoneError::ZoneRetired
+        );
+        // Gone from the expiry work list and from zone selection.
+        assert!(c.zones_expiring_before(SimTime::MAX).is_empty());
+        for _ in 0..15 {
+            let opened = c.open_zone_least_worn().unwrap();
+            assert_ne!(opened, z);
+        }
+        assert_eq!(c.open_zone().unwrap_err(), ZoneError::NoEmptyZones);
+    }
+
+    #[test]
+    fn recovery_telemetry_is_published() {
+        use mrm_faults::{FaultConfig, FaultModel};
+        use mrm_telemetry::SimTelemetry;
+        let mut c = ctrl();
+        c.attach_faults(FaultModel::new(FaultConfig::mrm(), 7));
+        let z = c.open_zone().unwrap();
+        c.append(SimTime::ZERO, z, 4 * MIB, SimDuration::from_mins(10))
+            .unwrap();
+        let late = SimTime::ZERO + SimDuration::from_mins(60);
+        c.read_checked(late, z, 0, 4 * MIB, SimDuration::from_hours(1))
+            .unwrap();
+        let mut t = SimTelemetry::new(SimDuration::from_secs(1));
+        c.emit_telemetry(&mut t);
+        let r = t.registry();
+        assert_eq!(r.counter_value("mrm_read_retries"), Some(c.read_retries()));
+        assert_eq!(
+            r.counter_value("mrm_scrub_escalations"),
+            Some(c.scrub_escalations())
+        );
+        let fs = *c.fault_stats().unwrap();
+        assert_eq!(r.counter_value("mrm_fault_raw_flips"), Some(fs.raw_flips));
+        assert_eq!(
+            r.counter_value("mrm_fault_detected_ue"),
+            Some(fs.detected_ue)
+        );
+        assert!(r.gauge_value("mrm_fault_raw_ber").unwrap() > 0.0);
+        assert_eq!(r.gauge_value("mrm_zones_retired_now"), Some(0.0));
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Adversarial ECC coverage: encode → inject-k-errors → decode, across the
+//! whole crate surface.
+//!
+//! The in-module proptests pin the happy paths; this suite attacks the
+//! guarantees at their edges: correction exactly at the budget `t`,
+//! behaviour one error *past* the budget (detect where the code guarantees
+//! it, never silently hand back an invalid word where it does not), field
+//! axioms in `gf` under random elements, and burst splitting through the
+//! interleaver for arbitrary geometry.
+
+use mrm_ecc::bch::Bch;
+use mrm_ecc::gf::Gf;
+use mrm_ecc::hamming::{Hamming, HammingOutcome};
+use mrm_ecc::interleave::Interleaver;
+use proptest::prelude::*;
+
+/// Deterministic bit stream for dependent-size inputs (proptest strategies
+/// here have fixed shapes, so variable-length payloads derive from a seed).
+fn bits_from_seed(n: usize, mut seed: u64) -> Vec<u8> {
+    (0..n)
+        .map(|_| {
+            seed = seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            ((seed >> 33) & 1) as u8
+        })
+        .collect()
+}
+
+fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // ---- Hamming SECDED at arbitrary data widths ------------------------
+
+    #[test]
+    fn hamming_corrects_one_error_at_any_width(
+        width in 1usize..160,
+        seed in 0u64..u64::MAX,
+        pos_raw in 0u64..u64::MAX,
+    ) {
+        let code = Hamming::new(width);
+        let data = bits_from_seed(width, seed);
+        let mut cw = code.encode(&data);
+        let pos = (pos_raw % cw.len() as u64) as usize;
+        cw[pos] ^= 1;
+        let (out, outcome) = code.decode(&cw);
+        prop_assert_ne!(outcome, HammingOutcome::Clean);
+        prop_assert_ne!(outcome, HammingOutcome::DoubleError);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn hamming_detects_two_errors_at_any_width(
+        width in 1usize..160,
+        seed in 0u64..u64::MAX,
+        a_raw in 0u64..u64::MAX,
+        b_raw in 0u64..u64::MAX,
+    ) {
+        let code = Hamming::new(width);
+        let data = bits_from_seed(width, seed);
+        let mut cw = code.encode(&data);
+        let n = cw.len() as u64;
+        let (a, b) = ((a_raw % n) as usize, (b_raw % n) as usize);
+        prop_assume!(a != b);
+        cw[a] ^= 1;
+        cw[b] ^= 1;
+        // t+1 = 2 errors: SECDED *guarantees* detection.
+        let (_, outcome) = code.decode(&cw);
+        prop_assert_eq!(outcome, HammingOutcome::DoubleError);
+    }
+
+    // ---- BCH at and past the correction budget --------------------------
+
+    #[test]
+    fn bch_corrects_exactly_t_errors_anywhere(
+        seed in 0u64..u64::MAX,
+        errs in proptest::collection::btree_set(0usize..255, 3),
+    ) {
+        // Exactly t errors (not "up to"): the decoder must run a full
+        // Berlekamp–Massey + Chien pass at the edge of its budget.
+        let code = Bch::new(8, 3);
+        let data = bits_from_seed(code.k(), seed);
+        let mut cw = code.encode(&data);
+        for &p in &errs {
+            cw[p] ^= 1;
+        }
+        let (out, fixed) = code.decode(&cw).unwrap();
+        prop_assert_eq!(fixed, 3);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn shortened_bch_corrects_exactly_t_errors_anywhere(
+        seed in 0u64..u64::MAX,
+        errs in proptest::collection::btree_set(0usize..532, 2),
+    ) {
+        // The controller-facing geometry: BCH t=2 over 512 data bits
+        // (n = 532 via GF(2^10)), exactly the code the fault layer models.
+        let code = Bch::with_data_len(10, 2, 512);
+        prop_assert_eq!(code.n(), 532);
+        let data = bits_from_seed(512, seed);
+        let mut cw = code.encode(&data);
+        for &p in &errs {
+            cw[p] ^= 1;
+        }
+        let (out, fixed) = code.decode(&cw).unwrap();
+        prop_assert_eq!(fixed, 2);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn bch_is_sound_one_error_past_the_budget(
+        seed in 0u64..u64::MAX,
+        errs in proptest::collection::btree_set(0usize..255, 4),
+    ) {
+        // t+1 distinct errors exceed the guarantee. The decoder must either
+        // report TooManyErrors, or miscorrect *soundly*: land on a valid
+        // codeword within distance t of the received word — and since the
+        // received word is distance t+1 > t from the original, a "success"
+        // can never silently return the original data unchanged.
+        let code = Bch::new(8, 3);
+        let data = bits_from_seed(code.k(), seed);
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        for &p in &errs {
+            bad[p] ^= 1;
+        }
+        match code.decode(&bad) {
+            Err(_) => {} // detected: the common, desired outcome
+            Ok((out, fixed)) => {
+                prop_assert!(fixed <= code.t());
+                prop_assert_ne!(out.clone(), data);
+                // The word it decoded to is a real codeword near `bad`.
+                let recoded = code.encode(&out);
+                prop_assert_eq!(hamming_distance(&recoded, &bad), fixed);
+                let (back, zero) = code.decode(&recoded).unwrap();
+                prop_assert_eq!(zero, 0);
+                prop_assert_eq!(back, out);
+            }
+        }
+    }
+
+    // ---- GF(2^m) field axioms under random elements ---------------------
+
+    #[test]
+    fn gf_axioms_hold_for_random_elements(
+        m in 3u32..=12,
+        a_raw in 0u32..u32::MAX,
+        b_raw in 0u32..u32::MAX,
+        c_raw in 0u32..u32::MAX,
+    ) {
+        let gf = Gf::new(m);
+        let order = gf.order() as u32;
+        let a = (a_raw % (order + 1)) as u16;
+        let b = (b_raw % (order + 1)) as u16;
+        let c = (c_raw % (order + 1)) as u16;
+        // Commutativity and associativity of multiplication.
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        prop_assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+        // Distributivity over XOR-addition.
+        prop_assert_eq!(
+            gf.mul(a, gf.add(b, c)),
+            gf.add(gf.mul(a, b), gf.mul(a, c))
+        );
+        // Identities and the zero annihilator.
+        prop_assert_eq!(gf.mul(a, 1), a);
+        prop_assert_eq!(gf.mul(a, 0), 0);
+        if a != 0 {
+            // Inverse round-trips and division agrees with it.
+            prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+            prop_assert_eq!(gf.div(b, a), gf.mul(b, gf.inv(a)));
+            // log/exp consistency.
+            prop_assert_eq!(gf.alpha_pow(gf.log_of(a) as i64), a);
+        }
+    }
+
+    #[test]
+    fn gf_pow_matches_repeated_multiplication(
+        m in 3u32..=12,
+        a_raw in 0u32..u32::MAX,
+        e in 0i64..50,
+    ) {
+        let gf = Gf::new(m);
+        let a = (a_raw % gf.order() as u32) as u16 + 1; // non-zero
+        let mut acc = 1u16;
+        for _ in 0..e {
+            acc = gf.mul(acc, a);
+        }
+        prop_assert_eq!(gf.pow(a, e), acc);
+        // Negative exponents are inverses of positive ones.
+        prop_assert_eq!(gf.mul(gf.pow(a, e), gf.pow(a, -e)), 1);
+        // α's multiplicative order is the full group order.
+        prop_assert_eq!(gf.alpha_pow(gf.order() as i64), 1);
+    }
+
+    #[test]
+    fn gf_poly_eval_matches_power_sum(
+        m in 3u32..=10,
+        coeffs in proptest::collection::vec(0u32..u32::MAX, 0..8),
+        x_raw in 0u32..u32::MAX,
+    ) {
+        let gf = Gf::new(m);
+        let order = gf.order() as u32;
+        let coeffs: Vec<u16> =
+            coeffs.iter().map(|&c| (c % (order + 1)) as u16).collect();
+        let x = (x_raw % (order + 1)) as u16;
+        // Naive Σ c_d · x^d against Horner.
+        let mut expected = 0u16;
+        for (d, &c) in coeffs.iter().enumerate() {
+            expected = gf.add(expected, gf.mul(c, gf.pow(x, d as i64)));
+        }
+        prop_assert_eq!(gf.poly_eval(&coeffs, x), expected);
+    }
+
+    // ---- Interleaver burst splitting at arbitrary geometry --------------
+
+    #[test]
+    fn interleaver_roundtrips_any_geometry(
+        depth in 1usize..9,
+        len in 1usize..65,
+        seed in 0u64..u64::MAX,
+    ) {
+        let il = Interleaver::new(depth, len);
+        let cws: Vec<Vec<u8>> = (0..depth)
+            .map(|j| bits_from_seed(len, seed.wrapping_add(j as u64)))
+            .collect();
+        let frame = il.interleave(&cws);
+        prop_assert_eq!(frame.len(), depth * len);
+        prop_assert_eq!(il.deinterleave(&frame), cws);
+    }
+
+    #[test]
+    fn interleaver_bounds_burst_errors_per_codeword(
+        depth in 1usize..9,
+        len in 8usize..65,
+        seed in 0u64..u64::MAX,
+        start_raw in 0u64..u64::MAX,
+        burst_raw in 0u64..u64::MAX,
+    ) {
+        let il = Interleaver::new(depth, len);
+        let cws: Vec<Vec<u8>> = (0..depth)
+            .map(|j| bits_from_seed(len, seed.wrapping_add(j as u64)))
+            .collect();
+        let mut frame = il.interleave(&cws);
+        let total = frame.len() as u64;
+        let burst = 1 + (burst_raw % total.min(24)) as usize;
+        let start = (start_raw % (total - burst as u64 + 1)) as usize;
+        for bit in frame.iter_mut().skip(start).take(burst) {
+            *bit ^= 1;
+        }
+        let out = il.deinterleave(&frame);
+        let bound = il.errors_per_codeword(burst);
+        let mut spread = 0usize;
+        for (j, cw) in out.iter().enumerate() {
+            let errors = hamming_distance(cw, &cws[j]);
+            prop_assert!(
+                errors <= bound,
+                "codeword {} took {} errors from a {}-bit burst (bound {})",
+                j, errors, burst, bound
+            );
+            spread += errors;
+        }
+        // No error vanishes in transit: the burst lands somewhere.
+        prop_assert_eq!(spread, burst);
+    }
+
+    #[test]
+    fn interleaved_bch_survives_bursts_up_to_depth_times_t(
+        seed in 0u64..u64::MAX,
+        start_raw in 0u64..u64::MAX,
+        burst_raw in 0u64..u64::MAX,
+    ) {
+        // depth·t is the design point the controller relies on: a burst of
+        // that length leaves each t=2 codeword exactly at its budget.
+        let code = Bch::new(6, 2);
+        let depth = 8usize;
+        let il = Interleaver::new(depth, code.n());
+        let data: Vec<Vec<u8>> = (0..depth)
+            .map(|j| bits_from_seed(code.k(), seed.wrapping_add(j as u64)))
+            .collect();
+        let cws: Vec<Vec<u8>> = data.iter().map(|d| code.encode(d)).collect();
+        let mut frame = il.interleave(&cws);
+        let burst = 1 + (burst_raw % (depth as u64 * code.t() as u64)) as usize;
+        let start = (start_raw % (frame.len() - burst + 1) as u64) as usize;
+        for bit in frame.iter_mut().skip(start).take(burst) {
+            *bit ^= 1;
+        }
+        for (j, cw) in il.deinterleave(&frame).iter().enumerate() {
+            let (out, _) = code.decode(cw).unwrap_or_else(|e| {
+                panic!("codeword {j} failed under a {burst}-bit burst: {e}")
+            });
+            prop_assert_eq!(&out, &data[j], "codeword {} corrupted", j);
+        }
+    }
+}

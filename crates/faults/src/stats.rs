@@ -1,0 +1,94 @@
+//! Cumulative fault-layer accounting.
+
+use crate::model::ReadFaults;
+
+/// Running totals over every injected read, in the corrected / detected-UE
+/// / silent taxonomy of DESIGN.md §9.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Reads that went through injection (a read at zero effective RBER is
+    /// a no-op and is not counted).
+    pub reads: u64,
+    /// Codewords scanned.
+    pub codewords: u64,
+    /// Total bits scanned, data plus parity.
+    pub bits: u64,
+    /// Raw bit flips injected before any correction.
+    pub raw_flips: u64,
+    /// Codewords the ECC decoder corrected.
+    pub corrected: u64,
+    /// Codewords the decoder flagged uncorrectable (detected UE).
+    pub detected_ue: u64,
+    /// Codewords the decoder miscorrected but an outer CRC caught.
+    pub miscorrected: u64,
+    /// Codewords whose corruption escaped every layer (SDC).
+    pub silent: u64,
+}
+
+impl FaultStats {
+    /// Folds one read's outcome into the totals.
+    pub fn absorb(&mut self, r: &ReadFaults) {
+        self.codewords += r.codewords;
+        self.bits += r.bits;
+        self.raw_flips += r.raw_flips;
+        self.corrected += r.corrected;
+        self.detected_ue += r.detected_ue;
+        self.miscorrected += r.miscorrected;
+        self.silent += r.silent;
+    }
+
+    /// Merges another accumulator (e.g. per-controller totals).
+    pub fn merge(&mut self, o: &FaultStats) {
+        self.reads += o.reads;
+        self.codewords += o.codewords;
+        self.bits += o.bits;
+        self.raw_flips += o.raw_flips;
+        self.corrected += o.corrected;
+        self.detected_ue += o.detected_ue;
+        self.miscorrected += o.miscorrected;
+        self.silent += o.silent;
+    }
+
+    /// Observed raw bit error rate: flips per scanned bit.
+    pub fn raw_ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.raw_flips as f64 / self.bits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_merge_accumulate() {
+        let r = ReadFaults {
+            codewords: 4,
+            bits: 4 * 532,
+            raw_flips: 3,
+            corrected: 2,
+            detected_ue: 1,
+            miscorrected: 0,
+            silent: 0,
+        };
+        let mut a = FaultStats {
+            reads: 1,
+            ..FaultStats::default()
+        };
+        a.absorb(&r);
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.reads, 2);
+        assert_eq!(b.raw_flips, 6);
+        assert_eq!(b.corrected, 4);
+        assert!((a.raw_ber() - 3.0 / (4.0 * 532.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_raw_ber_is_zero() {
+        assert!(FaultStats::default().raw_ber().abs() < f64::EPSILON);
+    }
+}

@@ -11,6 +11,10 @@
 //!   randomness or schedule events.
 //! * **D5** keeps panics out of library hot paths: a controller that
 //!   `unwrap()`s mid-sweep takes out the whole parallel run.
+//! * **D6** pins PR 5's fault-injection contract: error sampling draws only
+//!   from the dedicated `FaultRng` stream, never the scheduling `SimRng` —
+//!   otherwise enabling faults perturbs the schedule (and vice versa) and
+//!   the same seed stops flipping the same bits.
 //! * **U1** guards the unit conventions of `sim/src/units.rs`: the paper's
 //!   cost-model conclusions die silently when `*_ns` meets `*_bytes` in an
 //!   addition, or a capacity is re-derived as `1 << 30` with the wrong shift.
@@ -31,6 +35,9 @@ pub enum RuleId {
     D4,
     /// Bare `unwrap()` or `expect("")` in non-test library code.
     D5,
+    /// `SimRng` named in `crates/faults` outside `src/rng.rs`: fault
+    /// injection must draw only from the dedicated `FaultRng` stream.
+    D6,
     /// Unit-suffix mixing or raw capacity literal outside `sim/src/units.rs`.
     U1,
     /// Malformed `mrm-lint` annotation (cannot be allowed or baselined).
@@ -46,12 +53,13 @@ pub enum Severity {
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
         RuleId::D4,
         RuleId::D5,
+        RuleId::D6,
         RuleId::U1,
     ];
 
@@ -62,6 +70,7 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
+            RuleId::D6 => "D6",
             RuleId::U1 => "U1",
             RuleId::Meta => "LINT",
         }
@@ -74,6 +83,7 @@ impl RuleId {
             "D3" => Some(RuleId::D3),
             "D4" => Some(RuleId::D4),
             "D5" => Some(RuleId::D5),
+            "D6" => Some(RuleId::D6),
             "U1" => Some(RuleId::U1),
             _ => None,
         }
@@ -96,6 +106,10 @@ impl RuleId {
             RuleId::D3 => "no entropy source other than SimRng in sim-path crates",
             RuleId::D4 => "telemetry is observe-only: no SimRng, no event scheduling",
             RuleId::D5 => "no bare unwrap()/expect(\"\") in non-test library code",
+            RuleId::D6 => {
+                "fault injection draws only from the dedicated FaultRng; \
+                 SimRng may be named in crates/faults only inside src/rng.rs"
+            }
             RuleId::U1 => {
                 "no arithmetic mixing *_ns/*_bytes/*_pj identifiers; \
                  no raw capacity literals outside sim/src/units.rs"
@@ -115,6 +129,11 @@ pub struct FileCtx {
     pub sim_path: bool,
     /// True for `crates/telemetry`.
     pub telemetry: bool,
+    /// True for `crates/faults` (D6's scope).
+    pub faults: bool,
+    /// True for `crates/faults/src/rng.rs`, the one file allowed to name
+    /// `SimRng` (it is the `FaultRng` wrapper that salts away from it).
+    pub faults_rng_file: bool,
     /// True for library code: under `src/`, not `src/bin/`, not a
     /// test-only module file. D5 only fires here.
     pub library: bool,
@@ -124,8 +143,15 @@ pub struct FileCtx {
 }
 
 /// Crates whose simulation results must be bit-identical for a given seed.
-pub const SIM_PATH_CRATES: [&str; 6] =
-    ["sim", "device", "controller", "tiering", "workload", "ecc"];
+pub const SIM_PATH_CRATES: [&str; 7] = [
+    "sim",
+    "device",
+    "controller",
+    "tiering",
+    "workload",
+    "ecc",
+    "faults",
+];
 
 impl FileCtx {
     /// Classifies a repo-relative path (forward slashes).
@@ -149,6 +175,8 @@ impl FileCtx {
             path: rel_path.to_string(),
             sim_path: crate_name.is_some_and(|c| SIM_PATH_CRATES.contains(&c)),
             telemetry: crate_name == Some("telemetry"),
+            faults: crate_name == Some("faults"),
+            faults_rng_file: rel_path == "crates/faults/src/rng.rs",
             library,
             units_file: rel_path == "crates/sim/src/units.rs",
         }
@@ -201,6 +229,7 @@ pub fn lint_source(source: &str, ctx: &FileCtx) -> FileReport {
     scan_d1_d2_d3(&code, ctx, &mut raw);
     scan_d4(&code, ctx, &mut raw);
     scan_d5(&code, &in_test, ctx, &mut raw);
+    scan_d6(&code, ctx, &mut raw);
     scan_u1(&code, ctx, &mut raw);
 
     let mut violations: Vec<Violation> = raw
@@ -548,6 +577,32 @@ fn scan_d5(code: &[&Token], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<Viola
     }
 }
 
+/// D6: fault injection draws only from the dedicated `FaultRng` stream.
+/// Inside `crates/faults`, the only file allowed to name `SimRng` is
+/// `src/rng.rs` — the wrapper that derives the salted fault stream. Anywhere
+/// else, naming `SimRng` means fault sampling is (or is about to be) coupled
+/// to the scheduling stream, which breaks both the differential chaos test
+/// (fault-rate 0 ≡ faults off) and seed-stable bit flips.
+fn scan_d6(code: &[&Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.faults || ctx.faults_rng_file {
+        return;
+    }
+    for t in code {
+        if t.kind == TokenKind::Ident && t.text == "SimRng" {
+            push(
+                out,
+                RuleId::D6,
+                ctx,
+                t.line,
+                "`SimRng` named in crates/faults outside src/rng.rs: fault \
+                 injection must draw from the dedicated `FaultRng` stream only \
+                 (the scheduling stream must not move when faults are enabled)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// Unit-suffix class of an identifier, per the `sim/src/units.rs` conventions.
 fn unit_class(ident: &str) -> Option<&'static str> {
     if ident.ends_with("_ns") || ident.ends_with("_us") || ident.ends_with("_ms") {
@@ -780,6 +835,25 @@ mod tests {
         let r = lint_source(
             "use mrm_sim::SimRng;",
             &FileCtx::classify("crates/bench/src/lib.rs"),
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn d6_in_faults_crate_outside_rng_file() {
+        let model = FileCtx::classify("crates/faults/src/model.rs");
+        assert!(model.faults && model.sim_path && !model.faults_rng_file);
+        let r = lint_source("use mrm_sim::rng::SimRng;", &model);
+        assert_eq!(rules_of(&r), vec![RuleId::D6]);
+        // The FaultRng wrapper is the one allowed home.
+        let rng = FileCtx::classify("crates/faults/src/rng.rs");
+        assert!(rng.faults_rng_file);
+        let r = lint_source("use mrm_sim::rng::SimRng;", &rng);
+        assert!(r.violations.is_empty());
+        // Other crates are out of D6's scope.
+        let r = lint_source(
+            "use mrm_sim::rng::SimRng;",
+            &FileCtx::classify("crates/sweep/src/lib.rs"),
         );
         assert!(r.violations.is_empty());
     }

@@ -1,0 +1,19 @@
+//! D6 corpus: fault injection must draw only from the dedicated `FaultRng`
+//! stream. This file pretends to live at `crates/faults/src/fixture.rs`.
+
+use mrm_sim::rng::SimRng; // D6: scheduling stream named in the faults crate
+
+pub struct BadSampler {
+    rng: SimRng, // D6: the field type couples sampling to the schedule
+}
+
+impl BadSampler {
+    pub fn draw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+// mrm-lint: allow(D6) exercising the suppression path for the golden file
+pub fn explicitly_allowed(rng: &mut SimRng) -> u64 {
+    rng.next_u64()
+}

@@ -23,6 +23,8 @@ fn fixtures_dir() -> PathBuf {
 fn fixture_ctx(name: &str) -> FileCtx {
     let mut ctx = if name.starts_with("d4_") {
         FileCtx::classify("crates/telemetry/src/fixture.rs")
+    } else if name.starts_with("d6_") {
+        FileCtx::classify("crates/faults/src/fixture.rs")
     } else {
         FileCtx::classify("crates/sim/src/fixture.rs")
     };
@@ -114,7 +116,13 @@ fn allow_annotations_suppress_in_fixtures() {
     // we assert the suppression is real by deleting the annotations and
     // seeing the count rise).
     let dir = fixtures_dir();
-    for name in ["d1_wall_clock", "d2_hash_map", "d5_unwrap", "u1_units"] {
+    for name in [
+        "d1_wall_clock",
+        "d2_hash_map",
+        "d5_unwrap",
+        "d6_fault_rng",
+        "u1_units",
+    ] {
         let source = read(&dir.join(format!("{name}.rs")));
         let with = lint_source(&source, &fixture_ctx(name)).violations.len();
         let stripped: String = source
@@ -267,6 +275,8 @@ fn fixture_corpus_fails_deny_when_walked() {
             .unwrap_or_default();
         let dest = if name.starts_with("d4_") {
             format!("crates/telemetry/src/{name}")
+        } else if name.starts_with("d6_") {
+            format!("crates/faults/src/{name}")
         } else {
             format!("crates/sim/src/{name}")
         };
@@ -274,7 +284,7 @@ fn fixture_corpus_fails_deny_when_walked() {
     }
     let (ok, text) = ws.run(&["--deny"]);
     assert!(!ok, "fixture corpus must fail --deny:\n{text}");
-    for rule in ["D1", "D2", "D3", "D4", "D5", "U1"] {
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "U1"] {
         assert!(text.contains(rule), "corpus run missing {rule}:\n{text}");
     }
 }

@@ -8,6 +8,24 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
 
+/// A sample was rejected by a checked recording path: non-finite (NaN or
+/// ±∞), or negative where the collector requires non-negative values.
+///
+/// A single NaN folded into a Welford accumulator turns mean, variance,
+/// min, and max all into NaN — and a merge then spreads the poison into
+/// every downstream aggregate. The checked paths surface the rejection
+/// instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidSample;
+
+impl std::fmt::Display for InvalidSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sample rejected: non-finite or out of range")
+    }
+}
+
+impl std::error::Error for InvalidSample {}
+
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
 ///
 /// # Examples
@@ -49,8 +67,18 @@ impl StreamingStats {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Non-finite values are silently ignored;
+    /// use [`StreamingStats::try_record`] to observe the rejection.
     pub fn record(&mut self, x: f64) {
+        let _ = self.try_record(x);
+    }
+
+    /// Records one observation, rejecting non-finite input with an error
+    /// instead of poisoning the moments (see [`InvalidSample`]).
+    pub fn try_record(&mut self, x: f64) -> Result<(), InvalidSample> {
+        if !x.is_finite() {
+            return Err(InvalidSample);
+        }
         self.count += 1;
         self.sum += x;
         let delta = x - self.mean;
@@ -58,6 +86,7 @@ impl StreamingStats {
         self.m2 += delta * (x - self.mean);
         self.min = Some(self.min.map_or(x, |m| m.min(x)));
         self.max = Some(self.max.map_or(x, |m| m.max(x)));
+        Ok(())
     }
 
     /// Number of observations.
@@ -215,10 +244,19 @@ impl LogHistogram {
         Some((idx as usize).min(self.counts.len() - 1))
     }
 
-    /// Records one value. Non-finite or negative values are ignored.
+    /// Records one value. Non-finite or negative values are silently
+    /// ignored; use [`LogHistogram::try_record`] to observe the rejection.
     pub fn record(&mut self, x: f64) {
+        let _ = self.try_record(x);
+    }
+
+    /// Records one value, rejecting non-finite or negative input with an
+    /// error instead of dropping it on the floor — a recovery-latency
+    /// pipeline feeding NaN here is a bug worth surfacing, not averaging
+    /// away (see [`InvalidSample`]).
+    pub fn try_record(&mut self, x: f64) -> Result<(), InvalidSample> {
         if !x.is_finite() || x < 0.0 {
-            return;
+            return Err(InvalidSample);
         }
         self.total += 1;
         self.stats.record(x);
@@ -226,6 +264,7 @@ impl LogHistogram {
             Some(i) => self.counts[i] += 1,
             None => self.underflow += 1,
         }
+        Ok(())
     }
 
     /// Number of recorded values.
@@ -595,6 +634,49 @@ mod tests {
         assert_eq!(h.summary().count, 2);
         assert_eq!(h.summary().min, Some(10.0));
         assert_eq!(h.summary().max, Some(30.0));
+    }
+
+    #[test]
+    fn nan_sample_is_rejected_with_an_error() {
+        let mut s = StreamingStats::new();
+        s.record(10.0);
+        assert_eq!(s.try_record(f64::NAN), Err(InvalidSample));
+        assert_eq!(s.try_record(f64::INFINITY), Err(InvalidSample));
+        assert_eq!(s.try_record(f64::NEG_INFINITY), Err(InvalidSample));
+        // The rejection left the accumulator untouched and unpoisoned.
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean().to_bits(), 10.0f64.to_bits());
+        assert_eq!(s.min().to_bits(), 10.0f64.to_bits());
+        // The unchecked path skips silently (back-compat).
+        s.record(f64::NAN);
+        assert_eq!(s.count(), 1);
+        assert!(s.mean().is_finite());
+        // The error is a real std error with a message.
+        let msg = InvalidSample.to_string();
+        assert!(msg.contains("rejected"), "{msg}");
+    }
+
+    #[test]
+    fn nan_injection_does_not_poison_merged_percentiles() {
+        // The ISSUE-5 regression scenario: a recovery-latency pipeline
+        // produces one NaN sample on one shard; after the shards merge,
+        // percentiles must still be finite and correct.
+        let mut shard_a = LogHistogram::new(16);
+        let mut shard_b = LogHistogram::new(16);
+        for x in 1..=100u64 {
+            shard_a.record(x as f64);
+        }
+        assert_eq!(shard_b.try_record(f64::NAN), Err(InvalidSample));
+        assert_eq!(shard_b.try_record(-3.0), Err(InvalidSample));
+        for x in 101..=200u64 {
+            shard_b.record(x as f64);
+        }
+        shard_a.merge(&shard_b);
+        assert_eq!(shard_a.count(), 200);
+        let p50 = shard_a.percentile(50.0);
+        assert!(p50.is_finite() && (p50 / 100.0 - 1.0).abs() < 0.1, "{p50}");
+        assert!(shard_a.mean().is_finite());
+        assert!(shard_a.summary().std_dev.is_finite());
     }
 
     #[test]

@@ -15,8 +15,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use mrm_device::cell::RetentionTradeoff;
+use mrm_device::device::FRESH_RBER;
 use mrm_device::energy::EnergyBreakdown;
 use mrm_device::tech::presets;
+use mrm_faults::{FaultConfig, FaultModel};
 use mrm_sim::event::EventQueue;
 use mrm_sim::rng::SimRng;
 use mrm_sim::stats::LogHistogram;
@@ -85,6 +88,14 @@ pub struct ClusterConfig {
     pub maintenance_period: SimDuration,
     /// Safety margin for DCM lifetime hints.
     pub lifetime_margin: f64,
+    /// Fault-injection layer (DESIGN.md §9). Disabled by default; when
+    /// enabled, the weights read of every decode iteration, the cached-KV
+    /// read of every follow-up hit, and the maintenance sweep's scrub
+    /// verification read all pass through the deterministic injector, and
+    /// uncorrectable outcomes engage the cluster-level recovery ladder
+    /// (retry → re-fetch weights / recompute KV / escalate the scrub to a
+    /// longer-class migration).
+    pub faults: FaultConfig,
     /// Optional recorded trace to replay instead of Poisson arrivals
     /// (drop-in slot for real production traces; see `mrm_workload::replay`).
     pub trace: Option<RequestTrace>,
@@ -174,6 +185,7 @@ impl ClusterConfig {
             scrub_enabled: true,
             maintenance_period: SimDuration::from_secs(60),
             lifetime_margin: 1.25,
+            faults: FaultConfig::disabled(),
             trace: None,
             weight_redeploy_period: None,
             duration: SimDuration::from_secs(120),
@@ -195,6 +207,41 @@ pub struct TierReport {
     pub bytes_written: u64,
     /// Energy breakdown (whole cluster).
     pub energy: EnergyBreakdown,
+}
+
+/// Fault-injection and recovery summary in the report (DESIGN.md §9).
+///
+/// All zeros when the fault layer is disabled. `silent` is the cluster's
+/// silent-data-corruption count — the quantity the recovery pipeline
+/// exists to hold at zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Whether the fault layer was constructed for this run.
+    pub enabled: bool,
+    /// Reads that went through injection at a non-zero effective RBER.
+    pub reads: u64,
+    /// Raw bit flips injected before any correction.
+    pub raw_flips: u64,
+    /// Observed raw bit error rate: flips per scanned bit.
+    pub raw_ber: f64,
+    /// Codewords the inner ECC corrected transparently.
+    pub corrected: u64,
+    /// Codewords the decoder flagged uncorrectable.
+    pub detected_ue: u64,
+    /// Decoder miscorrections caught by the outer CRC.
+    pub miscorrected: u64,
+    /// Corruption that escaped every layer (SDC).
+    pub silent: u64,
+    /// Read retries (first rung of the recovery ladder).
+    pub retries: u64,
+    /// Weight shards re-fetched after a persistent uncorrectable read.
+    pub weight_refetches: u64,
+    /// Follow-up cache hits demoted to recomputes by a persistent
+    /// uncorrectable KV read.
+    pub kv_recomputes: u64,
+    /// Maintenance refreshes escalated to a longer-class migration after
+    /// the scrub verification read failed.
+    pub scrub_escalations: u64,
 }
 
 /// Simulation results.
@@ -252,6 +299,8 @@ pub struct ClusterReport {
     pub iterations: u64,
     /// Mean decode batch size over iterations.
     pub mean_batch: f64,
+    /// Fault-injection and recovery totals (all zeros when disabled).
+    pub faults: FaultSummary,
     /// Per-tier details.
     pub tiers: Vec<TierReport>,
 }
@@ -305,6 +354,11 @@ struct Accel {
     cached: BTreeMap<u64, Cached>,
     tracker: ExpiryTracker,
     running: bool,
+    /// When the weight shard was last (re)written — the age input of the
+    /// fault model's RBER curve for weights reads.
+    weights_written_at: SimTime,
+    /// Retention class the weight shard is currently programmed at.
+    weights_retention: SimDuration,
 }
 
 impl Accel {
@@ -390,6 +444,17 @@ pub struct ClusterSim<'t> {
     weights_bytes: u64,
     kv_native_retention: SimDuration,
     hbm_retention: SimDuration,
+    // Fault layer (None unless `cfg.faults.enabled`). The injector draws
+    // only from its own salted stream, never from `rng`, so enabling it at
+    // `ber_scale = 0` leaves the report byte-identical to a disabled run.
+    fault_layer: Option<FaultModel>,
+    mrm_tradeoff: RetentionTradeoff,
+    kv_on_mrm: bool,
+    weights_on_mrm: bool,
+    fault_retries: u64,
+    fault_refetches: u64,
+    fault_recomputes: u64,
+    fault_escalations: u64,
     // Observability only: never consulted by the simulation logic and
     // never draws from `rng`, so an attached sink cannot change a report.
     telemetry: Option<&'t mut dyn TelemetrySink>,
@@ -415,6 +480,11 @@ impl<'t> ClusterSim<'t> {
         // batch plus the follow-up cache, so pre-size its allocator arena
         // for a few batches' worth of allocations.
         let alloc_hint = cfg.max_batch as usize * 8;
+        let weights_native_retention = match cfg.policy.tier_for(DataClass::Weights) {
+            TierKind::Hbm => presets::hbm3e().retention,
+            TierKind::Lpddr => presets::lpddr5x().retention,
+            TierKind::Mrm => presets::mrm_hours().retention,
+        };
         let accels: Vec<Accel> = (0..cfg.accelerators)
             .map(|_| {
                 let hbm = Tier::with_capacity_hint(
@@ -448,6 +518,8 @@ impl<'t> ClusterSim<'t> {
                     cached: BTreeMap::new(),
                     tracker: ExpiryTracker::new(),
                     running: false,
+                    weights_written_at: SimTime::ZERO,
+                    weights_retention: weights_native_retention,
                 };
                 // Pin the weights.
                 let wt = acc.weights_tier(cfg.policy);
@@ -500,12 +572,25 @@ impl<'t> ClusterSim<'t> {
             ..LifetimeEstimator::default_serving()
         };
         let kvpt = cfg.model.kv_bytes_per_token(cfg.quant);
-        let kv_native_retention = match cfg.policy.tier_for(DataClass::KvCache) {
-            TierKind::Hbm => presets::hbm3e().retention,
-            TierKind::Lpddr => presets::lpddr5x().retention,
-            TierKind::Mrm => presets::mrm_hours().retention,
+        let kv_on_mrm = matches!(cfg.policy.tier_for(DataClass::KvCache), TierKind::Mrm);
+        let weights_on_mrm = matches!(cfg.policy.tier_for(DataClass::Weights), TierKind::Mrm);
+        // The e11 sweep axis: `provision_margin` re-provisions the KV
+        // class at margin × follow-up window instead of the tier-native
+        // class, so margin 1 means retention exactly equal to the data's
+        // lifetime — the operating point where retention faults surface.
+        let kv_native_retention = match (cfg.faults.provision_margin, kv_on_mrm) {
+            (Some(m), true) => cfg.followup_window.mul_f64(m.max(0.0)),
+            _ => match cfg.policy.tier_for(DataClass::KvCache) {
+                TierKind::Hbm => presets::hbm3e().retention,
+                TierKind::Lpddr => presets::lpddr5x().retention,
+                TierKind::Mrm => presets::mrm_hours().retention,
+            },
         };
         let hbm_retention = presets::hbm3e().retention;
+        let fault_layer = cfg
+            .faults
+            .enabled
+            .then(|| FaultModel::new(cfg.faults, cfg.seed));
 
         ClusterSim {
             cfg,
@@ -540,8 +625,42 @@ impl<'t> ClusterSim<'t> {
             weights_bytes,
             kv_native_retention,
             hbm_retention,
+            fault_layer,
+            mrm_tradeoff: presets::mrm_hours().tradeoff(),
+            kv_on_mrm,
+            weights_on_mrm,
+            fault_retries: 0,
+            fault_refetches: 0,
+            fault_recomputes: 0,
+            fault_escalations: 0,
             telemetry: None,
         }
+    }
+
+    /// Raw BER of a read `age` after a `retention`-class write. MRM decays
+    /// along the Weibull retention curve; the DRAM-family tiers are pinned
+    /// at the soft-error floor by their mandatory refresh.
+    fn aged_rber(&self, on_mrm: bool, retention: SimDuration, age: SimDuration) -> f64 {
+        if on_mrm {
+            self.mrm_tradeoff.rber_at_age(retention, age, FRESH_RBER)
+        } else {
+            FRESH_RBER
+        }
+    }
+
+    /// One fault-checked read: inject at `rber`, and on an uncorrectable
+    /// outcome retry once (the first rung of every recovery ladder).
+    /// Returns false when the error persisted and the caller must take its
+    /// own recovery path. A no-op returning true when the layer is off.
+    fn read_survives(&mut self, len_bytes: u64, rber: f64) -> bool {
+        let Some(model) = self.fault_layer.as_mut() else {
+            return true;
+        };
+        if !model.inject_read(len_bytes, rber).uncorrectable() {
+            return true;
+        }
+        self.fault_retries += 1;
+        !model.inject_read(len_bytes, rber).uncorrectable()
     }
 
     /// Attaches a telemetry sink for the lifetime of the run. The sink is
@@ -608,6 +727,21 @@ impl<'t> ClusterSim<'t> {
         sink.count_to("cluster_iterations", self.iterations);
         sink.count_to("cluster_scrub_bytes", self.scrub_bytes);
         sink.count_to("cluster_migration_bytes", self.migration_bytes);
+
+        if let Some(model) = &self.fault_layer {
+            let s = model.stats();
+            sink.count_to("cluster_fault_reads", s.reads);
+            sink.count_to("cluster_fault_raw_flips", s.raw_flips);
+            sink.count_to("cluster_fault_corrected", s.corrected);
+            sink.count_to("cluster_fault_detected_ue", s.detected_ue);
+            sink.count_to("cluster_fault_miscorrected", s.miscorrected);
+            sink.count_to("cluster_fault_silent", s.silent);
+            sink.count_to("cluster_fault_retries", self.fault_retries);
+            sink.count_to("cluster_fault_refetches", self.fault_refetches);
+            sink.count_to("cluster_fault_recomputes", self.fault_recomputes);
+            sink.count_to("cluster_fault_scrub_escalations", self.fault_escalations);
+            sink.gauge("cluster_fault_raw_ber", s.raw_ber());
+        }
 
         // Incremental aggregates (updated at each mutation) replace the
         // per-snapshot rescan of every accelerator; the debug asserts pin
@@ -835,6 +969,26 @@ impl<'t> ClusterSim<'t> {
         t += self.accels[acc]
             .weights_tier(policy)
             .stream_read(weights_bytes);
+        // Fault check on the weights read. A persistent uncorrectable
+        // outcome means the shard must be re-fetched — modelled as a bulk
+        // rewrite at its current class, charged to this iteration (§4's
+        // "re-fetch from a colder tier" response; weights are immutable,
+        // so recovery is a reload, never data loss).
+        if self.fault_layer.is_some() {
+            let age = now.duration_since(self.accels[acc].weights_written_at);
+            let w_ret = self.accels[acc].weights_retention;
+            let rber = self.aged_rber(self.weights_on_mrm, w_ret, age);
+            if !self.read_survives(weights_bytes, rber) {
+                self.fault_refetches += 1;
+                t += self.accels[acc]
+                    .weights_tier(policy)
+                    .stream_write(weights_bytes, w_ret);
+                self.accels[acc].weights_written_at = now;
+                if let Some(sink) = self.telemetry.as_deref_mut() {
+                    sink.event(now, "fault_refetch", weights_bytes as f64);
+                }
+            }
+        }
         // KV: all active contexts read; one vector appended per context;
         // prefill KV written. The tier and the batch are disjoint fields,
         // so the batch is walked in place — no per-iteration `Vec` of
@@ -950,9 +1104,35 @@ impl<'t> ClusterSim<'t> {
     fn on_followup(&mut self, now: SimTime, acc: usize, ctx: u64) {
         let (_kind, _prompt, output) = self.mix.sample_request(&mut self.rng);
         let ext = self.cfg.followup_extension;
+        // Fault check on the cached-KV read before the hit/miss decision:
+        // a hit whose read stays uncorrectable after the retry is demoted
+        // to the recompute path — KV state is soft, so the recovery for
+        // lost cache lines is "drop and recompute", never an error.
+        let mut hit_survived = true;
+        if self.fault_layer.is_some() {
+            let probe = match self.accels[acc].cached.get(&ctx) {
+                Some(c) if now <= c.deadline => {
+                    // Deadline = write time + retention, so the data's age
+                    // is the retention already consumed.
+                    let age = c.retention.saturating_sub(c.deadline.duration_since(now));
+                    (c.kv_bytes, c.retention, age)
+                }
+                _ => (0, SimDuration::ZERO, SimDuration::ZERO),
+            };
+            if probe.0 > 0 {
+                let rber = self.aged_rber(self.kv_on_mrm, probe.1, probe.2);
+                hit_survived = self.read_survives(probe.0, rber);
+                if !hit_survived {
+                    self.fault_recomputes += 1;
+                    if let Some(sink) = self.telemetry.as_deref_mut() {
+                        sink.event(now, "fault_recompute", probe.0 as f64);
+                    }
+                }
+            }
+        }
         let a = &mut self.accels[acc];
         match a.cached.get(&ctx) {
-            Some(c) if now <= c.deadline => {
+            Some(c) if now <= c.deadline && hit_survived => {
                 // Valid cached KV: continue the context without prefill of
                 // the history.
                 self.cache_hits += 1;
@@ -965,8 +1145,9 @@ impl<'t> ClusterSim<'t> {
                 self.pending_total += 1;
             }
             Some(_) => {
-                // Retention lapsed before the follow-up: recompute the
-                // whole context (the §4 soft-state recovery path).
+                // Retention lapsed before the follow-up — or the cached
+                // KV read came back uncorrectable: recompute the whole
+                // context (the §4 soft-state recovery path).
                 self.recomputes += 1;
                 let tokens = a.cached.get(&ctx).map(|c| c.tokens).unwrap_or(0);
                 self.free_cached(acc, ctx);
@@ -1028,20 +1209,51 @@ impl<'t> ClusterSim<'t> {
                 let action = self.accels[acc].tracker.decide(ctx, now);
                 match action {
                     Some(ExpiryAction::Refresh) => {
-                        let (bytes, retention) = {
+                        let (bytes, retention, deadline) = {
                             let c = &self.accels[acc].cached[&ctx];
-                            (c.kv_bytes, c.retention)
+                            (c.kv_bytes, c.retention, c.deadline)
                         };
-                        let a = &mut self.accels[acc];
-                        a.kv_tier(policy).charge_scrub(bytes);
-                        a.tracker.refreshed(ctx, now);
-                        if let Some(c) = a.cached.get_mut(&ctx) {
-                            c.deadline = now.saturating_add(retention);
-                        }
-                        self.scrubs += 1;
-                        self.scrub_bytes += bytes;
-                        if let Some(sink) = self.telemetry.as_deref_mut() {
-                            sink.event(now, "scrub", bytes as f64);
+                        // Scrub verification read: refreshing re-reads the
+                        // data at its current age. An uncorrectable outcome
+                        // means re-arming the same class would keep the
+                        // data at the edge of correctability — escalate to
+                        // the 7-day class instead (the §4 control plane
+                        // degrading its advertised retention).
+                        let remaining = if deadline > now {
+                            deadline.duration_since(now)
+                        } else {
+                            SimDuration::ZERO
+                        };
+                        let age = retention.saturating_sub(remaining);
+                        let rber = self.aged_rber(self.kv_on_mrm, retention, age);
+                        if self.read_survives(bytes, rber) {
+                            let a = &mut self.accels[acc];
+                            a.kv_tier(policy).charge_scrub(bytes);
+                            a.tracker.refreshed(ctx, now);
+                            if let Some(c) = a.cached.get_mut(&ctx) {
+                                c.deadline = now.saturating_add(retention);
+                            }
+                            self.scrubs += 1;
+                            self.scrub_bytes += bytes;
+                            if let Some(sink) = self.telemetry.as_deref_mut() {
+                                sink.event(now, "scrub", bytes as f64);
+                            }
+                        } else {
+                            self.fault_escalations += 1;
+                            let long = SimDuration::from_days(7);
+                            let a = &mut self.accels[acc];
+                            let _ = a.kv_tier(policy).stream_write(bytes, long);
+                            let new_deadline = now.saturating_add(long);
+                            a.tracker.register(ctx, new_deadline, new_deadline, long);
+                            if let Some(c) = a.cached.get_mut(&ctx) {
+                                c.deadline = new_deadline;
+                                c.retention = long;
+                            }
+                            self.migrations += 1;
+                            self.migration_bytes += bytes;
+                            if let Some(sink) = self.telemetry.as_deref_mut() {
+                                sink.event(now, "fault_escalation", bytes as f64);
+                            }
                         }
                     }
                     Some(ExpiryAction::Migrate) => {
@@ -1101,6 +1313,8 @@ impl<'t> ClusterSim<'t> {
         );
         let wt = self.accels[acc].weights_tier(policy);
         let _ = wt.stream_write(weights_bytes, retention);
+        self.accels[acc].weights_written_at = now;
+        self.accels[acc].weights_retention = retention;
         self.redeploys += 1;
         self.queue
             .schedule(now + period, Ev::WeightRedeploy { acc });
@@ -1150,6 +1364,27 @@ impl<'t> ClusterSim<'t> {
             }
         }
 
+        let faults = match &self.fault_layer {
+            Some(model) => {
+                let s = model.stats();
+                FaultSummary {
+                    enabled: true,
+                    reads: s.reads,
+                    raw_flips: s.raw_flips,
+                    raw_ber: s.raw_ber(),
+                    corrected: s.corrected,
+                    detected_ue: s.detected_ue,
+                    miscorrected: s.miscorrected,
+                    silent: s.silent,
+                    retries: self.fault_retries,
+                    weight_refetches: self.fault_refetches,
+                    kv_recomputes: self.fault_recomputes,
+                    scrub_escalations: self.fault_escalations,
+                }
+            }
+            None => FaultSummary::default(),
+        };
+
         let dur_s = elapsed.as_secs_f64();
         let tokens_per_s = self.tokens as f64 / dur_s;
         ClusterReport {
@@ -1179,6 +1414,7 @@ impl<'t> ClusterSim<'t> {
             p99_ttft_ms: self.ttft_ms.percentile(99.0),
             iterations: self.iterations,
             mean_batch: self.batch_sum as f64 / self.iterations.max(1) as f64,
+            faults,
             tiers,
         }
     }
@@ -1264,6 +1500,140 @@ mod tests {
         assert!(reg.gauge_value("tier_mrm_occupancy").unwrap() > 0.0);
         let lat = reg.histogram_by_name("latency_ms").expect("latency hist");
         assert_eq!(lat.count(), traced.completions);
+    }
+
+    #[test]
+    fn fault_rate_zero_is_byte_identical_to_no_faults() {
+        // The differential chaos test: constructing the fault layer with
+        // `ber_scale = 0` must leave the entire report byte-identical to a
+        // run with no layer at all — injection at zero effective RBER is a
+        // true no-op (no RNG draw, no charge, no counter).
+        let mut base = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 2, 8.0);
+        base.duration = SimDuration::from_secs(30);
+        let mut zeroed = base.clone();
+        zeroed.faults = FaultConfig {
+            ber_scale: 0.0,
+            ..FaultConfig::mrm()
+        };
+        let mut plain = run_cluster(base);
+        let mut zero = run_cluster(zeroed);
+        // Only the `enabled` flag may differ; blank the summaries and
+        // compare everything else byte for byte through serde.
+        plain.faults = FaultSummary::default();
+        zero.faults = FaultSummary::default();
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&zero).unwrap(),
+            "a rate-0 fault layer must not perturb the simulation"
+        );
+    }
+
+    /// A config provisioned so tightly that retention faults must surface:
+    /// KV retention equal to the follow-up window, RBER scaled up.
+    fn chaos_cfg() -> ClusterConfig {
+        let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 2, 8.0);
+        cfg.duration = SimDuration::from_secs(90);
+        cfg.followup_window = SimDuration::from_secs(20);
+        cfg.hint_window = SimDuration::from_secs(20);
+        cfg.followup_prob = 0.8;
+        cfg.maintenance_period = SimDuration::from_secs(5);
+        cfg.faults = FaultConfig {
+            ber_scale: 40.0,
+            provision_margin: Some(1.0),
+            ..FaultConfig::mrm()
+        };
+        cfg
+    }
+
+    #[test]
+    fn seeded_faults_are_deterministic() {
+        let a = run_cluster(chaos_cfg());
+        let b = run_cluster(chaos_cfg());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed must produce a byte-identical faulted report"
+        );
+    }
+
+    #[test]
+    fn tight_margin_engages_recovery_and_blocks_sdc() {
+        let r = run_cluster(chaos_cfg());
+        assert!(r.faults.enabled);
+        assert!(r.faults.reads > 0, "injection must have run");
+        assert!(r.faults.raw_flips > 0, "margin 1 at 40x BER must flip bits");
+        assert!(r.faults.corrected > 0, "ECC must absorb the bulk");
+        assert!(
+            r.faults.detected_ue + r.faults.miscorrected > 0,
+            "retention at the data lifetime must break through t=2"
+        );
+        assert!(r.faults.retries > 0, "recovery must at least retry");
+        assert!(
+            r.faults.kv_recomputes > 0,
+            "persistent KV UEs must demote hits to recomputes"
+        );
+        // Demoted hits are counted in the serving recompute totals too.
+        assert!(r.recomputes >= r.faults.kv_recomputes);
+        // The acceptance bar: the recovery pipeline holds cluster-level
+        // silent data corruption at zero (outer CRC catches every BCH
+        // miscorrection; everything else is retried or recomputed).
+        assert_eq!(r.faults.silent, 0, "SDC must be zero: {:?}", r.faults);
+        // The cluster still serves tokens through all of this.
+        assert!(r.tokens > 100);
+    }
+
+    #[test]
+    fn failed_scrub_verification_escalates_to_migration() {
+        // Under-provisioned retention (margin 0.25: class = 5 s, needed
+        // 20 s) makes the sweep refresh; the verification read at 40x BER
+        // near end-of-retention fails and must escalate to the 7-day
+        // class instead of re-arming the dying one.
+        let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 2, 8.0);
+        cfg.duration = SimDuration::from_secs(90);
+        cfg.followup_window = SimDuration::from_secs(20);
+        cfg.hint_window = SimDuration::from_secs(20);
+        cfg.followup_prob = 0.2;
+        cfg.maintenance_period = SimDuration::from_secs(2);
+        cfg.faults = FaultConfig {
+            ber_scale: 40.0,
+            provision_margin: Some(0.25),
+            ..FaultConfig::mrm()
+        };
+        let r = run_cluster(cfg);
+        assert!(
+            r.faults.scrub_escalations > 0,
+            "failed verification reads must escalate: {:?}",
+            r.faults
+        );
+        assert!(
+            r.migrations >= r.faults.scrub_escalations,
+            "every escalation is a migration"
+        );
+        assert_eq!(r.faults.silent, 0);
+    }
+
+    #[test]
+    fn fault_telemetry_reaches_the_sink() {
+        let mut tele = mrm_telemetry::SimTelemetry::new(SimDuration::from_secs(5));
+        let r = run_cluster_with_telemetry(chaos_cfg(), &mut tele);
+        let reg = tele.registry();
+        assert_eq!(
+            reg.counter_value("cluster_fault_reads"),
+            Some(r.faults.reads)
+        );
+        assert_eq!(
+            reg.counter_value("cluster_fault_raw_flips"),
+            Some(r.faults.raw_flips)
+        );
+        assert_eq!(
+            reg.counter_value("cluster_fault_recomputes"),
+            Some(r.faults.kv_recomputes)
+        );
+        assert_eq!(
+            reg.counter_value("cluster_fault_silent"),
+            Some(r.faults.silent)
+        );
+        assert!(reg.gauge_value("cluster_fault_raw_ber").unwrap() > 0.0);
     }
 
     #[test]

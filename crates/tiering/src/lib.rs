@@ -34,7 +34,7 @@ pub mod wear;
 
 pub use cluster::{
     run_cluster, run_cluster_with_telemetry, ClusterConfig, ClusterReport, ClusterSim,
-    MemorySystemKind,
+    FaultSummary, MemorySystemKind,
 };
 pub use lifetime::LifetimeEstimator;
 pub use placement::PlacementPolicy;

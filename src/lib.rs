@@ -10,6 +10,7 @@ pub use mrm_controller as controller;
 pub use mrm_core as core;
 pub use mrm_device as device;
 pub use mrm_ecc as ecc;
+pub use mrm_faults as faults;
 pub use mrm_sim as sim;
 pub use mrm_sweep as sweep;
 pub use mrm_telemetry as telemetry;
