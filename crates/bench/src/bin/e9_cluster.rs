@@ -68,6 +68,10 @@ fn append_series(
     ));
 }
 
+fn fmt_pct(p: Option<f64>) -> String {
+    p.map_or_else(|| "-".to_string(), |v| format!("{v:.0}"))
+}
+
 fn print_reports(reports: &[ClusterReport]) {
     let mut t = Table::new(&[
         "system",
@@ -92,8 +96,8 @@ fn print_reports(reports: &[ClusterReport]) {
             &format!("{:.0}", r.cost_units),
             &format!("{:.1}", r.tokens_per_s_per_kcost),
             &format_bytes(r.kv_capacity_bytes),
-            &format!("{:.0}", r.p50_latency_ms),
-            &format!("{:.0}", r.p99_latency_ms),
+            &fmt_pct(r.p50_latency_ms),
+            &fmt_pct(r.p99_latency_ms),
             &r.cache_hits.to_string(),
             &r.recomputes.to_string(),
             &r.scrubs.to_string(),

@@ -72,8 +72,8 @@ fn telemetry_sink_leaves_report_unchanged() {
         traced.energy_total_j.to_bits()
     );
     assert_eq!(
-        plain.p99_latency_ms.to_bits(),
-        traced.p99_latency_ms.to_bits()
+        plain.p99_latency_ms.map(f64::to_bits),
+        traced.p99_latency_ms.map(f64::to_bits)
     );
     assert!(!tele.snapshots().is_empty());
 }

@@ -1,0 +1,354 @@
+//! The expiration tracker and the refresh / migrate / drop decision.
+//!
+//! §4: "The scheduler will need to track the data expiration times, and
+//! decide whether to refresh it or move it to another tier based on the
+//! state of the requests that depend on that data." [`ExpiryTracker`] is
+//! that registry: items carry a retention deadline and a *needed-until*
+//! time (from the request state); [`ExpiryTracker::decide`] turns the two
+//! into the action the control plane executes.
+//!
+//! Deadline arithmetic here is *checked*: a deadline that silently
+//! saturates converts "already expired" into "expires at the end of time",
+//! which masks expiry. [`rearm_deadline`] and [`consumed_age`] assert the
+//! arithmetic stays in range in debug builds and saturate (observably, via
+//! the caller's audit trail) in release builds.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mrm_sim::time::{SimDuration, SimTime};
+
+/// Re-arms a retention deadline one retention period from `now`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `now + retention` overflows sim time: a
+/// saturated deadline would silently mean "never expires", hiding the
+/// expiry of an item that in truth lapsed long ago.
+pub fn rearm_deadline(now: SimTime, retention: SimDuration) -> SimTime {
+    debug_assert!(
+        now.checked_add(retention).is_some(),
+        "rearm_deadline overflow: now={now:?} + retention={retention:?} would saturate, \
+         turning an expired item into one that never expires"
+    );
+    now.saturating_add(retention)
+}
+
+/// How much of a retention period has been consumed when `remaining` of it
+/// is left (`retention - remaining`).
+///
+/// # Panics
+///
+/// Panics in debug builds if `remaining > retention`: a saturated zero age
+/// would mis-model an item as freshly written when its deadline
+/// bookkeeping is inconsistent.
+pub fn consumed_age(retention: SimDuration, remaining: SimDuration) -> SimDuration {
+    debug_assert!(
+        remaining <= retention,
+        "consumed_age underflow: remaining={remaining:?} exceeds retention={retention:?}"
+    );
+    retention.saturating_sub(remaining)
+}
+
+/// What to do about an item approaching its retention deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpiryAction {
+    /// Rewrite in place at the same retention class (cheap, repeatable).
+    Refresh,
+    /// Move to a longer-retention class/tier (one-time cost; right when
+    /// the remaining need spans many refresh periods).
+    Migrate,
+    /// Let it lapse: nothing depends on it any more (soft state, §4).
+    Drop,
+}
+
+/// One tracked item.
+#[derive(Clone, Copy, Debug)]
+struct Item {
+    deadline: SimTime,
+    needed_until: SimTime,
+    retention: SimDuration,
+}
+
+/// A deadline registry over opaque `u64` item ids.
+///
+/// # Examples
+///
+/// ```
+/// use mrm_sim::time::{SimDuration, SimTime};
+/// use mrm_control::expiry::{ExpiryAction, ExpiryTracker};
+///
+/// let mut tr = ExpiryTracker::new();
+/// let t0 = SimTime::ZERO;
+/// let retention = SimDuration::from_mins(10);
+/// tr.register(1, t0 + retention, t0 + SimDuration::from_mins(25), retention);
+/// let due = tr.due_before(t0 + SimDuration::from_mins(12));
+/// assert_eq!(due, vec![1]);
+/// assert_eq!(tr.decide(1, t0 + SimDuration::from_mins(9)), Some(ExpiryAction::Refresh));
+/// ```
+/// Items are held twice: by id for lookups, and in a `(deadline, id)`
+/// index so [`ExpiryTracker::due_before`] is a range scan that emits ids
+/// already in deadline order (soonest first, id-ascending within a tie) —
+/// the order the old implementation produced by sorting the full item set
+/// on every poll. The maintenance sweep polls every period, so the
+/// O(n log n) scan-and-sort is replaced by O(due · log n).
+#[derive(Clone, Debug, Default)]
+pub struct ExpiryTracker {
+    items: BTreeMap<u64, Item>,
+    by_deadline: BTreeSet<(SimTime, u64)>,
+}
+
+impl ExpiryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ExpiryTracker::default()
+    }
+
+    /// Registers (or re-registers) an item with its current retention
+    /// deadline, the time until which some request needs it, and the
+    /// retention period of its current class.
+    pub fn register(
+        &mut self,
+        id: u64,
+        deadline: SimTime,
+        needed_until: SimTime,
+        retention: SimDuration,
+    ) {
+        if let Some(old) = self.items.insert(
+            id,
+            Item {
+                deadline,
+                needed_until,
+                retention,
+            },
+        ) {
+            self.by_deadline.remove(&(old.deadline, id));
+        }
+        self.by_deadline.insert((deadline, id));
+    }
+
+    /// Extends the needed-until time (e.g. a follow-up arrived).
+    pub fn extend_need(&mut self, id: u64, needed_until: SimTime) {
+        if let Some(it) = self.items.get_mut(&id) {
+            it.needed_until = it.needed_until.max(needed_until);
+        }
+    }
+
+    /// Records a completed refresh: deadline re-arms one retention period
+    /// from `now` ([`rearm_deadline`]: checked, not silently saturating).
+    pub fn refreshed(&mut self, id: u64, now: SimTime) {
+        if let Some(it) = self.items.get_mut(&id) {
+            let old = it.deadline;
+            it.deadline = rearm_deadline(now, it.retention);
+            let new = it.deadline;
+            self.by_deadline.remove(&(old, id));
+            self.by_deadline.insert((new, id));
+        }
+    }
+
+    /// Removes an item (dropped or migrated away).
+    pub fn remove(&mut self, id: u64) {
+        if let Some(it) = self.items.remove(&id) {
+            self.by_deadline.remove(&(it.deadline, id));
+        }
+    }
+
+    /// Number of tracked items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Ids whose deadline falls at or before `horizon`, soonest first
+    /// (id-ascending within a deadline tie).
+    ///
+    /// A bounded range scan over the `(deadline, id)` index: the ids come
+    /// out already sorted, so no per-poll scan-and-sort of the whole
+    /// registry.
+    pub fn due_before(&self, horizon: SimTime) -> Vec<u64> {
+        self.by_deadline
+            .range(..=(horizon, u64::MAX))
+            .map(|&(_, id)| id)
+            .collect()
+    }
+
+    /// The deadline of an item.
+    pub fn deadline(&self, id: u64) -> Option<SimTime> {
+        self.items.get(&id).map(|it| it.deadline)
+    }
+
+    /// Decides what to do with an item at time `now` (§4's refresh-or-move
+    /// decision):
+    ///
+    /// * nothing needs it past its deadline → [`ExpiryAction::Drop`];
+    /// * it is needed for at most a few more retention periods →
+    ///   [`ExpiryAction::Refresh`] (repeat as needed);
+    /// * it is needed for many retention periods → [`ExpiryAction::Migrate`]
+    ///   to a longer class (refreshing that many times would cost more
+    ///   rewrites than one move).
+    ///
+    /// Returns `None` for unknown ids.
+    pub fn decide(&self, id: u64, now: SimTime) -> Option<ExpiryAction> {
+        let it = self.items.get(&id)?;
+        if it.needed_until <= it.deadline {
+            return Some(ExpiryAction::Drop);
+        }
+        let remaining_need = it.needed_until.duration_since(now.min(it.needed_until));
+        let periods = if it.retention.is_zero() {
+            u64::MAX
+        } else {
+            remaining_need
+                .as_nanos()
+                .div_ceil(it.retention.as_nanos().max(1))
+        };
+        if periods > 4 {
+            Some(ExpiryAction::Migrate)
+        } else {
+            Some(ExpiryAction::Refresh)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn due_ordering() {
+        let mut tr = ExpiryTracker::new();
+        tr.register(1, t(30), t(60), SimDuration::from_mins(30));
+        tr.register(2, t(10), t(60), SimDuration::from_mins(10));
+        tr.register(3, t(50), t(60), SimDuration::from_mins(50));
+        assert_eq!(tr.due_before(t(35)), vec![2, 1]);
+        assert_eq!(tr.due_before(t(5)), Vec::<u64>::new());
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn due_emission_order_is_deadline_then_id() {
+        // The emission order is load-bearing: the maintenance sweep
+        // processes ids in exactly this order, and reordering would change
+        // simulated results. Pin it: soonest deadline first, id-ascending
+        // within a deadline tie — identical to the old sort of
+        // `(deadline, id)` pairs.
+        let mut tr = ExpiryTracker::new();
+        let ret = SimDuration::from_mins(10);
+        tr.register(7, t(20), t(60), ret);
+        tr.register(3, t(10), t(60), ret);
+        tr.register(9, t(10), t(60), ret); // same deadline as 3: id breaks tie
+        tr.register(1, t(30), t(60), ret);
+        assert_eq!(tr.due_before(t(30)), vec![3, 9, 7, 1]);
+        // Re-registering moves an id's position, never duplicates it.
+        tr.register(7, t(5), t(60), ret);
+        assert_eq!(tr.due_before(t(30)), vec![7, 3, 9, 1]);
+        // Refresh re-arms the deadline and the index follows.
+        tr.refreshed(3, t(25));
+        assert_eq!(tr.due_before(t(30)), vec![7, 9, 1]);
+        assert_eq!(tr.due_before(t(35)), vec![7, 9, 1, 3]);
+        tr.remove(9);
+        assert_eq!(tr.due_before(t(35)), vec![7, 1, 3]);
+    }
+
+    #[test]
+    fn drop_when_not_needed() {
+        let mut tr = ExpiryTracker::new();
+        // Needed until before the deadline: nothing to do but drop.
+        tr.register(1, t(30), t(20), SimDuration::from_mins(30));
+        assert_eq!(tr.decide(1, t(25)), Some(ExpiryAction::Drop));
+    }
+
+    #[test]
+    fn refresh_for_short_remaining_need() {
+        let mut tr = ExpiryTracker::new();
+        // Needed 20 minutes past a 10-minute class: 2 refresh periods.
+        tr.register(1, t(10), t(30), SimDuration::from_mins(10));
+        assert_eq!(tr.decide(1, t(9)), Some(ExpiryAction::Refresh));
+    }
+
+    #[test]
+    fn migrate_for_long_remaining_need() {
+        let mut tr = ExpiryTracker::new();
+        // Needed 10 hours past a 10-minute class: 60 refresh periods.
+        tr.register(1, t(10), t(600), SimDuration::from_mins(10));
+        assert_eq!(tr.decide(1, t(9)), Some(ExpiryAction::Migrate));
+    }
+
+    #[test]
+    fn refresh_rearms_deadline() {
+        let mut tr = ExpiryTracker::new();
+        tr.register(1, t(10), t(40), SimDuration::from_mins(10));
+        tr.refreshed(1, t(9));
+        assert_eq!(tr.deadline(1), Some(t(19)));
+        assert!(tr.due_before(t(15)).is_empty());
+    }
+
+    #[test]
+    fn extend_need_flips_drop_to_refresh() {
+        let mut tr = ExpiryTracker::new();
+        tr.register(1, t(10), t(5), SimDuration::from_mins(10));
+        assert_eq!(tr.decide(1, t(4)), Some(ExpiryAction::Drop));
+        tr.extend_need(1, t(25));
+        assert_eq!(tr.decide(1, t(4)), Some(ExpiryAction::Refresh));
+    }
+
+    #[test]
+    fn remove_and_unknown() {
+        let mut tr = ExpiryTracker::new();
+        tr.register(1, t(10), t(20), SimDuration::from_mins(10));
+        tr.remove(1);
+        assert!(tr.is_empty());
+        assert_eq!(tr.decide(1, t(0)), None);
+        assert_eq!(tr.deadline(1), None);
+    }
+
+    #[test]
+    fn rearm_deadline_in_range() {
+        let now = t(100);
+        let ret = SimDuration::from_mins(10);
+        assert_eq!(rearm_deadline(now, ret), t(110));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "rearm_deadline overflow")]
+    fn rearm_deadline_panics_at_sim_time_boundary() {
+        // One nanosecond before the end of sim time plus any nonzero
+        // retention overflows; the old saturating arithmetic would have
+        // silently pinned the deadline at SimTime::MAX ("never expires").
+        let _ = rearm_deadline(SimTime::MAX, SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn consumed_age_in_range() {
+        let ret = SimDuration::from_mins(10);
+        let remaining = SimDuration::from_mins(4);
+        assert_eq!(consumed_age(ret, remaining), SimDuration::from_mins(6));
+        assert_eq!(consumed_age(ret, ret), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "consumed_age underflow")]
+    fn consumed_age_panics_when_remaining_exceeds_retention() {
+        let _ = consumed_age(SimDuration::from_mins(1), SimDuration::from_mins(2));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "rearm_deadline overflow")]
+    fn refreshed_panics_instead_of_saturating_at_boundary() {
+        // Regression for the silent `saturating_add` that used to live in
+        // `refreshed`: an item refreshed at the sim-time boundary must not
+        // quietly become immortal.
+        let mut tr = ExpiryTracker::new();
+        tr.register(1, t(10), SimTime::MAX, SimDuration::MAX);
+        tr.refreshed(1, t(9));
+    }
+}

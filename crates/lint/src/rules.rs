@@ -15,6 +15,11 @@
 //!   from the dedicated `FaultRng` stream, never the scheduling `SimRng` —
 //!   otherwise enabling faults perturbs the schedule (and vice versa) and
 //!   the same seed stops flipping the same bits.
+//! * **D7** pins PR 6's control-plane contract: placement/expiry *decisions*
+//!   (`retention_for`, `ExpiryTracker`, `ExpiryAction`) live in
+//!   `mrm-control` and its two designated shims. Data-path crates that grow
+//!   their own inline retention decisions bypass the registry and the audit
+//!   log — exactly the drift the control plane exists to prevent.
 //! * **U1** guards the unit conventions of `sim/src/units.rs`: the paper's
 //!   cost-model conclusions die silently when `*_ns` meets `*_bytes` in an
 //!   addition, or a capacity is re-derived as `1 << 30` with the wrong shift.
@@ -38,6 +43,10 @@ pub enum RuleId {
     /// `SimRng` named in `crates/faults` outside `src/rng.rs`: fault
     /// injection must draw only from the dedicated `FaultRng` stream.
     D6,
+    /// Placement/expiry decision API (`retention_for`, `ExpiryTracker`,
+    /// `ExpiryAction`) named in sim-path library code outside `mrm-control`
+    /// and its designated decision shims.
+    D7,
     /// Unit-suffix mixing or raw capacity literal outside `sim/src/units.rs`.
     U1,
     /// Malformed `mrm-lint` annotation (cannot be allowed or baselined).
@@ -53,13 +62,14 @@ pub enum Severity {
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
         RuleId::D4,
         RuleId::D5,
         RuleId::D6,
+        RuleId::D7,
         RuleId::U1,
     ];
 
@@ -71,6 +81,7 @@ impl RuleId {
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
             RuleId::D6 => "D6",
+            RuleId::D7 => "D7",
             RuleId::U1 => "U1",
             RuleId::Meta => "LINT",
         }
@@ -84,6 +95,7 @@ impl RuleId {
             "D4" => Some(RuleId::D4),
             "D5" => Some(RuleId::D5),
             "D6" => Some(RuleId::D6),
+            "D7" => Some(RuleId::D7),
             "U1" => Some(RuleId::U1),
             _ => None,
         }
@@ -109,6 +121,10 @@ impl RuleId {
             RuleId::D6 => {
                 "fault injection draws only from the dedicated FaultRng; \
                  SimRng may be named in crates/faults only inside src/rng.rs"
+            }
+            RuleId::D7 => {
+                "placement/expiry decisions (retention_for, ExpiryTracker, ExpiryAction) \
+                 are confined to mrm-control and its designated shims"
             }
             RuleId::U1 => {
                 "no arithmetic mixing *_ns/*_bytes/*_pj identifiers; \
@@ -140,17 +156,30 @@ pub struct FileCtx {
     /// True for `crates/sim/src/units.rs`, the one place capacity
     /// literals are allowed to be spelled raw.
     pub units_file: bool,
+    /// True for `crates/control`, the home of placement/expiry decisions.
+    pub control: bool,
+    /// True for the designated decision shims — the two tiering files that
+    /// are allowed to name the decision API because they *forward* to
+    /// `mrm-control` for compatibility (D7's scope excludes them).
+    pub decision_shim: bool,
 }
 
 /// Crates whose simulation results must be bit-identical for a given seed.
-pub const SIM_PATH_CRATES: [&str; 7] = [
+pub const SIM_PATH_CRATES: [&str; 8] = [
     "sim",
     "device",
     "controller",
+    "control",
     "tiering",
     "workload",
     "ecc",
     "faults",
+];
+
+/// The tiering files that forward to the `mrm-control` decision API (D7).
+pub const DECISION_SHIMS: [&str; 2] = [
+    "crates/tiering/src/refresh.rs",
+    "crates/tiering/src/placement.rs",
 ];
 
 impl FileCtx {
@@ -179,6 +208,8 @@ impl FileCtx {
             faults_rng_file: rel_path == "crates/faults/src/rng.rs",
             library,
             units_file: rel_path == "crates/sim/src/units.rs",
+            control: crate_name == Some("control"),
+            decision_shim: DECISION_SHIMS.contains(&rel_path),
         }
     }
 }
@@ -230,6 +261,7 @@ pub fn lint_source(source: &str, ctx: &FileCtx) -> FileReport {
     scan_d4(&code, ctx, &mut raw);
     scan_d5(&code, &in_test, ctx, &mut raw);
     scan_d6(&code, ctx, &mut raw);
+    scan_d7(&code, ctx, &mut raw);
     scan_u1(&code, ctx, &mut raw);
 
     let mut violations: Vec<Violation> = raw
@@ -603,6 +635,39 @@ fn scan_d6(code: &[&Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// D7: placement/expiry decisions are confined to `mrm-control`. Sim-path
+/// library code outside `crates/control` and the designated shims must not
+/// name the decision API: a data-path crate spelling `retention_for` or
+/// embedding an `ExpiryTracker` has grown an inline retention decision that
+/// bypasses the declared-policy registry and the audit log.
+fn scan_d7(code: &[&Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.sim_path || !ctx.library || ctx.control || ctx.decision_shim {
+        return;
+    }
+    for t in code {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if matches!(
+            t.text.as_str(),
+            "retention_for" | "ExpiryTracker" | "ExpiryAction"
+        ) {
+            push(
+                out,
+                RuleId::D7,
+                ctx,
+                t.line,
+                format!(
+                    "`{}` named outside mrm-control: placement/expiry decisions \
+                     route through the RetentionRegistry/Reconciler so every \
+                     store/drop/retire lands in the audit log",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 /// Unit-suffix class of an identifier, per the `sim/src/units.rs` conventions.
 fn unit_class(ident: &str) -> Option<&'static str> {
     if ident.ends_with("_ns") || ident.ends_with("_us") || ident.ends_with("_ms") {
@@ -854,6 +919,33 @@ mod tests {
         let r = lint_source(
             "use mrm_sim::rng::SimRng;",
             &FileCtx::classify("crates/sweep/src/lib.rs"),
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn d7_confines_decision_api_to_control_and_shims() {
+        // Data-path crate naming the decision API: violation.
+        let r = lint_source("let t = ExpiryTracker::new();", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::D7]);
+        let r = lint_source("let r = policy.retention_for(c, h, n, m);", &ctx_sim());
+        assert_eq!(rules_of(&r), vec![RuleId::D7]);
+        // The control crate is the decision API's home.
+        let control = FileCtx::classify("crates/control/src/expiry.rs");
+        assert!(control.control && control.sim_path);
+        let r = lint_source("pub struct ExpiryTracker;", &control);
+        assert!(r.violations.is_empty());
+        // The designated shims forward to it.
+        for shim in DECISION_SHIMS {
+            let c = FileCtx::classify(shim);
+            assert!(c.decision_shim, "{shim}");
+            let r = lint_source("pub use mrm_control::expiry::ExpiryTracker;", &c);
+            assert!(r.violations.is_empty(), "{shim}");
+        }
+        // Tests and bins sit outside D7's library scope.
+        let r = lint_source(
+            "use mrm::tiering::refresh::ExpiryTracker;",
+            &FileCtx::classify("tests/fault_invariants.rs"),
         );
         assert!(r.violations.is_empty());
     }

@@ -1,0 +1,21 @@
+//! D7 corpus: inline placement/expiry decisions in a data-path crate.
+//! The decision API lives in `mrm-control`; naming it here means this
+//! crate grew its own retention decision that bypasses the registry and
+//! the audit log.
+
+use mrm_control::expiry::{ExpiryAction, ExpiryTracker};
+
+pub struct Accel {
+    tracker: ExpiryTracker,
+}
+
+pub fn sweep(tracker: &mut ExpiryTracker, now: SimTime) -> Option<ExpiryAction> {
+    tracker.decide(7, now)
+}
+
+pub fn retention(policy: PlacementPolicy) -> SimDuration {
+    policy.retention_for(DataClass::KvCache, hint(), native(), 1.25)
+}
+
+// mrm-lint: allow(D7) compatibility re-export; the decision still routes through mrm-control
+pub use mrm_control::expiry::ExpiryTracker as Tracker;

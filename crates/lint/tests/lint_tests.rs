@@ -25,6 +25,8 @@ fn fixture_ctx(name: &str) -> FileCtx {
         FileCtx::classify("crates/telemetry/src/fixture.rs")
     } else if name.starts_with("d6_") {
         FileCtx::classify("crates/faults/src/fixture.rs")
+    } else if name.starts_with("d7_") {
+        FileCtx::classify("crates/tiering/src/fixture.rs")
     } else {
         FileCtx::classify("crates/sim/src/fixture.rs")
     };
@@ -121,6 +123,7 @@ fn allow_annotations_suppress_in_fixtures() {
         "d2_hash_map",
         "d5_unwrap",
         "d6_fault_rng",
+        "d7_decision_api",
         "u1_units",
     ] {
         let source = read(&dir.join(format!("{name}.rs")));
@@ -277,6 +280,8 @@ fn fixture_corpus_fails_deny_when_walked() {
             format!("crates/telemetry/src/{name}")
         } else if name.starts_with("d6_") {
             format!("crates/faults/src/{name}")
+        } else if name.starts_with("d7_") {
+            format!("crates/tiering/src/{name}")
         } else {
             format!("crates/sim/src/{name}")
         };
@@ -284,7 +289,7 @@ fn fixture_corpus_fails_deny_when_walked() {
     }
     let (ok, text) = ws.run(&["--deny"]);
     assert!(!ok, "fixture corpus must fail --deny:\n{text}");
-    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "U1"] {
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "U1"] {
         assert!(text.contains(rule), "corpus run missing {rule}:\n{text}");
     }
 }

@@ -287,9 +287,20 @@ impl LogHistogram {
         self.stats.min()
     }
 
+    /// The value at percentile `p ∈ \[0, 100\]`, or `None` for an empty
+    /// histogram — an empty percentile is "no data", not "zero
+    /// milliseconds", and reporting 0 for it mislabels an idle system as
+    /// an infinitely fast one (the same shape as the
+    /// [`StreamingStats::min`]/[`StreamingStats::max`] `Option` fix).
+    pub fn try_percentile(&self, p: f64) -> Option<f64> {
+        (self.total > 0).then(|| self.percentile(p))
+    }
+
     /// The value at percentile `p ∈ \[0, 100\]`, accurate to the bucket width.
     ///
-    /// Returns 0 for an empty histogram.
+    /// Returns 0 for an empty histogram; prefer
+    /// [`LogHistogram::try_percentile`] anywhere "empty" and "zero" must
+    /// not be conflated.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -604,6 +615,18 @@ mod tests {
         let back: LogHistogram = serde_json::from_str(&json).unwrap();
         assert_eq!(back.count(), 0);
         assert!(back.percentile(50.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn try_percentile_distinguishes_empty_from_zero() {
+        let mut h = LogHistogram::new(8);
+        assert_eq!(h.try_percentile(50.0), None);
+        h.record(0.0);
+        // A genuine zero-valued sample is Some(0-ish), not None.
+        let p = h.try_percentile(50.0).unwrap();
+        assert!(p >= 0.0);
+        h.record(8.0);
+        assert_eq!(h.try_percentile(99.0), Some(h.percentile(99.0)));
     }
 
     #[test]

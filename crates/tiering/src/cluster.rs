@@ -15,6 +15,12 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use mrm_control::expiry::{consumed_age, rearm_deadline};
+use mrm_control::registry::retention_decision;
+use mrm_control::{
+    AuditAction, AuditLog, ControlClass, ControlPlane, ControlSummary, Reconciler, WorkItem,
+    WorkKind,
+};
 use mrm_device::cell::RetentionTradeoff;
 use mrm_device::device::FRESH_RBER;
 use mrm_device::energy::EnergyBreakdown;
@@ -33,7 +39,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::lifetime::LifetimeEstimator;
 use crate::placement::PlacementPolicy;
-use crate::refresh::{ExpiryAction, ExpiryTracker};
 use crate::tier::{Tier, TierKind};
 
 /// Alias kept for the public API: the memory system *is* the placement
@@ -287,20 +292,24 @@ pub struct ClusterReport {
     pub tokens_per_s_per_kcost: f64,
     /// KV-capacity headroom per accelerator, bytes.
     pub kv_capacity_bytes: u64,
-    /// Median request latency, ms.
-    pub p50_latency_ms: f64,
-    /// Tail request latency, ms.
-    pub p99_latency_ms: f64,
-    /// Median time-to-first-token, ms (arrival to first decoded token).
-    pub p50_ttft_ms: f64,
-    /// Tail time-to-first-token, ms.
-    pub p99_ttft_ms: f64,
+    /// Median request latency, ms (`None` when no request completed —
+    /// "no data" must not read as "0 ms").
+    pub p50_latency_ms: Option<f64>,
+    /// Tail request latency, ms (`None` when no request completed).
+    pub p99_latency_ms: Option<f64>,
+    /// Median time-to-first-token, ms (arrival to first decoded token;
+    /// `None` when no token was produced).
+    pub p50_ttft_ms: Option<f64>,
+    /// Tail time-to-first-token, ms (`None` when no token was produced).
+    pub p99_ttft_ms: Option<f64>,
     /// Decode iterations executed (all accelerators).
     pub iterations: u64,
     /// Mean decode batch size over iterations.
     pub mean_batch: f64,
     /// Fault-injection and recovery totals (all zeros when disabled).
     pub faults: FaultSummary,
+    /// Control-plane decision totals from the audit log (DESIGN.md §10).
+    pub control: ControlSummary,
     /// Per-tier details.
     pub tiers: Vec<TierReport>,
 }
@@ -328,6 +337,8 @@ struct Pending {
 #[derive(Clone, Debug)]
 struct Active {
     arrival: SimTime,
+    /// Admission-order id: the audit identity of this request's KV tail.
+    req: u64,
     context_tokens: u32,
     output_remaining: u32,
     kv_allocs: Vec<mrm_core::pool::Allocation>,
@@ -352,7 +363,10 @@ struct Accel {
     batch: Vec<Active>,
     queue: VecDeque<Pending>,
     cached: BTreeMap<u64, Cached>,
-    tracker: ExpiryTracker,
+    /// Control-plane reconciler for the parked-prefix class: the data path
+    /// observes parks/releases in, the maintenance sweep executes the work
+    /// items it plans.
+    reconciler: Reconciler,
     running: bool,
     /// When the weight shard was last (re)written — the age input of the
     /// fault model's RBER curve for weights reads.
@@ -412,7 +426,13 @@ pub struct ClusterSim<'t> {
     mix: TraceMix,
     estimator: LifetimeEstimator,
     next_ctx: u64,
+    next_req: u64,
     rr: usize,
+    // The retention control plane: declared policies + the append-only
+    // audit log every placement/expiry/recovery decision flows through.
+    // Decisions are *routed* through it (registry policy, reconciler work
+    // items); the log itself is observe-only bookkeeping.
+    control: ControlPlane,
     // Counters.
     arrivals: u64,
     completions: u64,
@@ -516,7 +536,7 @@ impl<'t> ClusterSim<'t> {
                     batch: Vec::new(),
                     queue: VecDeque::new(),
                     cached: BTreeMap::new(),
-                    tracker: ExpiryTracker::new(),
+                    reconciler: Reconciler::new(ControlClass::KvPrefix),
                     running: false,
                     weights_written_at: SimTime::ZERO,
                     weights_retention: weights_native_retention,
@@ -541,10 +561,13 @@ impl<'t> ClusterSim<'t> {
         let mut queue = EventQueue::with_capacity(event_hint);
         // Seed arrivals (Poisson, or a recorded trace) and maintenance.
         match &cfg.trace {
-            None => {
+            None if mix.has_arrivals() => {
                 let first_gap = mix.next_interarrival(&mut rng);
                 queue.schedule(SimTime::ZERO + first_gap, Ev::Arrival);
             }
+            // Zero-rate mix: nothing ever arrives, so no arrival event is
+            // seeded (the sim still runs maintenance to completion).
+            None => {}
             Some(trace) => {
                 for (at, e) in trace.replay_from(SimTime::ZERO) {
                     queue.schedule(
@@ -592,6 +615,21 @@ impl<'t> ClusterSim<'t> {
             .enabled
             .then(|| FaultModel::new(cfg.faults, cfg.seed));
 
+        // Declare the retention policies up front (INV-CPR-CLASSIFIED) and
+        // audit the initial weight-shard stores.
+        let mut control = ControlPlane::serving_default(cfg.followup_window);
+        debug_assert!(control.registry.fully_classified());
+        for acc in 0..u64::from(cfg.accelerators) {
+            control.record(
+                SimTime::ZERO,
+                ControlClass::Weights,
+                acc,
+                AuditAction::Store,
+                "deploy",
+                weights_bytes,
+            );
+        }
+
         ClusterSim {
             cfg,
             accels,
@@ -600,7 +638,9 @@ impl<'t> ClusterSim<'t> {
             mix,
             estimator,
             next_ctx: 0,
+            next_req: 0,
             rr: 0,
+            control,
             arrivals: 0,
             completions: 0,
             tokens: 0,
@@ -674,7 +714,13 @@ impl<'t> ClusterSim<'t> {
     }
 
     /// Runs to completion and produces the report.
-    pub fn run(mut self) -> ClusterReport {
+    pub fn run(self) -> ClusterReport {
+        self.run_with_audit().0
+    }
+
+    /// Runs to completion and returns the report together with the full
+    /// audit log — the chaos suite's oracle.
+    pub fn run_with_audit(mut self) -> (ClusterReport, AuditLog) {
         let end = SimTime::ZERO + self.cfg.duration;
         while let Some(t) = self.queue.peek_time() {
             if t > end {
@@ -712,8 +758,9 @@ impl<'t> ClusterSim<'t> {
     }
 
     /// Publishes the simulation's current counters and occupancy into a
-    /// sink. Read-only with respect to the simulation state.
-    fn sample_into(&self, sink: &mut dyn TelemetrySink) {
+    /// sink. Observe-only with respect to the simulated state: the only
+    /// mutation is the audit log's export cursor.
+    fn sample_into(&mut self, sink: &mut dyn TelemetrySink) {
         sink.count_to("cluster_arrivals", self.arrivals);
         sink.count_to("cluster_completions", self.completions);
         sink.count_to("cluster_tokens", self.tokens);
@@ -785,14 +832,22 @@ impl<'t> ClusterSim<'t> {
             }
         }
 
-        if self.latency_ms.count() > 0 {
-            sink.gauge("latency_p50_ms", self.latency_ms.percentile(50.0));
-            sink.gauge("latency_p99_ms", self.latency_ms.percentile(99.0));
+        if let (Some(p50), Some(p99)) = (
+            self.latency_ms.try_percentile(50.0),
+            self.latency_ms.try_percentile(99.0),
+        ) {
+            sink.gauge("latency_p50_ms", p50);
+            sink.gauge("latency_p99_ms", p99);
         }
-        if self.ttft_ms.count() > 0 {
-            sink.gauge("ttft_p50_ms", self.ttft_ms.percentile(50.0));
-            sink.gauge("ttft_p99_ms", self.ttft_ms.percentile(99.0));
+        if let (Some(p50), Some(p99)) = (
+            self.ttft_ms.try_percentile(50.0),
+            self.ttft_ms.try_percentile(99.0),
+        ) {
+            sink.gauge("ttft_p50_ms", p50);
+            sink.gauge("ttft_p99_ms", p99);
         }
+
+        self.control.emit_telemetry(sink);
     }
 
     fn on_arrival(&mut self, now: SimTime) {
@@ -830,6 +885,8 @@ impl<'t> ClusterSim<'t> {
         let policy = self.cfg.policy;
         let kvpt = self.kvpt;
         let native = self.kv_native_retention;
+        let kv_on_mrm = self.kv_on_mrm;
+        let dcm = policy.uses_dcm();
 
         let mut prefill_write_bytes = 0u64;
         let mut prefill_tokens = 0u64;
@@ -857,11 +914,21 @@ impl<'t> ClusterSim<'t> {
                 break;
             }
             // Reused (follow-up) context: existing KV is already resident.
+            // Consuming it retires the parked prefix — the state is
+            // promoted into the live tail, a planned end of need.
             let (base_tokens, base_allocs, base_bytes) = match reuse {
                 Some(ctx) => match a.cached.remove(&ctx) {
                     Some(c) => {
                         self.cached_total -= 1;
-                        a.tracker.remove(ctx);
+                        a.reconciler.observe_release(ctx);
+                        self.control.record(
+                            now,
+                            ControlClass::KvPrefix,
+                            ctx,
+                            AuditAction::Retire,
+                            "followup-consumed",
+                            c.kv_bytes,
+                        );
                         (c.tokens, c.kv_allocs, c.kv_bytes)
                     }
                     None => (0, Vec::new(), 0),
@@ -871,12 +938,10 @@ impl<'t> ClusterSim<'t> {
             let new_tokens = u64::from(prompt_tokens) + u64::from(output_tokens);
             let need = new_tokens * kvpt;
             let lifetime = self.estimator.kv_lifetime(output_tokens);
-            let retention = policy.retention_for(
-                DataClass::KvCache,
-                lifetime,
-                native,
-                self.cfg.lifetime_margin,
-            );
+            // The per-write retention target is declared policy, not
+            // inline tier logic (mrm-control owns the decision).
+            let retention =
+                retention_decision(kv_on_mrm, dcm, lifetime, native, self.cfg.lifetime_margin);
             // Allocate, evicting cached (completed, best-effort) contexts
             // under memory pressure: live requests outrank the follow-up
             // cache — §4's scheduler deciding "based on the state of the
@@ -885,14 +950,25 @@ impl<'t> ClusterSim<'t> {
             let alloc = loop {
                 match a.kv_tier(policy).alloc(need) {
                     Ok(al) => break Some(al),
-                    Err(_) => {
+                    // Allocation failed — occupancy 1.0 by definition, so
+                    // ask declared policy whether the prefix cache may be
+                    // reclaimed under pressure (EPHEMERAL-POLICY).
+                    Err(_) if self.control.may_evict(ControlClass::KvPrefix, 1.0) => {
                         // Oldest cached context first (ids are monotonic).
                         let victim = a.cached.keys().find(|&&c| Some(c) != reuse).copied();
                         match victim {
                             Some(v) => {
                                 if let Some(c) = a.cached.remove(&v) {
                                     self.cached_total -= 1;
-                                    a.tracker.remove(v);
+                                    a.reconciler.observe_release(v);
+                                    self.control.record(
+                                        now,
+                                        ControlClass::KvPrefix,
+                                        v,
+                                        AuditAction::Evict,
+                                        "memory-pressure",
+                                        c.kv_bytes,
+                                    );
                                     let kvt = a.kv_tier(policy);
                                     for al in c.kv_allocs {
                                         let _ = kvt.free(al);
@@ -903,6 +979,7 @@ impl<'t> ClusterSim<'t> {
                             None => break None,
                         }
                     }
+                    Err(_) => break None,
                 }
             };
             self.evictions += evicted_here;
@@ -922,12 +999,36 @@ impl<'t> ClusterSim<'t> {
                             },
                         );
                         self.cached_total += 1;
+                        self.control.record(
+                            now,
+                            ControlClass::KvPrefix,
+                            ctx,
+                            AuditAction::Store,
+                            "stall-putback",
+                            base_bytes,
+                        );
                     }
                 }
                 break;
             };
             a.queue.pop_front();
             self.pending_total -= 1;
+            // Admit: the request's KV tail is Required state from here to
+            // completion; give it an audit identity.
+            let req = self.next_req;
+            self.next_req += 1;
+            self.control.record(
+                now,
+                ControlClass::KvTail,
+                req,
+                AuditAction::Store,
+                if reuse.is_some() {
+                    "followup-admit"
+                } else {
+                    "admit"
+                },
+                need,
+            );
             // Prefill traffic: the new prompt's KV vectors are written.
             prefill_write_bytes += u64::from(prompt_tokens) * kvpt;
             prefill_tokens += u64::from(prompt_tokens);
@@ -935,6 +1036,7 @@ impl<'t> ClusterSim<'t> {
             kv_allocs.push(alloc);
             a.batch.push(Active {
                 arrival,
+                req,
                 context_tokens: base_tokens + prompt_tokens,
                 output_remaining: output_tokens,
                 kv_allocs,
@@ -979,6 +1081,14 @@ impl<'t> ClusterSim<'t> {
             let w_ret = self.accels[acc].weights_retention;
             let rber = self.aged_rber(self.weights_on_mrm, w_ret, age);
             if !self.read_survives(weights_bytes, rber) {
+                // The ladder's work item: weights are Required, so the
+                // only legal response is a refetch — recorded in the
+                // audit log before anything else happens to the shard.
+                let item = self
+                    .control
+                    .plan_fault_recovery(ControlClass::Weights, acc as u64);
+                debug_assert_eq!(item.kind, WorkKind::Refetch);
+                self.control.record_work(now, &item, weights_bytes);
                 self.fault_refetches += 1;
                 t += self.accels[acc]
                     .weights_tier(policy)
@@ -1064,11 +1174,29 @@ impl<'t> ClusterSim<'t> {
             if let Some(sink) = self.telemetry.as_deref_mut() {
                 sink.observe("latency_ms", latency_ms);
             }
-            // Cache the context for follow-ups.
+            // The request's KV tail is retired (its need ended with the
+            // final token) and the context is parked as a KV prefix for
+            // follow-ups — a class transition, recorded as such.
+            self.control.record(
+                now,
+                ControlClass::KvTail,
+                r.req,
+                AuditAction::Retire,
+                "completed",
+                r.kv_bytes,
+            );
             let ctx = self.next_ctx;
             self.next_ctx += 1;
+            self.control.record(
+                now,
+                ControlClass::KvPrefix,
+                ctx,
+                AuditAction::Store,
+                "park-followup",
+                r.kv_bytes,
+            );
             let deadline = if policy.uses_mrm() {
-                now.saturating_add(r.retention)
+                rearm_deadline(now, r.retention)
             } else {
                 SimTime::MAX // DRAM tiers refresh themselves
             };
@@ -1086,7 +1214,8 @@ impl<'t> ClusterSim<'t> {
             );
             self.cached_total += 1;
             if policy.uses_mrm() {
-                a.tracker.register(ctx, deadline, needed_until, r.retention);
+                a.reconciler
+                    .observe_store(ctx, deadline, needed_until, r.retention);
             }
             self.queue
                 .schedule(now + self.cfg.followup_window, Ev::CacheExpire { acc, ctx });
@@ -1113,8 +1242,13 @@ impl<'t> ClusterSim<'t> {
             let probe = match self.accels[acc].cached.get(&ctx) {
                 Some(c) if now <= c.deadline => {
                     // Deadline = write time + retention, so the data's age
-                    // is the retention already consumed.
-                    let age = c.retention.saturating_sub(c.deadline.duration_since(now));
+                    // is the retention already consumed. Self-refreshing
+                    // tiers park at `SimTime::MAX`: no meaningful age.
+                    let age = if c.deadline == SimTime::MAX {
+                        SimDuration::ZERO
+                    } else {
+                        consumed_age(c.retention, c.deadline.duration_since(now))
+                    };
                     (c.kv_bytes, c.retention, age)
                 }
                 _ => (0, SimDuration::ZERO, SimDuration::ZERO),
@@ -1147,9 +1281,26 @@ impl<'t> ClusterSim<'t> {
             Some(_) => {
                 // Retention lapsed before the follow-up — or the cached
                 // KV read came back uncorrectable: recompute the whole
-                // context (the §4 soft-state recovery path).
+                // context (the §4 soft-state recovery path). The recompute
+                // is recorded before the drop, which is what makes the
+                // reclaim legal under the REQUIRED-DURABLE oracle.
                 self.recomputes += 1;
-                let tokens = a.cached.get(&ctx).map(|c| c.tokens).unwrap_or(0);
+                let (tokens, bytes) = a
+                    .cached
+                    .get(&ctx)
+                    .map(|c| (c.tokens, c.kv_bytes))
+                    .unwrap_or((0, 0));
+                let item = WorkItem {
+                    id: ctx,
+                    class: ControlClass::KvPrefix,
+                    kind: WorkKind::RecomputeDrop,
+                    reason: if hit_survived {
+                        "retention-lapsed"
+                    } else {
+                        "uncorrectable-read"
+                    },
+                };
+                self.control.record_work(now, &item, bytes);
                 self.free_cached(acc, ctx);
                 let a = &mut self.accels[acc];
                 a.queue.push_back(Pending {
@@ -1162,8 +1313,17 @@ impl<'t> ClusterSim<'t> {
             }
             None => {
                 // Already evicted (window raced the follow-up): recompute
-                // with a fresh sampled prompt.
+                // with a fresh sampled prompt. Nothing is cached, so there
+                // is no drop to account — just the recompute itself.
                 self.recomputes += 1;
+                self.control.record(
+                    now,
+                    ControlClass::KvPrefix,
+                    ctx,
+                    AuditAction::Recompute,
+                    "already-evicted",
+                    0,
+                );
                 let (_k, p, o) = self.mix.sample_request(&mut self.rng);
                 let a = &mut self.accels[acc];
                 a.queue.push_back(Pending {
@@ -1178,11 +1338,14 @@ impl<'t> ClusterSim<'t> {
         self.start_iteration(now, acc);
     }
 
+    /// Releases a cached context's memory and tells the reconciler the
+    /// object is gone. Pure mechanism: the *decision* (and its audit
+    /// record) belongs to the caller.
     fn free_cached(&mut self, acc: usize, ctx: u64) {
         let policy = self.cfg.policy;
         let a = &mut self.accels[acc];
         if let Some(c) = a.cached.remove(&ctx) {
-            a.tracker.remove(ctx);
+            a.reconciler.observe_release(ctx);
             let kvt = a.kv_tier(policy);
             for al in c.kv_allocs {
                 let _ = kvt.free(al);
@@ -1192,23 +1355,41 @@ impl<'t> ClusterSim<'t> {
     }
 
     fn on_cache_expire(&mut self, now: SimTime, acc: usize, ctx: u64) {
-        if self.accels[acc].cached.contains_key(&ctx) {
+        if let Some(bytes) = self.accels[acc].cached.get(&ctx).map(|c| c.kv_bytes) {
+            self.control.record(
+                now,
+                ControlClass::KvPrefix,
+                ctx,
+                AuditAction::Drop,
+                "ttl-expired",
+                bytes,
+            );
             self.free_cached(acc, ctx);
         }
         self.start_iteration(now, acc);
     }
 
-    /// The §4 maintenance sweep: walk expiring MRM data, decide refresh /
-    /// migrate / drop, and charge the scrubs.
+    /// The §4 maintenance sweep, split reconciler-style: the
+    /// [`Reconciler`] plans typed work items from deadlines + declared
+    /// policy, and this executor carries them out in order — charging
+    /// scrubs, rewriting at escalation classes, reclaiming lapsed state —
+    /// with every outcome recorded in the audit log.
+    ///
+    /// Planning the whole sweep before executing is byte-identical to the
+    /// old interleaved decide/execute loop: the plan step reads only
+    /// per-object tracker state and draws no randomness, so the fault
+    /// model sees the same reads in the same order.
     fn on_maintenance(&mut self, now: SimTime, acc: usize) {
         let policy = self.cfg.policy;
         if policy.uses_mrm() && self.cfg.scrub_enabled {
             let horizon = now + self.cfg.maintenance_period * 2;
-            let due = self.accels[acc].tracker.due_before(horizon);
-            for ctx in due {
-                let action = self.accels[acc].tracker.decide(ctx, now);
-                match action {
-                    Some(ExpiryAction::Refresh) => {
+            let items = self.accels[acc]
+                .reconciler
+                .plan(now, horizon, &self.control.registry);
+            for item in items {
+                let ctx = item.id;
+                match item.kind {
+                    WorkKind::Refresh => {
                         let (bytes, retention, deadline) = {
                             let c = &self.accels[acc].cached[&ctx];
                             (c.kv_bytes, c.retention, c.deadline)
@@ -1217,22 +1398,23 @@ impl<'t> ClusterSim<'t> {
                         // data at its current age. An uncorrectable outcome
                         // means re-arming the same class would keep the
                         // data at the edge of correctability — escalate to
-                        // the 7-day class instead (the §4 control plane
-                        // degrading its advertised retention).
+                        // the policy's long class instead (the §4 control
+                        // plane degrading its advertised retention).
                         let remaining = if deadline > now {
                             deadline.duration_since(now)
                         } else {
                             SimDuration::ZERO
                         };
-                        let age = retention.saturating_sub(remaining);
+                        let age = consumed_age(retention, remaining);
                         let rber = self.aged_rber(self.kv_on_mrm, retention, age);
                         if self.read_survives(bytes, rber) {
                             let a = &mut self.accels[acc];
                             a.kv_tier(policy).charge_scrub(bytes);
-                            a.tracker.refreshed(ctx, now);
+                            a.reconciler.observe_refreshed(ctx, now);
                             if let Some(c) = a.cached.get_mut(&ctx) {
-                                c.deadline = now.saturating_add(retention);
+                                c.deadline = rearm_deadline(now, retention);
                             }
+                            self.control.record_work(now, &item, bytes);
                             self.scrubs += 1;
                             self.scrub_bytes += bytes;
                             if let Some(sink) = self.telemetry.as_deref_mut() {
@@ -1240,15 +1422,30 @@ impl<'t> ClusterSim<'t> {
                             }
                         } else {
                             self.fault_escalations += 1;
-                            let long = SimDuration::from_days(7);
+                            let long = self
+                                .control
+                                .registry
+                                .policy(ControlClass::KvPrefix)
+                                .ok()
+                                .and_then(|p| p.escalation_class)
+                                .unwrap_or(SimDuration::from_days(7));
                             let a = &mut self.accels[acc];
                             let _ = a.kv_tier(policy).stream_write(bytes, long);
-                            let new_deadline = now.saturating_add(long);
-                            a.tracker.register(ctx, new_deadline, new_deadline, long);
+                            let new_deadline = rearm_deadline(now, long);
+                            a.reconciler
+                                .observe_store(ctx, new_deadline, new_deadline, long);
                             if let Some(c) = a.cached.get_mut(&ctx) {
                                 c.deadline = new_deadline;
                                 c.retention = long;
                             }
+                            self.control.record(
+                                now,
+                                ControlClass::KvPrefix,
+                                ctx,
+                                AuditAction::Escalate,
+                                "scrub-verify-failed",
+                                bytes,
+                            );
                             self.migrations += 1;
                             self.migration_bytes += bytes;
                             if let Some(sink) = self.telemetry.as_deref_mut() {
@@ -1256,38 +1453,56 @@ impl<'t> ClusterSim<'t> {
                             }
                         }
                     }
-                    Some(ExpiryAction::Migrate) => {
-                        // Rewrite at the 7-day class: one-time cost, long
-                        // deadline.
+                    WorkKind::Migrate { to } => {
+                        // Rewrite at the escalation class: one-time cost,
+                        // long deadline.
                         let bytes = self.accels[acc].cached[&ctx].kv_bytes;
-                        let long = SimDuration::from_days(7);
                         let a = &mut self.accels[acc];
                         let kvt = a.kv_tier(policy);
-                        let _ = kvt.stream_write(bytes, long);
-                        let deadline = now.saturating_add(long);
-                        a.tracker.register(ctx, deadline, deadline, long);
+                        let _ = kvt.stream_write(bytes, to);
+                        let deadline = rearm_deadline(now, to);
+                        a.reconciler.observe_store(ctx, deadline, deadline, to);
                         if let Some(c) = a.cached.get_mut(&ctx) {
                             c.deadline = deadline;
-                            c.retention = long;
+                            c.retention = to;
                         }
+                        self.control.record_work(now, &item, bytes);
                         self.migrations += 1;
                         self.migration_bytes += bytes;
                         if let Some(sink) = self.telemetry.as_deref_mut() {
                             sink.event(now, "migrate", bytes as f64);
                         }
                     }
-                    Some(ExpiryAction::Drop) | None => {
+                    WorkKind::RecomputeDrop | WorkKind::Retire => {
+                        // Need lapsed. No recompute happens *now* — the
+                        // data is simply reclaimed, and a later follow-up
+                        // that misses takes the recompute path — so the
+                        // record is the drop (or retire) alone.
                         let bytes = self.accels[acc]
                             .cached
                             .get(&ctx)
                             .map(|c| c.kv_bytes)
                             .unwrap_or(0);
+                        let action = if item.kind == WorkKind::Retire {
+                            AuditAction::Retire
+                        } else {
+                            AuditAction::Drop
+                        };
+                        self.control.record(
+                            now,
+                            ControlClass::KvPrefix,
+                            ctx,
+                            action,
+                            item.reason,
+                            bytes,
+                        );
                         self.free_cached(acc, ctx);
                         self.drops += 1;
                         if let Some(sink) = self.telemetry.as_deref_mut() {
                             sink.event(now, "drop", bytes as f64);
                         }
                     }
+                    WorkKind::Refetch => unreachable!("plan never emits refetch"),
                 }
             }
         }
@@ -1305,11 +1520,30 @@ impl<'t> ClusterSim<'t> {
             .cfg
             .weight_redeploy_period
             .expect("redeploy event without period");
-        let retention = policy.retention_for(
-            DataClass::Weights,
+        let retention = retention_decision(
+            policy.tier_for(DataClass::Weights) == TierKind::Mrm,
+            policy.uses_dcm(),
             period,
             presets::mrm_hours().retention,
             self.cfg.lifetime_margin,
+        );
+        // The old shard's need ends (Retire — always legal for Required
+        // data) and the new model's shard is stored in its place.
+        self.control.record(
+            now,
+            ControlClass::Weights,
+            acc as u64,
+            AuditAction::Retire,
+            "superseded",
+            weights_bytes,
+        );
+        self.control.record(
+            now,
+            ControlClass::Weights,
+            acc as u64,
+            AuditAction::Store,
+            "redeploy",
+            weights_bytes,
         );
         let wt = self.accels[acc].weights_tier(policy);
         let _ = wt.stream_write(weights_bytes, retention);
@@ -1320,7 +1554,7 @@ impl<'t> ClusterSim<'t> {
             .schedule(now + period, Ev::WeightRedeploy { acc });
     }
 
-    fn finish(mut self, end: SimTime) -> ClusterReport {
+    fn finish(mut self, end: SimTime) -> (ClusterReport, AuditLog) {
         // Close out any snapshot boundaries between the last event and the
         // end of the simulated window.
         self.pump_telemetry(end);
@@ -1387,7 +1621,7 @@ impl<'t> ClusterSim<'t> {
 
         let dur_s = elapsed.as_secs_f64();
         let tokens_per_s = self.tokens as f64 / dur_s;
-        ClusterReport {
+        let report = ClusterReport {
             policy: self.cfg.policy.label().to_string(),
             accelerators: self.cfg.accelerators,
             duration_s: dur_s,
@@ -1408,21 +1642,28 @@ impl<'t> ClusterSim<'t> {
             cost_units: cost,
             tokens_per_s_per_kcost: tokens_per_s / (cost / 1000.0),
             kv_capacity_bytes: self.kv_capacity_bytes,
-            p50_latency_ms: self.latency_ms.percentile(50.0),
-            p99_latency_ms: self.latency_ms.percentile(99.0),
-            p50_ttft_ms: self.ttft_ms.percentile(50.0),
-            p99_ttft_ms: self.ttft_ms.percentile(99.0),
+            p50_latency_ms: self.latency_ms.try_percentile(50.0),
+            p99_latency_ms: self.latency_ms.try_percentile(99.0),
+            p50_ttft_ms: self.ttft_ms.try_percentile(50.0),
+            p99_ttft_ms: self.ttft_ms.try_percentile(99.0),
             iterations: self.iterations,
             mean_batch: self.batch_sum as f64 / self.iterations.max(1) as f64,
+            control: self.control.summary(),
             faults,
             tiers,
-        }
+        };
+        (report, self.control.audit)
     }
 }
 
 /// Convenience: build and run in one call.
 pub fn run_cluster(cfg: ClusterConfig) -> ClusterReport {
     ClusterSim::new(cfg).run()
+}
+
+/// [`run_cluster`], also returning the audit log for oracle checks.
+pub fn run_cluster_with_audit(cfg: ClusterConfig) -> (ClusterReport, AuditLog) {
+    ClusterSim::new(cfg).run_with_audit()
 }
 
 /// [`run_cluster`] with a telemetry sink attached. Produces the exact same
@@ -1455,9 +1696,24 @@ mod tests {
             assert!(r.completions > 0, "{}", r.policy);
             assert!(r.tokens_per_s > 0.0);
             assert!(r.energy_total_j > 0.0);
-            assert!(r.p50_latency_ms > 0.0);
-            assert!(r.p99_latency_ms >= r.p50_latency_ms);
+            assert!(r.p50_latency_ms.unwrap() > 0.0);
+            assert!(r.p99_latency_ms.unwrap() >= r.p50_latency_ms.unwrap());
         }
+    }
+
+    #[test]
+    fn zero_admission_reports_absent_percentiles() {
+        // Regression for the empty-histogram panic: a cluster that admits
+        // nothing must finish cleanly with `None` percentiles, not abort in
+        // `LogHistogram::percentile`.
+        let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 2, 0.0);
+        cfg.duration = SimDuration::from_secs(30);
+        let r = run_cluster(cfg);
+        assert_eq!(r.completions, 0);
+        assert_eq!(r.tokens, 0);
+        assert_eq!(r.p50_latency_ms, None);
+        assert_eq!(r.p99_latency_ms, None);
+        assert_eq!(r.p99_ttft_ms, None);
     }
 
     #[test]
@@ -1481,8 +1737,8 @@ mod tests {
             traced.energy_total_j.to_bits()
         );
         assert_eq!(
-            plain.p99_latency_ms.to_bits(),
-            traced.p99_latency_ms.to_bits()
+            plain.p99_latency_ms.map(f64::to_bits),
+            traced.p99_latency_ms.map(f64::to_bits)
         );
 
         // 30 s pumped at 5 s → exactly 6 boundary-stamped snapshots.
@@ -1821,12 +2077,12 @@ mod tests {
     #[test]
     fn ttft_is_recorded_and_below_total_latency() {
         let r = quick(PlacementPolicy::HbmMrm);
-        assert!(r.p50_ttft_ms > 0.0);
+        assert!(r.p50_ttft_ms.unwrap() > 0.0);
         assert!(
-            r.p50_ttft_ms <= r.p50_latency_ms,
+            r.p50_ttft_ms.unwrap() <= r.p50_latency_ms.unwrap(),
             "first token precedes completion"
         );
-        assert!(r.p99_ttft_ms >= r.p50_ttft_ms);
+        assert!(r.p99_ttft_ms.unwrap() >= r.p50_ttft_ms.unwrap());
     }
 
     #[test]

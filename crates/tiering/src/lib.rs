@@ -16,8 +16,8 @@
 //! * [`placement`] — placement policies: HBM-only, HBM+LPDDR cold tier,
 //!   HBM+MRM, HBM+MRM with DCM.
 //! * [`prefix`] — vLLM-style prefix caching over chunk hashes (§2.2 \[54\]).
-//! * [`refresh`] — the expiration tracker and the refresh / migrate / drop
-//!   decision.
+//! * [`refresh`] — re-export shim: the expiration tracker and the refresh /
+//!   migrate / drop decision now live in `mrm-control`.
 //! * [`wear`] — software wear-levelling evaluation under sustained KV write
 //!   load (device lifetime in years).
 //! * [`cluster`] — the discrete-event inference-cluster simulation:
@@ -33,10 +33,11 @@ pub mod tier;
 pub mod wear;
 
 pub use cluster::{
-    run_cluster, run_cluster_with_telemetry, ClusterConfig, ClusterReport, ClusterSim,
-    FaultSummary, MemorySystemKind,
+    run_cluster, run_cluster_with_audit, run_cluster_with_telemetry, ClusterConfig, ClusterReport,
+    ClusterSim, FaultSummary, MemorySystemKind,
 };
 pub use lifetime::LifetimeEstimator;
 pub use placement::PlacementPolicy;
+// mrm-lint: allow(D7) re-export shim for pre-control-plane import paths
 pub use refresh::{ExpiryAction, ExpiryTracker};
 pub use tier::{Tier, TierKind};

@@ -8,7 +8,6 @@
 //! mitigation the paper argues is insufficient, and HBM+MRM with fixed or
 //! dynamically-configured retention.
 
-use mrm_controller::dcm::RetentionClass;
 use mrm_sim::time::SimDuration;
 use mrm_workload::access::DataClass;
 use serde::{Deserialize, Serialize};
@@ -68,9 +67,10 @@ impl PlacementPolicy {
 
     /// The retention target a write with `lifetime_hint` is programmed at.
     ///
-    /// DRAM-family tiers refresh themselves, so retention is their native
-    /// interval; fixed-retention MRM uses `native_retention`; DCM quantizes
-    /// the hint onto the retention-class ladder.
+    /// Shim over [`mrm_control::registry::retention_decision`], which owns
+    /// the policy: DRAM-family tiers refresh themselves, so retention is
+    /// their native interval; fixed-retention MRM uses `native_retention`;
+    /// DCM quantizes the hint onto the retention-class ladder.
     pub fn retention_for(
         self,
         class: DataClass,
@@ -78,16 +78,13 @@ impl PlacementPolicy {
         native_retention: SimDuration,
         margin: f64,
     ) -> SimDuration {
-        match self.tier_for(class) {
-            TierKind::Hbm | TierKind::Lpddr => native_retention,
-            TierKind::Mrm => {
-                if self.uses_dcm() {
-                    RetentionClass::for_lifetime(lifetime_hint, margin).duration()
-                } else {
-                    native_retention
-                }
-            }
-        }
+        mrm_control::registry::retention_decision(
+            self.tier_for(class) == TierKind::Mrm,
+            self.uses_dcm(),
+            lifetime_hint,
+            native_retention,
+            margin,
+        )
     }
 
     /// All policies, in experiment order.

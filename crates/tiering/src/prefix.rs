@@ -66,6 +66,8 @@ pub struct PrefixCache {
     /// Cumulative stats.
     hits_tokens: u64,
     misses_tokens: u64,
+    /// Release-mode count of double releases (debug builds assert instead).
+    release_underflows: u64,
 }
 
 impl PrefixCache {
@@ -120,12 +122,18 @@ impl PrefixCache {
         let mut new_tokens = 0u64;
         let mut remaining = prompt_tokens;
         for (i, &h) in chunk_hashes.iter().enumerate() {
+            // Extra hashes beyond the prompt's token count carry no KV
+            // state: stop rather than minting zero-token nodes, which
+            // would count as evicted (`tokens == 0`) while still pinned.
+            if remaining == 0 {
+                break;
+            }
             let chunk = if i + 1 == chunk_hashes.len() {
                 remaining
             } else {
                 self.chunk_tokens.min(remaining)
             };
-            remaining = remaining.saturating_sub(chunk);
+            remaining -= chunk;
             let id = match self.children.get(&(parent, h)) {
                 Some(&id) if self.nodes[id.0 as usize].tokens > 0 => {
                     self.nodes[id.0 as usize].refcount += 1;
@@ -157,11 +165,64 @@ impl PrefixCache {
 
     /// Releases a request's pins. Nodes stay cached (refcount may reach 0)
     /// until [`PrefixCache::evict_unreferenced`] reclaims them.
+    ///
+    /// Releasing a path more often than it was pinned is a caller bug:
+    /// debug builds panic (the old `saturating_sub` silently masked the
+    /// double release, letting a still-pinned node reach refcount 0 and be
+    /// evicted under a live request); release builds refuse the decrement
+    /// and count it in [`PrefixCache::release_underflows`].
     pub fn release(&mut self, path: &[PrefixNodeId]) {
         for &id in path {
             let n = &mut self.nodes[id.0 as usize];
-            n.refcount = n.refcount.saturating_sub(1);
+            debug_assert!(n.refcount > 0, "double release of prefix node {id:?}");
+            if n.refcount == 0 {
+                self.release_underflows += 1;
+            } else {
+                n.refcount -= 1;
+            }
         }
+    }
+
+    /// Double releases refused in release builds (always 0 in a correct
+    /// caller; debug builds panic at the offending release instead).
+    pub fn release_underflows(&self) -> u64 {
+        self.release_underflows
+    }
+
+    /// Test oracle: every live node is reachable from the root over edges
+    /// whose child is live, and every edge points at a live node. Returns
+    /// the live-node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a live node is unreachable (an orphan) or an edge targets
+    /// an evicted node.
+    pub fn check_invariants(&self) -> usize {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut frontier = vec![ROOT];
+        while let Some(p) = frontier.pop() {
+            for (&(parent, _), &child) in &self.children {
+                let c = child.0 as usize;
+                if parent == p && self.nodes[c].tokens > 0 && !reachable[c] {
+                    reachable[c] = true;
+                    frontier.push(child);
+                }
+            }
+        }
+        for &child in self.children.values() {
+            assert!(
+                self.nodes[child.0 as usize].tokens > 0,
+                "edge points at evicted node {child:?}"
+            );
+        }
+        let mut live = 0;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.tokens > 0 {
+                assert!(reachable[i], "live node {i} unreachable from root");
+                live += 1;
+            }
+        }
+        live
     }
 
     /// Evicts all unreferenced nodes (a coarse low-memory response).
@@ -265,6 +326,50 @@ mod tests {
         let reclaimed = pc.evict_unreferenced();
         assert_eq!(reclaimed, 64, "shared prefix + both tails reclaimed");
         assert_eq!(pc.resident_tokens(), 0);
+    }
+
+    #[test]
+    fn excess_hashes_mint_no_zero_token_nodes() {
+        let mut pc = PrefixCache::new(16);
+        // 16 tokens fill one chunk; the second hash carries nothing.
+        let a = pc.insert(&[1, 2], 16);
+        assert_eq!(a.path.len(), 1, "zero-token chunk must not be pinned");
+        assert_eq!(a.new_tokens, 16);
+        assert_eq!(pc.node_count(), 1);
+        pc.check_invariants();
+        // A later full-length insert caches the second chunk cleanly
+        // instead of colliding with a dead placeholder.
+        let b = pc.insert(&[1, 2], 32);
+        assert_eq!(b.hit_tokens, 16);
+        assert_eq!(b.new_tokens, 16);
+        pc.release(&a.path);
+        pc.release(&b.path);
+        assert_eq!(pc.evict_unreferenced(), 32);
+        pc.check_invariants();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics_in_debug() {
+        let mut pc = PrefixCache::new(16);
+        let a = pc.insert(&[1], 8);
+        pc.release(&a.path);
+        pc.release(&a.path);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn double_release_is_refused_and_counted_in_release_builds() {
+        let mut pc = PrefixCache::new(16);
+        let a = pc.insert(&[1], 8);
+        let b = pc.insert(&[1], 8);
+        pc.release(&a.path);
+        pc.release(&a.path); // caller bug: must not strip b's pin
+        assert_eq!(pc.release_underflows(), 1);
+        assert_eq!(pc.evict_unreferenced(), 0, "b still pins the node");
+        pc.release(&b.path);
+        assert_eq!(pc.evict_unreferenced(), 8);
     }
 
     #[test]

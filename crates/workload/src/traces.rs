@@ -139,17 +139,18 @@ impl RequestSampler {
 pub struct TraceMix {
     samplers: Vec<(f64, RequestSampler)>,
     total_weight: f64,
-    interarrival: Exponential,
+    interarrival: Option<Exponential>,
 }
 
 impl TraceMix {
     /// Creates a mixture from `(weight, sampler)` components and an
-    /// aggregate arrival rate (requests/second).
+    /// aggregate arrival rate (requests/second). A zero rate is legal and
+    /// models a drained system: the mixture never produces an arrival.
     ///
     /// # Panics
     ///
     /// Panics if no components are given, weights are non-positive, or the
-    /// rate is non-positive.
+    /// rate is negative or non-finite.
     pub fn new(components: Vec<(f64, RequestSampler)>, arrivals_per_s: f64) -> Self {
         assert!(!components.is_empty(), "mixture needs components");
         let total_weight: f64 = components.iter().map(|(w, _)| *w).sum();
@@ -157,10 +158,14 @@ impl TraceMix {
         for (w, _) in &components {
             assert!(*w > 0.0, "weights must be positive");
         }
+        assert!(
+            arrivals_per_s.is_finite() && arrivals_per_s >= 0.0,
+            "arrival rate must be finite and non-negative"
+        );
         TraceMix {
             samplers: components,
             total_weight,
-            interarrival: Exponential::new(arrivals_per_s),
+            interarrival: (arrivals_per_s > 0.0).then(|| Exponential::new(arrivals_per_s)),
         }
     }
 
@@ -178,9 +183,23 @@ impl TraceMix {
         )
     }
 
+    /// True when the mixture has a positive arrival rate. A zero-rate mix
+    /// never produces an arrival, so callers must not draw gaps from it.
+    pub fn has_arrivals(&self) -> bool {
+        self.interarrival.is_some()
+    }
+
     /// Draws the next inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mixture was built with a zero arrival rate; gate on
+    /// [`TraceMix::has_arrivals`] first.
     pub fn next_interarrival(&self, rng: &mut SimRng) -> SimDuration {
-        SimDuration::from_secs_f64(self.interarrival.sample(rng))
+        let exp = self
+            .interarrival
+            .expect("next_interarrival drawn from a zero-rate mix");
+        SimDuration::from_secs_f64(exp.sample(rng))
     }
 
     /// Draws one request: `(kind, prompt_tokens, output_tokens)`.

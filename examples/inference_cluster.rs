@@ -47,7 +47,8 @@ fn main() {
             &format!("{:.1}", r.housekeeping_j),
             &format_bytes(r.kv_capacity_bytes),
             &format!("{:.1}", r.tokens_per_s_per_kcost),
-            &format!("{:.0}", r.p50_latency_ms),
+            &r.p50_latency_ms
+                .map_or_else(|| "-".to_string(), |p| format!("{p:.0}")),
             &r.cache_hits.to_string(),
             &r.recomputes.to_string(),
             &r.evictions.to_string(),

@@ -6,6 +6,7 @@
 //! `DESIGN.md` for the paper-to-module map.
 
 pub use mrm_analysis as analysis;
+pub use mrm_control as control;
 pub use mrm_controller as controller;
 pub use mrm_core as core;
 pub use mrm_device as device;

@@ -26,7 +26,10 @@ fn cluster_sim_is_reproducible() {
     assert_eq!(a.cache_hits, b.cache_hits);
     assert_eq!(a.evictions, b.evictions);
     assert!((a.energy_total_j - b.energy_total_j).abs() < 1e-9);
-    assert!((a.p99_latency_ms - b.p99_latency_ms).abs() < 1e-9);
+    assert_eq!(
+        a.p99_latency_ms.map(f64::to_bits),
+        b.p99_latency_ms.map(f64::to_bits)
+    );
 }
 
 #[test]

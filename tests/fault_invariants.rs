@@ -15,6 +15,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use mrm::control::{AuditAction, RetentionRegistry};
 use mrm::controller::ftl::{Ftl, FtlConfig};
 use mrm::controller::mrm_block::{MrmBlockController, ZoneError, ZoneId, ZoneState};
 use mrm::device::device::MemoryDevice;
@@ -23,6 +24,7 @@ use mrm::faults::{FaultConfig, FaultModel};
 use mrm::sim::time::{SimDuration, SimTime};
 use mrm::sim::units::MIB;
 use mrm::tiering::refresh::{ExpiryAction, ExpiryTracker};
+use mrm::tiering::{run_cluster_with_audit, ClusterConfig, PlacementPolicy};
 use proptest::prelude::*;
 use proptest::TestCaseError;
 
@@ -344,5 +346,87 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ---- Audit log as chaos oracle: Required data never silently dies -------
+
+/// A cluster provisioned at the failure margin (retention == data lifetime,
+/// 40x BER) so the full recovery ladder fires: retries, scrub escalations,
+/// weight re-fetches, and KV recompute demotions.
+fn chaos_cluster_cfg(seed: u64, margin_q: u8) -> ClusterConfig {
+    let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmMrm, 2, 8.0);
+    cfg.seed = seed;
+    cfg.duration = SimDuration::from_secs(60);
+    cfg.followup_window = SimDuration::from_secs(20);
+    cfg.hint_window = SimDuration::from_secs(20);
+    cfg.followup_prob = 0.8;
+    cfg.maintenance_period = SimDuration::from_secs(5);
+    cfg.faults = FaultConfig {
+        ber_scale: 40.0,
+        // margin 0.25 forces scrub-verify escalations; 1.0 forces
+        // end-of-retention UEs on parked KV.
+        provision_margin: Some(f64::from(margin_q) / 4.0),
+        ..FaultConfig::mrm()
+    };
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The control-plane acceptance invariant, checked from the *audit log*
+    /// rather than counters: under the full fault ladder, no Required-class
+    /// object is ever reclaimed without a re-fetch or recompute recorded
+    /// first for the same `(class, id)` — and the log itself is well-formed
+    /// (dense sequence numbers, nondecreasing sim-time, summary counts that
+    /// reconcile against the raw records).
+    #[test]
+    fn audit_log_never_shows_an_unrecovered_required_drop(
+        seed in 0u64..u64::MAX,
+        margin_q in 1u8..=4,
+    ) {
+        let cfg = chaos_cluster_cfg(seed, margin_q);
+        let registry = RetentionRegistry::serving_default(cfg.followup_window);
+        let (report, audit) = run_cluster_with_audit(cfg);
+
+        // The ladder actually engaged — otherwise the oracle is vacuous.
+        prop_assert!(report.faults.enabled);
+        prop_assert!(report.faults.reads > 0, "injection must have run");
+        prop_assert!(!audit.is_empty(), "decisions must have been recorded");
+
+        // The invariant proper.
+        let violations = audit.required_drop_violations(&registry);
+        prop_assert!(
+            violations.is_empty(),
+            "Required-class objects dropped without recovery: {:?}",
+            violations
+        );
+        prop_assert_eq!(report.control.required_drop_violations, 0);
+
+        // Log well-formedness: dense seqs, nondecreasing time.
+        for (i, r) in audit.records().iter().enumerate() {
+            prop_assert_eq!(r.seq, i as u64, "sequence numbers must be dense");
+            if i > 0 {
+                prop_assert!(
+                    audit.records()[i - 1].at <= r.at,
+                    "audit time went backwards at seq {}",
+                    i
+                );
+            }
+        }
+
+        // The report's summary is exactly the log's action histogram.
+        prop_assert_eq!(report.control.audit_records, audit.len() as u64);
+        prop_assert_eq!(report.control.stores, audit.count(AuditAction::Store));
+        prop_assert_eq!(report.control.drops, audit.count(AuditAction::Drop));
+        prop_assert_eq!(report.control.retires, audit.count(AuditAction::Retire));
+        prop_assert_eq!(report.control.refetches, audit.count(AuditAction::Refetch));
+        prop_assert_eq!(report.control.recomputes, audit.count(AuditAction::Recompute));
+        prop_assert_eq!(report.control.escalations, audit.count(AuditAction::Escalate));
+
+        // Every weight re-fetch the fault layer performed flowed through
+        // the control plane (the ladder *is* the work-item stream).
+        prop_assert_eq!(report.control.refetches, report.faults.weight_refetches);
     }
 }
