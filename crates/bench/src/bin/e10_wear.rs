@@ -12,7 +12,7 @@
 //! cycles, plus the final per-zone wear histogram).
 
 use mrm_analysis::report::Table;
-use mrm_bench::{check, heading, save_json, save_telemetry, telemetry_path_from_args};
+use mrm_bench::{check, heading, save_json, save_telemetry, warn_unsupported_obs, OutputPaths};
 use mrm_device::tech::presets;
 use mrm_sim::time::SimDuration;
 use mrm_sim::units::MIB;
@@ -21,7 +21,9 @@ use mrm_tiering::wear::{simulate_wear_with_telemetry, WearPolicy, WearReport};
 use serde::Value;
 
 fn main() {
-    let telemetry_path = telemetry_path_from_args();
+    let out = OutputPaths::from_args();
+    warn_unsupported_obs("e10_wear", &out);
+    let telemetry_path = out.telemetry;
     let mut jsonl = String::new();
 
     heading("E10 — zone churn simulation (scaled device, KV-stream append/drop)");

@@ -12,18 +12,25 @@
 //! — and the report shows the throughput/energy cost of living at the
 //! edge.
 //!
-//! Flags: `--quick` (shorter runs for CI), `--seed <n>`, `--threads <n>`.
-//! At a fixed seed the saved JSON is byte-identical for any thread count
-//! (the chaos-smoke CI job diffs exactly that).
+//! Flags: `--quick` (shorter runs for CI), `--seed <n>`, `--threads <n>`,
+//! plus the shared observation flags: `--telemetry <path>` (JSONL series
+//! per grid point), `--trace <path>` (Perfetto causal trace), and
+//! `--profile <path>` (hot-handler report + folded stacks). At a fixed
+//! seed the saved JSON is byte-identical for any thread count (the
+//! chaos-smoke CI job diffs exactly that), and so is the trace.
 
 use mrm_analysis::report::Table;
-use mrm_bench::{check, heading, save_json};
+use mrm_bench::{check, heading, save_artifact, save_json, save_telemetry, OutputPaths};
 use mrm_faults::FaultConfig;
+use mrm_obs::{perfetto, profile, slo, Obs};
 use mrm_sim::time::SimDuration;
 use mrm_sweep::{flag_value_from_args, threads_from_args, Grid, Sweep};
-use mrm_tiering::cluster::{run_cluster, ClusterConfig, ClusterReport};
+use mrm_telemetry::{export, SimTelemetry, Snapshot};
+use mrm_tiering::cluster::{
+    run_cluster, run_cluster_observed, run_cluster_with_telemetry, ClusterConfig, ClusterReport,
+};
 use mrm_tiering::placement::PlacementPolicy;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// Retention provisioning margins swept, ×data lifetime (generous → none).
 const MARGINS: [f64; 6] = [10.0, 5.0, 2.5, 1.5, 1.25, 1.0];
@@ -61,6 +68,12 @@ fn main() {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(0xC1A5_7E12);
     let threads = threads_from_args();
+    let out = OutputPaths::from_args();
+    let observe = out.trace.is_some() || out.profile.is_some();
+    // Snapshots are always collected: the SLO watchdog below reads them,
+    // and the sink is observe-only (the saved JSON the chaos-smoke job
+    // byte-compares is unchanged).
+    let collect = true;
 
     heading(&format!(
         "E11-faults — retention margin sweep: {}x..{}x data lifetime, seed {seed}, {secs} s \
@@ -74,12 +87,28 @@ fn main() {
     let grid = Grid::axis(policies)
         .cross(MARGINS)
         .map(|(p, m)| (p, m, config(p, m, secs, seed)));
-    let results: Vec<FaultSweepRecord> = Sweep::new(grid, |(p, m, cfg), _rng| FaultSweepRecord {
-        policy: p.label().to_string(),
-        margin: *m,
-        report: run_cluster(cfg.clone()),
-    })
-    .run_parallel(threads);
+    let points: Vec<(FaultSweepRecord, Vec<Snapshot>, Option<Box<Obs>>)> =
+        Sweep::new(grid, move |(p, m, cfg), _rng| {
+            let record = |report| FaultSweepRecord {
+                policy: p.label().to_string(),
+                margin: *m,
+                report,
+            };
+            if observe {
+                let mut tele = SimTelemetry::new(SimDuration::from_secs(5));
+                let mut obs = Box::new(Obs::new(cfg.seed));
+                let (report, _audit) = run_cluster_observed(cfg.clone(), &mut tele, &mut obs);
+                (record(report), tele.into_snapshots(), Some(obs))
+            } else if collect {
+                let mut tele = SimTelemetry::new(SimDuration::from_secs(5));
+                let report = run_cluster_with_telemetry(cfg.clone(), &mut tele);
+                (record(report), tele.into_snapshots(), None)
+            } else {
+                (record(run_cluster(cfg.clone())), Vec::new(), None)
+            }
+        })
+        .run_parallel(threads);
+    let results: Vec<&FaultSweepRecord> = points.iter().map(|(r, _, _)| r).collect();
 
     let mut t = Table::new(&[
         "system",
@@ -169,6 +198,70 @@ fn main() {
     let mut ok = true;
     for (desc, pass) in &checks {
         ok &= check(*pass, desc);
+    }
+
+    // SLO watchdog: the REQUIRED-DURABLE and occupancy invariants must
+    // hold at every snapshot of every margin — living at the retention
+    // edge may cost recompute throughput, but never a required drop.
+    let slos = slo::serving_default(60_000.0, 50.0);
+    let mut slo_checks = 0u64;
+    let mut required_drop_breaches = 0usize;
+    let mut occupancy_breaches = 0usize;
+    for (_, snaps, _) in &points {
+        let rep = slo::evaluate(&slos, snaps);
+        slo_checks += rep.checks;
+        required_drop_breaches += rep.breaches_of("required-drop");
+        occupancy_breaches += rep.breaches_of("hbm-occupancy")
+            + rep.breaches_of("lpddr-occupancy")
+            + rep.breaches_of("mrm-occupancy");
+    }
+    ok &= check(
+        slo_checks > 0 && required_drop_breaches == 0,
+        &format!("SLO: zero required-drop breaches across all margins ({slo_checks} checks)"),
+    );
+    ok &= check(
+        occupancy_breaches == 0,
+        "SLO: tier occupancy never exceeds 1.0 at any margin",
+    );
+
+    if let Some(path) = &out.telemetry {
+        let mut jsonl = String::new();
+        for (i, (r, snaps, _)) in points.iter().enumerate() {
+            jsonl.push_str(&export::jsonl_tagged(
+                snaps,
+                &[
+                    ("experiment", Value::Str("e11".to_string())),
+                    ("point", Value::U64(i as u64)),
+                    ("policy", Value::Str(r.policy.clone())),
+                    ("margin", Value::F64(r.margin)),
+                ],
+            ));
+        }
+        save_telemetry(path, &jsonl);
+    }
+    if observe {
+        let labelled: Vec<(String, &Obs)> = points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (r, _, o))| {
+                o.as_deref()
+                    .map(|o| (format!("e11:{i}:{}:{}x", r.policy, r.margin), o))
+            })
+            .collect();
+        if let Some(path) = &out.trace {
+            let tracers: Vec<(String, &mrm_obs::CausalTracer)> = labelled
+                .iter()
+                .map(|(l, o)| (l.clone(), &o.tracer))
+                .collect();
+            save_artifact("trace", path, &perfetto::chrome_trace(&tracers));
+        }
+        if let Some(path) = &out.profile {
+            let profs: Vec<(String, &mrm_obs::Profiler)> = labelled
+                .iter()
+                .map(|(l, o)| (l.clone(), &o.profiler))
+                .collect();
+            save_artifact("profile", path, &profile::artifact(&profs, 10));
+        }
     }
 
     save_json("e11_faults", &results);

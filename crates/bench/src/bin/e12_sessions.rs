@@ -8,13 +8,30 @@
 //! retention sweet spot from the *session* side.
 
 use mrm_analysis::report::Table;
-use mrm_bench::{heading, save_json};
+use mrm_bench::{heading, save_json, save_telemetry, warn_unsupported_obs, OutputPaths};
 use mrm_controller::dcm::RetentionClass;
 use mrm_sim::rng::SimRng;
+use mrm_sim::time::{SimDuration, SimTime};
+use mrm_telemetry::{export, SimTelemetry, TelemetrySink};
 use mrm_workload::model::{ModelConfig, Quantization};
 use mrm_workload::sessions::SessionSampler;
+use serde::Value;
+
+/// Static gauge name for a retention class's session-coverage fraction
+/// (the registry interns `&'static str` names).
+fn coverage_gauge(class: RetentionClass) -> &'static str {
+    match class {
+        RetentionClass::Seconds30 => "session_coverage_30s",
+        RetentionClass::Minutes10 => "session_coverage_10m",
+        RetentionClass::Hours1 => "session_coverage_1h",
+        RetentionClass::Hours12 => "session_coverage_12h",
+        RetentionClass::Days7 => "session_coverage_7d",
+    }
+}
 
 fn main() {
+    let out = OutputPaths::from_args();
+    warn_unsupported_obs("e12_sessions", &out);
     let sampler = SessionSampler::conversation_default(4096);
     let model = ModelConfig::llama2_70b();
     let kvpt = model.kv_bytes_per_token(Quantization::Fp16);
@@ -98,6 +115,29 @@ fn main() {
     let secs = results.iter().find(|r| r.0 == "30s").unwrap();
     assert!(secs.1 < 0.7, "30s class must visibly fail sessions");
     println!("\nPASS session-coverage shape checks");
+
+    if let Some(path) = &out.telemetry {
+        // One snapshot per retention class at a synthetic 1 s step: the
+        // session/gap coverage curve as a JSONL series, same shape as the
+        // cluster experiments' exports.
+        let mut tele = SimTelemetry::new(SimDuration::from_secs(1));
+        for (i, (class, r)) in RetentionClass::ladder().iter().zip(&results).enumerate() {
+            tele.gauge(coverage_gauge(*class), r.1);
+            tele.gauge("session_gap_coverage", r.2);
+            tele.gauge("session_recompute_gb_per_k", r.3);
+            tele.snapshot(SimTime::ZERO + SimDuration::from_secs(i as u64 + 1));
+        }
+        save_telemetry(
+            path,
+            &export::jsonl_tagged(
+                tele.snapshots(),
+                &[
+                    ("experiment", Value::Str("e12".to_string())),
+                    ("point", Value::U64(0)),
+                ],
+            ),
+        );
+    }
 
     save_json("e12_sessions", &results);
 }

@@ -14,15 +14,20 @@
 //! recompute.
 //!
 //! Flags: `--quick` (shorter runs for CI), `--seed <n>`, `--threads <n>`,
-//! `--telemetry <path>` (sim-time JSONL series per grid point). At a fixed
-//! seed the saved JSON and the telemetry JSONL are byte-identical for any
-//! thread count (the control-smoke CI job diffs exactly that).
+//! plus the shared observation flags: `--telemetry <path>` (sim-time JSONL
+//! series per grid point), `--trace <path>` (Perfetto/Chrome trace JSON
+//! with causal flow arrows), and `--profile <path>` (hot-handler report +
+//! folded stacks). At a fixed seed the saved JSON, the telemetry JSONL and
+//! the trace JSON are byte-identical for any thread count (the
+//! control-smoke and obs-smoke CI jobs diff exactly that); only the
+//! profiler's wall-clock column is machine-dependent.
 
 use mrm_analysis::report::Table;
-use mrm_bench::{check, heading, save_json, save_telemetry, telemetry_path_from_args};
+use mrm_bench::{check, heading, save_artifact, save_json, save_telemetry, OutputPaths};
 use mrm_control::registry::RetentionRegistry;
 use mrm_control::AuditAction;
 use mrm_faults::FaultConfig;
+use mrm_obs::{perfetto, profile, slo, validate_chrome_trace, Obs, SpanKind};
 use mrm_sim::time::SimDuration;
 use mrm_sweep::{flag_value_from_args, threads_from_args, Grid, Sweep};
 use mrm_telemetry::{export, SimTelemetry, Snapshot};
@@ -84,14 +89,21 @@ fn config(policy: PlacementPolicy, regime: Regime, secs: u64, seed: u64) -> Clus
     cfg
 }
 
-/// Runs one grid point with the audit log (and, when `collect` is set, a
-/// telemetry sink) attached, then folds the log into the saved record.
-fn run_point(cfg: &ClusterConfig, collect: bool) -> (ControlRecord, Vec<Snapshot>) {
+/// Runs one grid point with the audit log, a telemetry sink, and (when
+/// `observe` is set) the causal tracer + profiler attached, then folds
+/// the log into the saved record. The sink and the obs bundle are both
+/// observe-only, so attaching them never changes the record.
+fn run_point(
+    cfg: &ClusterConfig,
+    observe: bool,
+) -> (ControlRecord, Vec<Snapshot>, Option<Box<Obs>>) {
     let registry = RetentionRegistry::serving_default(cfg.followup_window);
     let mut tele = SimTelemetry::new(SNAPSHOT_EVERY);
+    let mut obs = observe.then(|| Box::new(Obs::new(cfg.seed)));
     let mut sim = ClusterSim::new(cfg.clone());
-    if collect {
-        sim.attach_telemetry(&mut tele);
+    sim.attach_telemetry(&mut tele);
+    if let Some(o) = obs.as_deref_mut() {
+        sim.attach_obs(o);
     }
     let (report, audit) = sim.run_with_audit();
 
@@ -109,14 +121,7 @@ fn run_point(cfg: &ClusterConfig, collect: bool) -> (ControlRecord, Vec<Snapshot
         required_drop_violations: audit.required_drop_violations(&registry).len() as u64,
         report,
     };
-    (
-        record,
-        if collect {
-            tele.into_snapshots()
-        } else {
-            Vec::new()
-        },
-    )
+    (record, tele.into_snapshots(), obs)
 }
 
 /// Tags one grid point's snapshots and appends the JSONL lines.
@@ -139,8 +144,8 @@ fn main() {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(0xC0_47_01);
     let threads = threads_from_args();
-    let telemetry_path = telemetry_path_from_args();
-    let collect = telemetry_path.is_some();
+    let out = OutputPaths::from_args();
+    let observe = out.trace.is_some() || out.profile.is_some();
 
     heading(&format!(
         "E13-control — audited retention decisions: 2 placements x 2 regimes, seed {seed}, \
@@ -153,17 +158,17 @@ fn main() {
     let grid = Grid::axis(policies)
         .cross(regimes)
         .map(|(p, r)| (p, r, config(p, r, secs, seed)));
-    let mut results: Vec<ControlRecord> = Vec::new();
-    let mut jsonl = String::new();
     let points = Sweep::new(grid, move |(p, r, cfg), _rng| {
-        let (mut record, snaps) = run_point(cfg, collect);
+        let (mut record, snaps, obs) = run_point(cfg, observe);
         record.policy = p.label().to_string();
         record.regime = r.label().to_string();
-        (record, snaps)
+        (record, snaps, obs)
     })
     .run_parallel(threads);
-    for (i, (record, snaps)) in points.into_iter().enumerate() {
-        append_series(&mut jsonl, i, &record.policy, &record.regime, &snaps);
+    let mut results: Vec<&ControlRecord> = Vec::new();
+    let mut jsonl = String::new();
+    for (i, (record, snaps, _)) in points.iter().enumerate() {
+        append_series(&mut jsonl, i, &record.policy, &record.regime, snaps);
         results.push(record);
     }
 
@@ -263,9 +268,117 @@ fn main() {
         ok &= check(*pass, desc);
     }
 
+    // SLO watchdog over every grid point's telemetry: the §4 contract as
+    // declarative specs. Living at margin 1x may cost throughput, but a
+    // Required-class drop without recovery or an over-full tier is a bug
+    // in any regime.
+    let slos = slo::serving_default(60_000.0, 50.0);
+    let mut slo_checks = 0u64;
+    let mut required_drop_breaches = 0usize;
+    let mut occupancy_breaches = 0usize;
+    for (_, snaps, _) in &points {
+        let rep = slo::evaluate(&slos, snaps);
+        slo_checks += rep.checks;
+        required_drop_breaches += rep.breaches_of("required-drop");
+        occupancy_breaches += rep.breaches_of("hbm-occupancy")
+            + rep.breaches_of("lpddr-occupancy")
+            + rep.breaches_of("mrm-occupancy");
+    }
+    ok &= check(
+        slo_checks > 0 && required_drop_breaches == 0,
+        &format!("SLO: zero required-drop breaches in both regimes ({slo_checks} checks)"),
+    );
+    ok &= check(
+        occupancy_breaches == 0,
+        "SLO: tier occupancy never exceeds 1.0 in either regime",
+    );
+
+    // Observation shape checks (the PR's acceptance): the faulted
+    // margin-1x run must produce a Perfetto-loadable trace in which every
+    // required-class drop links causally back to an audited recovery, and
+    // a profiler report naming the hot handlers.
+    if observe {
+        let labelled: Vec<(String, &Obs)> = points
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (r, _, o))| {
+                o.as_deref()
+                    .map(|o| (format!("e13:{i}:{}:{}", r.policy, r.regime), o))
+            })
+            .collect();
+        let tracers: Vec<(String, &mrm_obs::CausalTracer)> = labelled
+            .iter()
+            .map(|(l, o)| (l.clone(), &o.tracer))
+            .collect();
+        let trace_json = perfetto::chrome_trace(&tracers);
+        match validate_chrome_trace(&trace_json) {
+            Ok(stats) => {
+                ok &= check(
+                    stats.required_drops > 0,
+                    &format!(
+                        "margin-1x produces required-class drop spans ({})",
+                        stats.required_drops
+                    ),
+                );
+                ok &= check(
+                    stats.required_drops_with_cause == stats.required_drops,
+                    &format!(
+                        "every required-class drop links causally to an audited recovery \
+                         ({}/{} carry a cause)",
+                        stats.required_drops_with_cause, stats.required_drops
+                    ),
+                );
+                ok &= check(
+                    stats.flows > 0 && stats.async_pairs > 0,
+                    &format!(
+                        "the trace carries causal structure ({} flows, {} async lifecycles)",
+                        stats.flows, stats.async_pairs
+                    ),
+                );
+            }
+            Err(e) => {
+                ok = check(false, &format!("trace JSON validates as Chrome trace: {e}"));
+            }
+        }
+        // Audit correlation: each faulted run's recovery spans carry the
+        // audit seq the control plane returned for the decision.
+        let correlated = labelled.iter().all(|(_, o)| {
+            o.tracer
+                .spans()
+                .filter(|s| s.kind == SpanKind::Recovery)
+                .all(|s| s.detail.audit_seq.is_some())
+        });
+        ok &= check(
+            correlated,
+            "every recovery span carries its audit sequence number",
+        );
+        // Wall-clock *ranking* is machine- and workload-dependent, so only
+        // require that five hot handlers exist and that the event queue is
+        // instrumented — not that it places in the top five.
+        let profiled = labelled.iter().all(|(_, o)| {
+            let rep = o.profiler.report(5);
+            let all = o.profiler.report(usize::MAX);
+            rep.top.len() >= 5 && all.top.iter().any(|h| h.name == "event_queue")
+        });
+        ok &= check(
+            profiled,
+            "the profiler names the top-5 hot handlers for every point",
+        );
+        if let Some(path) = &out.trace {
+            save_artifact("trace", path, &trace_json);
+        }
+        if let Some(path) = &out.profile {
+            let profs: Vec<(String, &mrm_obs::Profiler)> = labelled
+                .iter()
+                .map(|(l, o)| (l.clone(), &o.profiler))
+                .collect();
+            save_artifact("profile", path, &profile::artifact(&profs, 10));
+        }
+    }
+
     save_json("e13_control", &results);
-    if let Some(path) = telemetry_path {
-        save_telemetry(&path, &jsonl);
+    if let Some(path) = &out.telemetry {
+        save_telemetry(path, &jsonl);
     }
     if !ok {
         std::process::exit(1);

@@ -17,7 +17,7 @@
 //! device writes themselves are unaffected.
 
 use mrm_analysis::report::Table;
-use mrm_bench::{heading, note, save_json, save_telemetry, telemetry_path_from_args};
+use mrm_bench::{heading, note, save_json, save_telemetry, warn_unsupported_obs, OutputPaths};
 use mrm_controller::dcm::{DcmController, RetentionClass};
 use mrm_device::device::MemoryDevice;
 use mrm_device::tech::presets;
@@ -77,7 +77,9 @@ fn main() {
     // Telemetry rides a synthetic export clock (one write per simulated
     // millisecond, snapshots every 100 ms); the device writes themselves
     // stay at SimTime::ZERO, so energy and wear results are unchanged.
-    let telemetry_path = telemetry_path_from_args();
+    let out = OutputPaths::from_args();
+    warn_unsupported_obs("e7_dcm", &out);
+    let telemetry_path = out.telemetry;
     let mut tele = telemetry_path
         .as_ref()
         .map(|_| SimTelemetry::new(SimDuration::from_millis(100)));

@@ -7,7 +7,7 @@
 //! no longer hold the reliability target?
 
 use mrm_analysis::report::Table;
-use mrm_bench::{heading, note, save_json, save_telemetry, telemetry_path_from_args};
+use mrm_bench::{heading, note, save_json, save_telemetry, warn_unsupported_obs, OutputPaths};
 use mrm_device::cell::RetentionTradeoff;
 use mrm_device::tech::presets;
 use mrm_ecc::analysis::{iso_reliability_overhead, max_safe_age_fraction};
@@ -136,7 +136,9 @@ fn main() {
     // RBER-vs-data-age time series: the decoder's view of a 12 h retention
     // class as data ages in 15-minute steps, with a per-code "still within
     // its scrub budget" flag. Pure function of age — no RNG.
-    if let Some(path) = telemetry_path_from_args() {
+    let out = OutputPaths::from_args();
+    warn_unsupported_obs("e8_ecc", &out);
+    if let Some(path) = out.telemetry {
         let step = SimDuration::from_secs(900);
         let mut tele = SimTelemetry::new(step);
         let steps = 48u64; // 48 * 15 min = the 12 h retention target

@@ -9,15 +9,21 @@
 //! With `--telemetry <path>` each grid point also records a sim-time
 //! JSONL series (5 s snapshots of counters, occupancy and latency
 //! percentiles), concatenated in grid order — byte-identical for any
-//! `--threads` value.
+//! `--threads` value. `--trace <path>` exports the main grid's causal
+//! spans as one Perfetto-loadable Chrome trace (also thread-invariant),
+//! and `--profile <path>` the per-point hot-handler reports + folded
+//! stacks (wall-clock, machine-dependent by design).
 
 use mrm_analysis::report::Table;
-use mrm_bench::{check, heading, save_json, save_telemetry, telemetry_path_from_args};
+use mrm_bench::{check, heading, save_artifact, save_json, save_telemetry, OutputPaths};
+use mrm_obs::{perfetto, profile, slo, Obs};
 use mrm_sim::time::SimDuration;
 use mrm_sim::units::format_bytes;
 use mrm_sweep::{threads_from_args, Grid, Sweep};
 use mrm_telemetry::{export, SimTelemetry, Snapshot};
-use mrm_tiering::cluster::{run_cluster, run_cluster_with_telemetry, ClusterConfig, ClusterReport};
+use mrm_tiering::cluster::{
+    run_cluster, run_cluster_observed, run_cluster_with_telemetry, ClusterConfig, ClusterReport,
+};
 use mrm_tiering::placement::PlacementPolicy;
 use serde::Value;
 
@@ -31,20 +37,27 @@ fn config(policy: PlacementPolicy, accelerators: u32, arrivals: f64, secs: u64) 
 }
 
 /// Fans a grid of cluster configurations across the worker pool; the
-/// reports (and, when `collect` is set, each point's telemetry snapshots)
-/// come back in grid order regardless of thread count.
+/// reports (and, when `collect` is set, each point's telemetry snapshots;
+/// when `observe` is set, its obs bundle) come back in grid order
+/// regardless of thread count.
 fn run_grid(
     grid: Grid<ClusterConfig>,
     threads: usize,
     collect: bool,
-) -> Vec<(ClusterReport, Vec<Snapshot>)> {
+    observe: bool,
+) -> Vec<(ClusterReport, Vec<Snapshot>, Option<Box<Obs>>)> {
     Sweep::new(grid, move |cfg: &ClusterConfig, _rng| {
-        if collect {
+        if observe {
+            let mut tele = SimTelemetry::new(SNAPSHOT_EVERY);
+            let mut obs = Box::new(Obs::new(cfg.seed));
+            let (report, _audit) = run_cluster_observed(cfg.clone(), &mut tele, &mut obs);
+            (report, tele.into_snapshots(), Some(obs))
+        } else if collect {
             let mut tele = SimTelemetry::new(SNAPSHOT_EVERY);
             let report = run_cluster_with_telemetry(cfg.clone(), &mut tele);
-            (report, tele.into_snapshots())
+            (report, tele.into_snapshots(), None)
         } else {
-            (run_cluster(cfg.clone()), Vec::new())
+            (run_cluster(cfg.clone()), Vec::new(), None)
         }
     })
     .run_parallel(threads)
@@ -110,8 +123,10 @@ fn main() {
     let accelerators = 4;
     let secs = 120;
     let threads = threads_from_args();
-    let telemetry_path = telemetry_path_from_args();
-    let collect = telemetry_path.is_some();
+    let out = OutputPaths::from_args();
+    let observe = out.trace.is_some() || out.profile.is_some();
+    // The main grid always snapshots telemetry: the SLO shape checks below
+    // read it, and the sink is observe-only (byte-identical report).
     let mut jsonl = String::new();
 
     heading(&format!(
@@ -119,9 +134,9 @@ fn main() {
          ({threads} sweep threads)"
     ));
     let grid = Grid::axis(PlacementPolicy::all()).map(|p| config(p, accelerators, 16.0, secs));
-    let results = run_grid(grid, threads, collect);
-    let reports: Vec<ClusterReport> = results.iter().map(|(r, _)| r.clone()).collect();
-    for (i, (r, snaps)) in results.iter().enumerate() {
+    let results = run_grid(grid, threads, true, observe);
+    let reports: Vec<ClusterReport> = results.iter().map(|(r, _, _)| r.clone()).collect();
+    for (i, (r, snaps, _)) in results.iter().enumerate() {
         append_series(&mut jsonl, "e9", i, &r.policy, snaps);
     }
     print_reports(&reports);
@@ -182,6 +197,23 @@ fn main() {
         ok &= check(*pass, desc);
     }
 
+    // SLO watchdog over every main-grid point's snapshot stream: the
+    // occupancy and required-drop invariants must hold at every sampled
+    // instant, not just in the end-of-run aggregates above.
+    let slos = slo::serving_default(60_000.0, 50.0);
+    for (i, (r, snaps, _)) in results.iter().enumerate() {
+        let rep = slo::evaluate(&slos, snaps);
+        ok &= check(
+            rep.passed && rep.checks > 0,
+            &format!(
+                "SLOs hold for point {i} ({}): {} checks, {} breaches",
+                r.policy,
+                rep.checks,
+                rep.breaches.len()
+            ),
+        );
+    }
+
     heading("E9b — load sweep: tokens/s under increasing arrival rates");
     let rates = [4.0, 8.0, 16.0, 32.0];
     let n_policies = PlacementPolicy::all().len();
@@ -191,11 +223,11 @@ fn main() {
     let load_grid = Grid::axis(rates)
         .cross(PlacementPolicy::all())
         .map(|(rate, p)| config(p, 2, rate, 60));
-    let load_results = run_grid(load_grid, threads, collect);
-    for (i, (r, snaps)) in load_results.iter().enumerate() {
+    let load_results = run_grid(load_grid, threads, out.telemetry.is_some(), false);
+    for (i, (r, snaps, _)) in load_results.iter().enumerate() {
         append_series(&mut jsonl, "e9b", i, &r.policy, snaps);
     }
-    let load_reports: Vec<ClusterReport> = load_results.into_iter().map(|(r, _)| r).collect();
+    let load_reports: Vec<ClusterReport> = load_results.into_iter().map(|(r, _, _)| r).collect();
     let mut t = Table::new(&["req/s", "HBM-only", "HBM+LPDDR", "HBM+MRM", "HBM+MRM(DCM)"]);
     for (rate, row) in rates.iter().zip(load_reports.chunks(n_policies)) {
         let cells: Vec<String> = row
@@ -232,8 +264,29 @@ fn main() {
     print!("{}", t.render());
 
     save_json("e9_cluster", &reports);
-    if let Some(path) = telemetry_path {
-        save_telemetry(&path, &jsonl);
+    if let Some(path) = &out.telemetry {
+        save_telemetry(path, &jsonl);
+    }
+    if observe {
+        let labelled: Vec<(String, &Obs)> = results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (r, _, o))| o.as_deref().map(|o| (format!("e9:{i}:{}", r.policy), o)))
+            .collect();
+        if let Some(path) = &out.trace {
+            let points: Vec<(String, &mrm_obs::CausalTracer)> = labelled
+                .iter()
+                .map(|(l, o)| (l.clone(), &o.tracer))
+                .collect();
+            save_artifact("trace", path, &perfetto::chrome_trace(&points));
+        }
+        if let Some(path) = &out.profile {
+            let points: Vec<(String, &mrm_obs::Profiler)> = labelled
+                .iter()
+                .map(|(l, o)| (l.clone(), &o.profiler))
+                .collect();
+            save_artifact("profile", path, &profile::artifact(&points, 10));
+        }
     }
     if !ok {
         std::process::exit(1);

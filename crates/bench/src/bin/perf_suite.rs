@@ -18,6 +18,11 @@
 //!   like.
 //! * `e9_cluster` — one E9-shaped cluster simulation (the end-to-end hot
 //!   path: event queue, admission, tiering, maintenance).
+//! * `profiled_cluster` — the same simulation with the full `mrm-obs`
+//!   bundle attached: reports the top-5 hot handlers (self/total wall
+//!   time + attributed sim time), writes the flamegraph-ready folded
+//!   stacks to `BENCH_cluster_folded.txt`, and measures the observation
+//!   overhead against the bare run.
 //! * `e12_sessions` — session sampling + per-class coverage accounting.
 //! * `sweep_fanout` — a small parallel sweep, exercising the deterministic
 //!   fan-out machinery.
@@ -35,11 +40,13 @@ use mrm_controller::dcm::RetentionClass;
 use mrm_core::pool::{Allocation, LegacyVecPool, Pool};
 use mrm_device::device::MemoryDevice;
 use mrm_device::tech::presets;
+use mrm_obs::{Obs, ProfileReport};
 use mrm_sim::rng::SimRng;
 use mrm_sim::time::SimDuration;
 use mrm_sim::units::{GIB, KIB, MIB};
 use mrm_sweep::{Grid, Sweep};
-use mrm_tiering::cluster::{run_cluster, ClusterConfig};
+use mrm_telemetry::NullSink;
+use mrm_tiering::cluster::{run_cluster, run_cluster_observed, ClusterConfig};
 use mrm_tiering::placement::PlacementPolicy;
 use mrm_workload::model::{ModelConfig, Quantization};
 use mrm_workload::sessions::SessionSampler;
@@ -312,6 +319,49 @@ fn bench_e9_cluster(quick: bool) -> ClusterScenario {
 }
 
 #[derive(Serialize)]
+struct ProfiledClusterScenario {
+    timing: Timing,
+    tokens: u64,
+    /// Observed-run wall time over the bare run's (the cost of the full
+    /// obs bundle on the hot path; hooks are `None`-checks when detached).
+    overhead_vs_bare: f64,
+    /// Top-5 hot handlers by self wall time, with sim-time attribution.
+    profile: ProfileReport,
+}
+
+fn bench_profiled_cluster(quick: bool, bare_median_ns: u64) -> ProfiledClusterScenario {
+    let (secs, reps) = if quick { (30, 3) } else { (120, 5) };
+    let cfg = e9_config(secs, 16.0);
+    let (timing, (tokens, obs)) = time_median(reps, 1, || {
+        let mut sink = NullSink;
+        let mut obs = Box::new(Obs::new(cfg.seed));
+        let (report, _audit) = run_cluster_observed(cfg.clone(), &mut sink, &mut obs);
+        (report.tokens, obs)
+    });
+    let overhead = timing.median_ns as f64 / bare_median_ns.max(1) as f64;
+    note(&format!(
+        "profiled_cluster: {secs} s simulated fully observed — {:.1} ms ({overhead:.2}x bare)",
+        ms(timing.median_ns)
+    ));
+    println!("\ntop-5 hot handlers (last rep):");
+    print!("{}", obs.profiler.table(5));
+    let folded = obs.profiler.folded();
+    match std::fs::write("BENCH_cluster_folded.txt", &folded) {
+        Ok(()) => note(&format!(
+            "[saved BENCH_cluster_folded.txt: {} stacks]",
+            folded.lines().count()
+        )),
+        Err(e) => mrm_bench::warn(&format!("cannot write BENCH_cluster_folded.txt: {e}")),
+    }
+    ProfiledClusterScenario {
+        timing,
+        tokens,
+        overhead_vs_bare: overhead,
+        profile: obs.profiler.report(5),
+    }
+}
+
+#[derive(Serialize)]
 struct SessionsScenario {
     timing: Timing,
     sessions: usize,
@@ -419,6 +469,7 @@ struct ClusterBench {
 #[derive(Serialize)]
 struct ClusterScenarios {
     e9_cluster: ClusterScenario,
+    profiled_cluster: ProfiledClusterScenario,
     e12_sessions: SessionsScenario,
     sweep_fanout: SweepScenario,
 }
@@ -458,11 +509,14 @@ fn main() {
     };
     write_record("BENCH_pool.json", &pool);
 
+    let e9_cluster = bench_e9_cluster(quick);
+    let profiled_cluster = bench_profiled_cluster(quick, e9_cluster.timing.median_ns);
     let cluster = ClusterBench {
         suite: "cluster",
         quick,
         scenarios: ClusterScenarios {
-            e9_cluster: bench_e9_cluster(quick),
+            e9_cluster,
+            profiled_cluster,
             e12_sessions: bench_e12_sessions(quick),
             sweep_fanout: bench_sweep_fanout(quick),
         },

@@ -16,7 +16,7 @@
 //! ```
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use serde::Serialize;
 
@@ -67,15 +67,77 @@ pub fn check(pass: bool, desc: &str) -> bool {
     pass
 }
 
+/// Observation artifact paths shared by every experiment binary:
+/// `--telemetry <path>` (JSONL time series), `--trace <path>` (Perfetto /
+/// Chrome trace-event JSON), and `--profile <path>` (profiler report +
+/// folded stacks). Each flag also accepts the `=` form.
+///
+/// All three parse through the same helper, so every binary accepts the
+/// same flags with the same error behavior: an unwritable path is a
+/// consistent fatal error *before* the run starts, never a warning after
+/// minutes of simulation.
+#[derive(Debug, Default)]
+pub struct OutputPaths {
+    /// Destination for the JSONL telemetry export, when requested.
+    pub telemetry: Option<PathBuf>,
+    /// Destination for the causal trace JSON, when requested.
+    pub trace: Option<PathBuf>,
+    /// Destination for the profiler report, when requested.
+    pub profile: Option<PathBuf>,
+}
+
+impl OutputPaths {
+    /// Parses and preflights all three flags from `argv`.
+    pub fn from_args() -> Self {
+        OutputPaths {
+            telemetry: output_path_from_args("--telemetry"),
+            trace: output_path_from_args("--trace"),
+            profile: output_path_from_args("--profile"),
+        }
+    }
+
+    /// True when any observation artifact was requested.
+    pub fn any(&self) -> bool {
+        self.telemetry.is_some() || self.trace.is_some() || self.profile.is_some()
+    }
+}
+
+/// Parses `<flag> <path>` (or `<flag>=<path>`) from `argv` and preflights
+/// writability: parent directories are created and the file itself must be
+/// creatable. On failure, prints one consistently-shaped error and exits
+/// with status 2.
+pub fn output_path_from_args(flag: &str) -> Option<PathBuf> {
+    let path = PathBuf::from(mrm_sweep::flag_value_from_args(flag)?);
+    if let Err(e) = preflight_writable(&path) {
+        eprintln!("error: {flag} path {} is not writable: {e}", path.display());
+        std::process::exit(2);
+    }
+    Some(path)
+}
+
+/// The writability probe behind [`output_path_from_args`]: create parents,
+/// then create (or truncate) the file. The run overwrites it with real
+/// content later, so an interrupted run leaves an empty artifact rather
+/// than a stale one.
+fn preflight_writable(path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, "")
+}
+
 /// Parses `--telemetry <path>` (or `--telemetry=<path>`) from `argv`:
 /// where the experiment binaries write their JSONL time-series export.
 pub fn telemetry_path_from_args() -> Option<PathBuf> {
-    mrm_sweep::flag_value_from_args("--telemetry").map(PathBuf::from)
+    output_path_from_args("--telemetry")
 }
 
-/// Writes a telemetry export, reporting failure as a warning (telemetry is
-/// never load-bearing for an experiment run).
-pub fn save_telemetry(path: &std::path::Path, contents: &str) {
+/// Writes an observation artifact (telemetry/trace/profile), labelled in
+/// the progress line; failure is a warning, not an abort — the printed
+/// tables remain the primary artifact of a run.
+pub fn save_artifact(what: &str, path: &Path, contents: &str) {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             if let Err(e) = fs::create_dir_all(parent) {
@@ -86,11 +148,31 @@ pub fn save_telemetry(path: &std::path::Path, contents: &str) {
     }
     match fs::write(path, contents) {
         Ok(()) => note(&format!(
-            "[telemetry: {} lines -> {}]",
+            "[{what}: {} lines -> {}]",
             contents.lines().count(),
             path.display()
         )),
         Err(e) => warn(&format!("cannot write {}: {e}", path.display())),
+    }
+}
+
+/// Writes a telemetry export; see [`save_artifact`].
+pub fn save_telemetry(path: &std::path::Path, contents: &str) {
+    save_artifact("telemetry", path, contents);
+}
+
+/// Warns when `--trace`/`--profile` were passed to a binary that has no
+/// causal tracer. The flags parse (and preflight) everywhere for
+/// consistency, but only the cluster experiments emit traces and
+/// profiles; anywhere else the artifact would be an empty file.
+pub fn warn_unsupported_obs(bin: &str, out: &OutputPaths) {
+    if out.trace.is_some() {
+        warn(&format!(
+            "{bin} does not emit a causal trace; --trace ignored"
+        ));
+    }
+    if out.profile.is_some() {
+        warn(&format!("{bin} does not emit a profile; --profile ignored"));
     }
 }
 
@@ -131,5 +213,17 @@ mod tests {
     fn experiments_dir_is_under_target() {
         let d = experiments_dir();
         assert!(d.ends_with("experiments"));
+    }
+
+    #[test]
+    fn preflight_creates_parents_and_rejects_unwritable() {
+        let base = std::env::temp_dir().join(format!("mrm_bench_preflight_{}", std::process::id()));
+        let nested = base.join("a/b/out.jsonl");
+        assert!(preflight_writable(&nested).is_ok());
+        assert!(nested.exists(), "preflight should create the file");
+        // A path whose "parent" is a regular file cannot be written.
+        let through_file = nested.join("child.json");
+        assert!(preflight_writable(&through_file).is_err());
+        let _ = fs::remove_dir_all(&base);
     }
 }

@@ -20,6 +20,12 @@
 //!   `mrm-control` and its two designated shims. Data-path crates that grow
 //!   their own inline retention decisions bypass the registry and the audit
 //!   log — exactly the drift the control plane exists to prevent.
+//! * **D8** pins PR 7's observability contract: the causal tracer and
+//!   profiler are observe-only, so their hook call sites must stay out of
+//!   functions that draw randomness (`SimRng`/`FaultRng` draws) or mutate
+//!   the event queue. A hook sitting on one of those paths is one refactor
+//!   away from reordering a draw or a schedule — which would make the run's
+//!   result depend on whether observation is attached.
 //! * **U1** guards the unit conventions of `sim/src/units.rs`: the paper's
 //!   cost-model conclusions die silently when `*_ns` meets `*_bytes` in an
 //!   addition, or a capacity is re-derived as `1 << 30` with the wrong shift.
@@ -47,6 +53,10 @@ pub enum RuleId {
     /// `ExpiryAction`) named in sim-path library code outside `mrm-control`
     /// and its designated decision shims.
     D7,
+    /// Obs hook (`tracer`/`profiler`) touched inside a function that draws
+    /// randomness or mutates the event queue: observation must be confined
+    /// to dedicated `obs_*` helpers off the RNG/scheduling paths.
+    D8,
     /// Unit-suffix mixing or raw capacity literal outside `sim/src/units.rs`.
     U1,
     /// Malformed `mrm-lint` annotation (cannot be allowed or baselined).
@@ -62,7 +72,7 @@ pub enum Severity {
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -70,6 +80,7 @@ impl RuleId {
         RuleId::D5,
         RuleId::D6,
         RuleId::D7,
+        RuleId::D8,
         RuleId::U1,
     ];
 
@@ -82,6 +93,7 @@ impl RuleId {
             RuleId::D5 => "D5",
             RuleId::D6 => "D6",
             RuleId::D7 => "D7",
+            RuleId::D8 => "D8",
             RuleId::U1 => "U1",
             RuleId::Meta => "LINT",
         }
@@ -96,6 +108,7 @@ impl RuleId {
             "D5" => Some(RuleId::D5),
             "D6" => Some(RuleId::D6),
             "D7" => Some(RuleId::D7),
+            "D8" => Some(RuleId::D8),
             "U1" => Some(RuleId::U1),
             _ => None,
         }
@@ -125,6 +138,10 @@ impl RuleId {
             RuleId::D7 => {
                 "placement/expiry decisions (retention_for, ExpiryTracker, ExpiryAction) \
                  are confined to mrm-control and its designated shims"
+            }
+            RuleId::D8 => {
+                "obs hooks (tracer/profiler) may not be touched inside functions that \
+                 draw randomness or mutate the event queue; confine them to obs_* helpers"
             }
             RuleId::U1 => {
                 "no arithmetic mixing *_ns/*_bytes/*_pj identifiers; \
@@ -262,6 +279,7 @@ pub fn lint_source(source: &str, ctx: &FileCtx) -> FileReport {
     scan_d5(&code, &in_test, ctx, &mut raw);
     scan_d6(&code, ctx, &mut raw);
     scan_d7(&code, ctx, &mut raw);
+    scan_d8(&code, &in_test, ctx, &mut raw);
     scan_u1(&code, ctx, &mut raw);
 
     let mut violations: Vec<Violation> = raw
@@ -668,6 +686,104 @@ fn scan_d7(code: &[&Token], ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
+/// Identifiers that draw from a `SimRng`/`FaultRng` stream. A function
+/// whose body names one of these is on the randomness path.
+const D8_DRAW_TOKENS: [&str; 11] = [
+    "next_u64",
+    "next_u32",
+    "next_f64",
+    "gen_bool",
+    "gen_range",
+    "gen_range_u64",
+    "gen_index",
+    "shuffle",
+    "sample_request",
+    "next_interarrival",
+    "inject_read",
+];
+
+/// Identifiers that mutate the event queue. A function whose body names
+/// one of these is on the scheduling path.
+const D8_QUEUE_TOKENS: [&str; 3] = ["schedule", "schedule_after", "pop"];
+
+/// The obs hook surface: any direct touch of the tracer or profiler.
+const D8_HOOK_TOKENS: [&str; 2] = ["tracer", "profiler"];
+
+/// D8: obs hook call sites are confined off the RNG/event-queue paths.
+/// Within sim-path library code, any function whose body both (a) draws
+/// randomness or mutates the event queue and (b) names `tracer` or
+/// `profiler` directly is a violation — handlers must observe through
+/// named `obs_*` helper calls instead, so the determinism-sensitive code
+/// cannot interleave observation with draws or scheduling.
+fn scan_d8(code: &[&Token], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if !ctx.sim_path || !ctx.library {
+        return;
+    }
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("fn") || in_test.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        let name = code
+            .get(i + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        // Find the body's opening brace; a `;` first means a bodyless
+        // trait-method declaration.
+        let mut j = i + 1;
+        let mut open = None;
+        while j < code.len() {
+            if code[j].is_punct("{") {
+                open = Some(j);
+                break;
+            }
+            if code[j].is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let close = matching(code, open, "{", "}").unwrap_or(code.len());
+        let body = &code[open..close.min(code.len())];
+        let perturbs = body.iter().find(|t| {
+            t.kind == TokenKind::Ident
+                && (D8_DRAW_TOKENS.contains(&t.text.as_str())
+                    || D8_QUEUE_TOKENS.contains(&t.text.as_str()))
+        });
+        if let Some(perturb) = perturbs {
+            let verb = if D8_DRAW_TOKENS.contains(&perturb.text.as_str()) {
+                "draws randomness"
+            } else {
+                "mutates the event queue"
+            };
+            for t in body {
+                if t.kind == TokenKind::Ident && D8_HOOK_TOKENS.contains(&t.text.as_str()) {
+                    push(
+                        out,
+                        RuleId::D8,
+                        ctx,
+                        t.line,
+                        format!(
+                            "obs hook `{}` touched inside `fn {}`, which {} via `{}`: \
+                             observation is observe-only — move the hook into a \
+                             dedicated obs_* helper off this path",
+                            t.text, name, verb, perturb.text
+                        ),
+                    );
+                }
+            }
+        }
+        // Resume after the body: nested fns are rare and a second pass
+        // over them would only duplicate diagnostics.
+        i = close.min(code.len()) + 1;
+    }
+}
+
 /// Unit-suffix class of an identifier, per the `sim/src/units.rs` conventions.
 fn unit_class(ident: &str) -> Option<&'static str> {
     if ident.ends_with("_ns") || ident.ends_with("_us") || ident.ends_with("_ms") {
@@ -946,6 +1062,47 @@ mod tests {
         let r = lint_source(
             "use mrm::tiering::refresh::ExpiryTracker;",
             &FileCtx::classify("tests/fault_invariants.rs"),
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn d8_confines_obs_hooks_off_rng_and_queue_paths() {
+        // Hook inside an RNG-drawing function: violation.
+        let r = lint_source(
+            "fn h(&mut self) { let x = self.rng.gen_bool(0.5); \
+             if let Some(o) = self.obs.as_mut() { o.tracer.instant(); } }",
+            &ctx_sim(),
+        );
+        assert_eq!(rules_of(&r), vec![RuleId::D8]);
+        // Hook inside a queue-mutating function: violation.
+        let r = lint_source(
+            "fn h(&mut self) { self.queue.schedule(t, ev); o.profiler.enter(\"x\"); }",
+            &ctx_sim(),
+        );
+        assert_eq!(rules_of(&r), vec![RuleId::D8]);
+        // Observing through a named obs_* helper is the sanctioned pattern.
+        let r = lint_source(
+            "fn h(&mut self) { self.queue.schedule(t, ev); self.obs_admit(now, acc); }",
+            &ctx_sim(),
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // A helper that only observes may name the tracer freely.
+        let r = lint_source(
+            "fn obs_admit(&mut self) { if let Some(o) = self.obs.as_mut() { o.tracer.begin(); } }",
+            &ctx_sim(),
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // Test regions are out of scope (assertions, not hot paths).
+        let r = lint_source(
+            "#[cfg(test)]\nmod tests {\n fn t() { q.pop(); obs.tracer.total(); }\n}\n",
+            &ctx_sim(),
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // Non-sim-path crates are out of D8's scope.
+        let r = lint_source(
+            "fn h() { q.pop(); o.tracer.finish(t); }",
+            &FileCtx::classify("crates/bench/src/lib.rs"),
         );
         assert!(r.violations.is_empty());
     }

@@ -25,7 +25,7 @@ fn fixture_ctx(name: &str) -> FileCtx {
         FileCtx::classify("crates/telemetry/src/fixture.rs")
     } else if name.starts_with("d6_") {
         FileCtx::classify("crates/faults/src/fixture.rs")
-    } else if name.starts_with("d7_") {
+    } else if name.starts_with("d7_") || name.starts_with("d8_") {
         FileCtx::classify("crates/tiering/src/fixture.rs")
     } else {
         FileCtx::classify("crates/sim/src/fixture.rs")

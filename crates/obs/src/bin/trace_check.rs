@@ -1,0 +1,50 @@
+//! `trace_check` — dependency-free Perfetto JSON shape checker for CI.
+//!
+//! Usage: `trace_check <trace.json> [--require-drop-links]`
+//!
+//! Validates the structural contract of an exported Chrome trace (see
+//! [`mrm_obs::check`]) and prints the event tally. With
+//! `--require-drop-links`, additionally fails unless every drop event
+//! flagged `required` carries a `cause` link to its audited recovery —
+//! the trace-level form of the REQUIRED-DURABLE oracle.
+
+use mrm_obs::check::validate_chrome_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_links = args.iter().any(|a| a == "--require-drop-links");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace_check <trace.json> [--require-drop-links]");
+        std::process::exit(2);
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate_chrome_trace(&json) {
+        Ok(stats) => {
+            println!(
+                "trace_check: {path}: {} events ({} slices, {} async pairs, {} flows, \
+                 {} metadata); {}/{} required drops carry a cause link",
+                stats.events,
+                stats.slices,
+                stats.async_pairs,
+                stats.flows,
+                stats.metadata,
+                stats.required_drops_with_cause,
+                stats.required_drops,
+            );
+            if require_links && stats.required_drops_with_cause != stats.required_drops {
+                eprintln!("trace_check: FAIL: required drop without a causal recovery link");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("trace_check: FAIL: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Dependency-free structural validation of exported Chrome traces.
+//!
+//! CI's `obs-smoke` job byte-compares trace JSON across thread counts;
+//! this module is the complementary *shape* check: the file must parse,
+//! be a `{"traceEvents":[...]}` document, every event must carry the
+//! fields its phase requires, async `b`/`e` pairs must balance, and
+//! every flow start must meet a flow finish. [`validate_chrome_trace`]
+//! returns the tally on success so callers can assert content-level
+//! expectations (e.g. "every required drop carries a cause link").
+
+use serde::Value;
+
+/// Event tally from a validated trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: u64,
+    /// `"X"` complete slices (instants have `dur` 0).
+    pub slices: u64,
+    /// Async `b`/`e` pairs.
+    pub async_pairs: u64,
+    /// Flow `s`→`f` arrows.
+    pub flows: u64,
+    /// `"M"` metadata events.
+    pub metadata: u64,
+    /// Drop events flagged `required` in args.
+    pub required_drops: u64,
+    /// Required drop events whose args carry a `cause` span.
+    pub required_drops_with_cause: u64,
+}
+
+fn is_num(v: &Value) -> bool {
+    matches!(v, Value::U64(_) | Value::I64(_) | Value::F64(_))
+}
+
+/// Validates Chrome trace-event JSON produced by [`crate::perfetto`].
+/// Returns the event tally, or a message naming the first violation.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Value::Array(events) = doc.field("traceEvents") else {
+        return Err("top level must be an object with a traceEvents array".to_string());
+    };
+
+    let mut stats = TraceStats::default();
+    // (cat, id) balance for async pairs; (cat, id) for flows.
+    let mut async_open: Vec<(String, String)> = Vec::new();
+    let mut flow_open: Vec<String> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let at = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let Value::Object(_) = ev else {
+            return Err(at("event must be an object"));
+        };
+        let ph = ev
+            .field("ph")
+            .as_str()
+            .map_err(|_| at("missing ph"))?
+            .to_string();
+        ev.field("name").as_str().map_err(|_| at("missing name"))?;
+        if !is_num(ev.field("pid")) || !is_num(ev.field("tid")) {
+            return Err(at("missing numeric pid/tid"));
+        }
+        if ph != "M" && !is_num(ev.field("ts")) {
+            return Err(at("missing numeric ts"));
+        }
+        stats.events += 1;
+        match ph.as_str() {
+            "X" => {
+                if !is_num(ev.field("dur")) {
+                    return Err(at("X event missing dur"));
+                }
+                stats.slices += 1;
+                let name = ev.field("name").as_str().unwrap_or("");
+                let args = ev.field("args");
+                if name == "drop" && *args.field("required") == Value::U64(1) {
+                    stats.required_drops += 1;
+                    if is_num(args.field("cause")) {
+                        stats.required_drops_with_cause += 1;
+                    }
+                }
+            }
+            "b" | "e" => {
+                let cat = ev
+                    .field("cat")
+                    .as_str()
+                    .map_err(|_| at("async event missing cat"))?
+                    .to_string();
+                let id = ev
+                    .field("id")
+                    .as_str()
+                    .map_err(|_| at("async event missing string id"))?
+                    .to_string();
+                if ph == "b" {
+                    async_open.push((cat, id));
+                } else {
+                    let Some(p) = async_open.iter().rposition(|(c, d)| *c == cat && *d == id)
+                    else {
+                        return Err(at("async e without matching b"));
+                    };
+                    async_open.swap_remove(p);
+                    stats.async_pairs += 1;
+                }
+            }
+            "s" | "f" => {
+                let id = match ev.field("id") {
+                    Value::U64(n) => n.to_string(),
+                    Value::Str(s) => s.clone(),
+                    _ => return Err(at("flow event missing id")),
+                };
+                if ph == "s" {
+                    flow_open.push(id);
+                } else {
+                    let Some(p) = flow_open.iter().rposition(|d| *d == id) else {
+                        return Err(at("flow f without matching s"));
+                    };
+                    flow_open.swap_remove(p);
+                    stats.flows += 1;
+                }
+            }
+            "M" => stats.metadata += 1,
+            other => return Err(at(&format!("unsupported phase {other:?}"))),
+        }
+    }
+    if !async_open.is_empty() {
+        return Err(format!("{} async b events never closed", async_open.len()));
+    }
+    if !flow_open.is_empty() {
+        return Err(format!("{} flow s events never finished", flow_open.len()));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal::{CausalTracer, Detail, SpanKind, TraceId};
+    use crate::perfetto;
+    use mrm_sim::time::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn validates_exporter_output() {
+        let mut tr = CausalTracer::new(TraceId::derive(9));
+        tr.async_begin(t(0), SpanKind::Session, 0, 1);
+        let rec = tr.instant(t(5), SpanKind::Recovery, 0, 2, Detail::default());
+        let drop = tr.instant(
+            t(5),
+            SpanKind::Drop,
+            0,
+            2,
+            Detail {
+                required: true,
+                ..Detail::default()
+            },
+        );
+        tr.link(rec, drop);
+        tr.async_end(t(9), SpanKind::Session, 1, Detail::default());
+        let json = perfetto::single("p", &tr);
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.async_pairs, 1);
+        assert_eq!(stats.flows, 1);
+        assert_eq!(stats.required_drops, 1);
+        assert_eq!(stats.required_drops_with_cause, 1);
+        assert!(stats.slices >= 2);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        let unbalanced = "{\"traceEvents\":[{\"ph\":\"b\",\"cat\":\"c\",\"id\":\"1\",\
+                          \"name\":\"n\",\"pid\":0,\"tid\":0,\"ts\":0}]}";
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("never closed"));
+    }
+}

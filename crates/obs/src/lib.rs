@@ -1,0 +1,63 @@
+//! # `mrm-obs` — causal tracing, profiling, and SLO watchdog
+//!
+//! The paper's managed-retention argument is a *per-decision* accounting
+//! argument: which object was placed where, why it was refreshed or
+//! dropped, and what that cost end-to-end. This crate supplies the three
+//! observation surfaces that make a run explain itself:
+//!
+//! * [`causal`] — a deterministic [`TraceId`]/[`SpanId`] scheme (derived
+//!   from the run seed plus dense sequence numbers, no entropy) threaded
+//!   through the session lifecycle. Spans correlate `mrm-telemetry`
+//!   events with `mrm-control` audit records by carrying the audit
+//!   sequence number the control plane returned for the decision.
+//! * [`perfetto`] — a Chrome trace-event / Perfetto-compatible JSON
+//!   exporter, so any run renders as a sim-time timeline with causal
+//!   flow arrows from recovery decisions to the drops they authorize.
+//! * [`profile`] — a sim-time + wall-clock profiler attributing
+//!   self/total time per event handler, with a flamegraph-ready
+//!   folded-stacks export and a top-N hot-handler table.
+//! * [`slo`] — declarative SLO specs (TTFT p99, required-drop
+//!   violations, escalation rate, tier-occupancy ceilings) evaluated
+//!   over telemetry snapshots, emitting typed breach records and a
+//!   pass/fail report the experiment bins use as shape checks.
+//!
+//! **Determinism contract.** Everything here is observe-only: hooks never
+//! draw from `SimRng`/`FaultRng` and never touch the event queue (lint
+//! rule D8 pins hook call sites out of those functions), so a simulated
+//! report is byte-identical with obs attached or detached, at any
+//! `--threads`. Trace content is pure sim-time and therefore also
+//! byte-identical across thread counts; only the profiler's wall-clock
+//! column is machine-dependent, which is why CI diffs traces, never
+//! profiles.
+
+pub mod causal;
+pub mod check;
+pub mod perfetto;
+pub mod profile;
+pub mod slo;
+
+pub use causal::{CausalTracer, Detail, SpanId, SpanKind, SpanRec, TraceId};
+pub use check::{validate_chrome_trace, TraceStats};
+pub use profile::{HotHandler, ProfileReport, Profiler};
+pub use slo::{SloBreach, SloKind, SloReport, SloSpec};
+
+/// The bundle a simulator attaches: one tracer plus one profiler, both
+/// observe-only. Constructed per run from the run's seed so every span
+/// id is reproducible.
+pub struct Obs {
+    /// Causal span recorder for the session/decision lifecycle.
+    pub tracer: CausalTracer,
+    /// Per-handler sim/wall time attribution.
+    pub profiler: Profiler,
+}
+
+impl Obs {
+    /// Builds an observer for a run with the given seed. The tracer's
+    /// ring holds [`CausalTracer::DEFAULT_CAPACITY`] closed spans.
+    pub fn new(seed: u64) -> Self {
+        Obs {
+            tracer: CausalTracer::new(TraceId::derive(seed)),
+            profiler: Profiler::new(),
+        }
+    }
+}

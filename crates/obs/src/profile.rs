@@ -1,0 +1,282 @@
+//! Sim-time + wall-clock profiler over event-handler execution.
+//!
+//! [`Profiler::enter`]/[`Profiler::exit`] bracket a handler's execution;
+//! frames nest, so each handler accumulates *total* wall time (itself
+//! plus callees) and *self* wall time (total minus callees). Because
+//! the simulator executes handlers at an instant of sim time, sim-time
+//! cost is attributed explicitly: [`Profiler::sim_cost`] charges a
+//! handler with the simulated interval it scheduled (a decode
+//! iteration's duration, a maintenance period's scrub time).
+//!
+//! Exports: [`Profiler::folded`] emits `inferno`/`flamegraph.pl`-ready
+//! folded stacks (`mrm;dispatch;decode_iter 1234` lines, self wall-ns
+//! values), and [`Profiler::report`] the top-N hot-handler table
+//! embedded in perf_suite output.
+//!
+//! Wall-clock readings make this the one deliberately nondeterministic
+//! surface in the workspace: `mrm-obs` is *not* a sim-path crate (lint
+//! D1 does not apply), and CI never byte-compares profile output —
+//! only traces, which are pure sim time.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use mrm_sim::time::SimDuration;
+use serde::Serialize;
+
+struct Frame {
+    name: &'static str,
+    started: Instant,
+    child_wall_ns: u64,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Stat {
+    calls: u64,
+    wall_self_ns: u64,
+    wall_total_ns: u64,
+    sim_ns: u64,
+}
+
+/// One row of the hot-handler table.
+#[derive(Clone, Debug, Serialize)]
+pub struct HotHandler {
+    /// Handler label (the `enter` name).
+    pub name: String,
+    /// Times entered.
+    pub calls: u64,
+    /// Wall nanoseconds excluding callees.
+    pub wall_self_ns: u64,
+    /// Wall nanoseconds including callees.
+    pub wall_total_ns: u64,
+    /// Simulated nanoseconds attributed via [`Profiler::sim_cost`].
+    pub sim_ns: u64,
+}
+
+/// Top-N summary, serializable into perf_suite's BENCH records.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProfileReport {
+    /// Distinct handler labels seen.
+    pub handlers: u64,
+    /// Total wall nanoseconds across root frames.
+    pub wall_total_ns: u64,
+    /// Hottest handlers by self wall time, descending.
+    pub top: Vec<HotHandler>,
+}
+
+/// Frame-stack profiler; see the module docs. All methods are
+/// observe-only and never touch sim state.
+#[derive(Default)]
+pub struct Profiler {
+    stack: Vec<Frame>,
+    stats: BTreeMap<&'static str, Stat>,
+    /// Folded stack key (`;`-joined) → cumulative self wall ns.
+    folded: BTreeMap<String, u64>,
+    root_wall_ns: u64,
+}
+
+impl Profiler {
+    /// New, empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a frame. Every `enter` must be matched by an `exit`.
+    pub fn enter(&mut self, name: &'static str) {
+        self.stack.push(Frame {
+            name,
+            started: Instant::now(),
+            child_wall_ns: 0,
+        });
+    }
+
+    /// Closes the innermost frame, attributing elapsed wall time.
+    pub fn exit(&mut self) {
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let elapsed = u64::try_from(frame.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let self_ns = elapsed.saturating_sub(frame.child_wall_ns);
+        let stat = self.stats.entry(frame.name).or_default();
+        stat.calls += 1;
+        stat.wall_total_ns += elapsed;
+        stat.wall_self_ns += self_ns;
+        let mut key = String::from("mrm");
+        for f in &self.stack {
+            key.push(';');
+            key.push_str(f.name);
+        }
+        key.push(';');
+        key.push_str(frame.name);
+        *self.folded.entry(key).or_insert(0) += self_ns;
+        match self.stack.last_mut() {
+            Some(parent) => parent.child_wall_ns += elapsed,
+            None => self.root_wall_ns += elapsed,
+        }
+    }
+
+    /// Charges `name` with a simulated interval (e.g. the decode
+    /// iteration latency the handler scheduled).
+    pub fn sim_cost(&mut self, name: &'static str, d: SimDuration) {
+        self.stats.entry(name).or_default().sim_ns += d.as_nanos();
+    }
+
+    /// Flamegraph-ready folded stacks, one `stack self_ns` line each,
+    /// sorted by stack key.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (key, ns) in &self.folded {
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Top-`n` handlers by self wall time (ties broken by name so the
+    /// table is stable).
+    pub fn report(&self, n: usize) -> ProfileReport {
+        let mut top: Vec<HotHandler> = self
+            .stats
+            .iter()
+            .map(|(name, s)| HotHandler {
+                name: (*name).to_string(),
+                calls: s.calls,
+                wall_self_ns: s.wall_self_ns,
+                wall_total_ns: s.wall_total_ns,
+                sim_ns: s.sim_ns,
+            })
+            .collect();
+        top.sort_by(|a, b| {
+            b.wall_self_ns
+                .cmp(&a.wall_self_ns)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        top.truncate(n);
+        ProfileReport {
+            handlers: self.stats.len() as u64,
+            wall_total_ns: self.root_wall_ns,
+            top,
+        }
+    }
+
+    /// Renders `report(n)` as an aligned text table for bin output.
+    pub fn table(&self, n: usize) -> String {
+        let rep = self.report(n);
+        let mut out =
+            String::from("handler                     calls     self ms    total ms      sim s\n");
+        for h in &rep.top {
+            out.push_str(&format!(
+                "{:<24} {:>9} {:>11.3} {:>11.3} {:>10.1}\n",
+                h.name,
+                h.calls,
+                h.wall_self_ns as f64 / 1e6,
+                h.wall_total_ns as f64 / 1e6,
+                h.sim_ns as f64 / 1e9,
+            ));
+        }
+        out
+    }
+}
+
+/// Renders the `--profile` artifact for a set of labelled grid points:
+/// one JSON line per point carrying its top-`n` report, followed by a
+/// `# folded` section with each point's flamegraph-ready stacks prefixed
+/// by `label;`. Wall-clock values are machine-dependent by design — CI
+/// byte-compares traces, never this file.
+pub fn artifact(points: &[(String, &Profiler)], n: usize) -> String {
+    let mut out = String::new();
+    for (label, p) in points {
+        // Hand-rolled envelope: the vendored serde derive does not handle
+        // borrowed fields, and the label needs JSON string escaping.
+        let label_json =
+            serde_json::to_string(&serde_json::Value::Str(label.clone())).unwrap_or_default();
+        let report_json = serde_json::to_string(&p.report(n)).unwrap_or_default();
+        out.push_str(&format!(
+            "{{\"point\":{label_json},\"report\":{report_json}}}\n"
+        ));
+    }
+    out.push_str("# folded\n");
+    for (label, p) in points {
+        for line in p.folded().lines() {
+            out.push_str(label);
+            out.push(';');
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_has_one_json_line_per_point_and_folded_section() {
+        let mut p = Profiler::new();
+        p.enter("dispatch");
+        p.exit();
+        let points = vec![("pt0".to_string(), &p)];
+        let points: Vec<(String, &Profiler)> = points;
+        let text = artifact(&points, 5);
+        let mut lines = text.lines();
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("{\"point\":\"pt0\","), "{first}");
+        assert!(text.contains("# folded\n"));
+        assert!(text.contains("pt0;mrm;dispatch "));
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let mut p = Profiler::new();
+        p.enter("dispatch");
+        p.enter("decode");
+        p.exit();
+        p.exit();
+        let rep = p.report(10);
+        let get = |n: &str| rep.top.iter().find(|h| h.name == n).unwrap().clone();
+        let dispatch = get("dispatch");
+        let decode = get("decode");
+        assert_eq!(dispatch.calls, 1);
+        assert!(dispatch.wall_total_ns >= decode.wall_total_ns);
+        assert!(dispatch.wall_self_ns <= dispatch.wall_total_ns);
+        assert_eq!(rep.handlers, 2);
+        assert!(rep.wall_total_ns >= dispatch.wall_total_ns);
+    }
+
+    #[test]
+    fn folded_stacks_nest_by_semicolon() {
+        let mut p = Profiler::new();
+        p.enter("a");
+        p.enter("b");
+        p.exit();
+        p.exit();
+        let folded = p.folded();
+        assert!(folded.contains("mrm;a "));
+        assert!(folded.contains("mrm;a;b "));
+        for line in folded.lines() {
+            let (_, v) = line.rsplit_once(' ').unwrap();
+            v.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn sim_cost_accumulates() {
+        let mut p = Profiler::new();
+        p.enter("decode");
+        p.exit();
+        p.sim_cost("decode", SimDuration::from_millis(3));
+        p.sim_cost("decode", SimDuration::from_millis(2));
+        let rep = p.report(1);
+        assert_eq!(rep.top[0].sim_ns, 5_000_000);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_ignored() {
+        let mut p = Profiler::new();
+        p.exit();
+        assert_eq!(p.report(5).handlers, 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Property suite for [`mrm_obs::CausalTracer`].
+//!
+//! Drives arbitrary interleavings of slice opens/closes, instants, and
+//! async begin/end pairs — including out-of-order closes, double closes,
+//! unmatched async ends, and ring evictions at tiny capacities — against
+//! an unbounded oracle that records the parent every span *should* have
+//! captured at begin time. The tracer may forget old spans (that is the
+//! ring bound's job) but must never misattribute a retained one.
+
+use proptest::prelude::*;
+
+use mrm_obs::causal::{CausalTracer, Detail, SpanId, SpanKind, TraceId};
+use mrm_sim::time::SimTime;
+
+/// One scripted tracer operation. Track/subject selectors are small so
+/// sequences collide on the same track often enough to exercise nesting.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Open a slice on a track.
+    Begin(u8),
+    /// Record an instant on a track.
+    Instant(u8),
+    /// Close the `sel % ids`-th span ever assigned (often already closed,
+    /// sometimes an instant or async id — all must be ignored safely).
+    End(u8),
+    /// Open an async session span for a subject.
+    AsyncBegin(u8),
+    /// Close the newest open async session span for a subject (may be
+    /// unmatched).
+    AsyncEnd(u8),
+}
+
+/// Decodes a generated `(selector, operand)` pair (the vendored proptest
+/// has no `prop_oneof`, so ops are generated as raw tuples).
+fn decode(sel: u8, operand: u8) -> Op {
+    match sel {
+        0 => Op::Begin(operand % 4),
+        1 => Op::Instant(operand % 4),
+        2 => Op::End(operand),
+        3 => Op::AsyncBegin(operand % 3),
+        _ => Op::AsyncEnd(operand % 3),
+    }
+}
+
+/// Unbounded reference model: what every id's parent was at begin time,
+/// plus the open-slice stacks per track.
+#[derive(Default)]
+struct Oracle {
+    /// `parents[id]` = expected parent, `None` for track-top or async.
+    parents: Vec<Option<SpanId>>,
+    /// `is_slice[id]` = id was opened by `Begin` (closable).
+    is_slice: Vec<bool>,
+    /// Per-track stacks of open slice ids, innermost last.
+    stacks: Vec<(u8, Vec<SpanId>)>,
+    /// Open async spans as (subject, id), in open order.
+    async_open: Vec<(u8, SpanId)>,
+    /// Spans that have reached the closed ring.
+    closed: u64,
+}
+
+impl Oracle {
+    fn stack(&mut self, track: u8) -> &mut Vec<SpanId> {
+        if let Some(i) = self.stacks.iter().position(|(t, _)| *t == track) {
+            &mut self.stacks[i].1
+        } else {
+            self.stacks.push((track, Vec::new()));
+            &mut self.stacks.last_mut().unwrap().1
+        }
+    }
+
+    fn top(&self, track: u8) -> Option<SpanId> {
+        self.stacks
+            .iter()
+            .find(|(t, _)| *t == track)
+            .and_then(|(_, s)| s.last().copied())
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_open_close_sequences_keep_attribution(
+        raw in proptest::collection::vec((0u8..5, any::<u8>()), 1..200),
+        capacity in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&(s, o)| decode(s, o)).collect();
+        let mut tr = CausalTracer::with_capacity(TraceId::derive(seed), capacity);
+        let mut oracle = Oracle::default();
+        for (step, op) in ops.iter().enumerate() {
+            let now = SimTime::from_nanos(step as u64);
+            match *op {
+                Op::Begin(track) => {
+                    let expected_parent = oracle.top(track);
+                    let id = tr.begin(now, SpanKind::DecodeIter, u32::from(track), 0);
+                    prop_assert_eq!(id.0, oracle.parents.len() as u64, "ids must be dense");
+                    oracle.parents.push(expected_parent);
+                    oracle.is_slice.push(true);
+                    oracle.stack(track).push(id);
+                }
+                Op::Instant(track) => {
+                    let expected_parent = oracle.top(track);
+                    let id = tr.instant(
+                        now,
+                        SpanKind::Drop,
+                        u32::from(track),
+                        0,
+                        Detail::default(),
+                    );
+                    prop_assert_eq!(id.0, oracle.parents.len() as u64, "ids must be dense");
+                    oracle.parents.push(expected_parent);
+                    oracle.is_slice.push(false);
+                    oracle.closed += 1;
+                }
+                Op::End(sel) => {
+                    if oracle.parents.is_empty() {
+                        continue;
+                    }
+                    let id = SpanId(u64::from(sel) % oracle.parents.len() as u64);
+                    tr.end(now, id);
+                    // Only currently-open slices actually close; ends on
+                    // instants, async ids, or already-closed ids are no-ops.
+                    for (_, stack) in &mut oracle.stacks {
+                        if let Some(i) = stack.iter().position(|s| *s == id) {
+                            stack.remove(i);
+                            oracle.closed += 1;
+                        }
+                    }
+                }
+                Op::AsyncBegin(subject) => {
+                    let id = tr.async_begin(now, SpanKind::Session, 0, u64::from(subject));
+                    prop_assert_eq!(id.0, oracle.parents.len() as u64, "ids must be dense");
+                    oracle.parents.push(None);
+                    oracle.is_slice.push(false);
+                    oracle.async_open.push((subject, id));
+                }
+                Op::AsyncEnd(subject) => {
+                    tr.async_end(now, SpanKind::Session, u64::from(subject), Detail::default());
+                    if let Some(i) = oracle
+                        .async_open
+                        .iter()
+                        .rposition(|(s, _)| *s == subject)
+                    {
+                        oracle.async_open.remove(i);
+                        oracle.closed += 1;
+                    }
+                }
+            }
+        }
+
+        // Every retained closed span carries the parent captured at its
+        // begin time — eviction and close order cannot rewrite history.
+        for rec in tr.spans() {
+            prop_assert_eq!(
+                rec.parent,
+                oracle.parents[rec.id.0 as usize],
+                "span {} misattributed",
+                rec.id.0
+            );
+            if let Some(p) = rec.parent {
+                prop_assert!(p < rec.id, "parent must predate child");
+            }
+        }
+
+        // The ring is exact: closed spans beyond capacity are counted as
+        // dropped, never silently lost or double-retained.
+        prop_assert_eq!(tr.total(), oracle.parents.len() as u64);
+        prop_assert_eq!(
+            tr.spans().count() as u64 + tr.dropped(),
+            oracle.closed,
+            "retained + dropped must equal closed"
+        );
+        prop_assert_eq!(tr.dropped(), oracle.closed.saturating_sub(capacity as u64));
+        let open_slices: usize = oracle.stacks.iter().map(|(_, s)| s.len()).sum();
+        prop_assert_eq!(tr.open_count(), open_slices + oracle.async_open.len());
+
+        // Teardown closes everything and attribution still holds.
+        tr.finish(SimTime::from_nanos(ops.len() as u64));
+        prop_assert_eq!(tr.open_count(), 0);
+        let finished = oracle.closed + open_slices as u64 + oracle.async_open.len() as u64;
+        prop_assert_eq!(tr.spans().count() as u64 + tr.dropped(), finished);
+        for rec in tr.spans() {
+            prop_assert_eq!(rec.parent, oracle.parents[rec.id.0 as usize]);
+        }
+    }
+
+    #[test]
+    fn same_ops_same_seed_are_identical(
+        raw in proptest::collection::vec((0u8..5, any::<u8>()), 1..100),
+        seed in any::<u64>(),
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|&(s, o)| decode(s, o)).collect();
+        // The tracer itself holds no entropy: two replays of one script
+        // agree span-for-span (ids, parents, kinds, times).
+        let run = |ops: &[Op]| {
+            let mut tr = CausalTracer::with_capacity(TraceId::derive(seed), 64);
+            for (step, op) in ops.iter().enumerate() {
+                let now = SimTime::from_nanos(step as u64);
+                match *op {
+                    Op::Begin(t) => {
+                        tr.begin(now, SpanKind::DecodeIter, u32::from(t), 0);
+                    }
+                    Op::Instant(t) => {
+                        tr.instant(now, SpanKind::Drop, u32::from(t), 0, Detail::default());
+                    }
+                    Op::End(sel) => {
+                        if tr.total() > 0 {
+                            tr.end(now, SpanId(u64::from(sel) % tr.total()));
+                        }
+                    }
+                    Op::AsyncBegin(s) => {
+                        tr.async_begin(now, SpanKind::Session, 0, u64::from(s));
+                    }
+                    Op::AsyncEnd(s) => {
+                        tr.async_end(now, SpanKind::Session, u64::from(s), Detail::default());
+                    }
+                }
+            }
+            tr.finish(SimTime::from_nanos(ops.len() as u64));
+            tr
+        };
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(a.total(), b.total());
+        prop_assert_eq!(a.dropped(), b.dropped());
+        for (ra, rb) in a.spans().zip(b.spans()) {
+            prop_assert_eq!(ra.id, rb.id);
+            prop_assert_eq!(ra.parent, rb.parent);
+            prop_assert_eq!(ra.kind, rb.kind);
+            prop_assert_eq!(ra.begin, rb.begin);
+            prop_assert_eq!(ra.end, rb.end);
+        }
+    }
+}

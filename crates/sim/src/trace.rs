@@ -14,8 +14,37 @@ use crate::time::SimTime;
 pub trait TraceRecord {
     /// The CSV header (comma-separated field names, no trailing newline).
     fn csv_header() -> &'static str;
-    /// The CSV row for this record (no trailing newline).
+    /// The CSV row for this record (no trailing newline). Implementations
+    /// should pass free-form string fields through [`csv_field`] so commas
+    /// and quotes survive the round trip.
     fn csv_row(&self) -> String;
+}
+
+/// Renders one CSV field per RFC 4180: a value containing a comma, double
+/// quote, or line break is wrapped in double quotes with internal quotes
+/// doubled; anything else passes through unchanged.
+///
+/// ```
+/// use mrm_sim::trace::csv_field;
+/// assert_eq!(csv_field("plain"), "plain");
+/// assert_eq!(csv_field("a,b"), "\"a,b\"");
+/// assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+/// ```
+pub fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(value.len() + 2);
+        out.push('"');
+        for c in value.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        value.to_string()
+    }
 }
 
 /// A bounded ring buffer of timestamped trace records.
@@ -140,6 +169,29 @@ mod tests {
     }
 
     #[test]
+    fn ring_buffer_survives_many_wraps_in_order() {
+        // Wrap the ring dozens of times: the retained window must always
+        // be the newest `capacity` records, in push order, and the total
+        // must keep counting past the bound.
+        let mut t = Trace::with_capacity(4);
+        for i in 0..103u64 {
+            t.push(
+                SimTime::from_nanos(i),
+                Rec {
+                    kind: "rd",
+                    bytes: i,
+                },
+            );
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_pushed(), 103);
+        let window: Vec<u64> = t.iter().map(|(_, r)| r.bytes).collect();
+        assert_eq!(window, vec![99, 100, 101, 102]);
+        let times: Vec<u64> = t.iter().map(|(at, _)| at.as_nanos()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
     fn csv_output() {
         let mut t = Trace::with_capacity(4);
         t.push(
@@ -154,6 +206,38 @@ mod tests {
         assert_eq!(lines.next(), Some("time_ns,kind,bytes"));
         assert_eq!(lines.next(), Some("100,wr,4096"));
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn csv_field_round_trips_through_a_parser() {
+        // A minimal RFC 4180 reader: the inverse of `csv_field`.
+        fn parse(line: &str) -> Vec<String> {
+            let mut fields = Vec::new();
+            let mut cur = String::new();
+            let mut quoted = false;
+            let mut chars = line.chars().peekable();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' if quoted => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            cur.push('"');
+                        } else {
+                            quoted = false;
+                        }
+                    }
+                    '"' => quoted = true,
+                    ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+                    _ => cur.push(c),
+                }
+            }
+            fields.push(cur);
+            fields
+        }
+        let inputs = ["plain", "a,b", "say \"hi\"", "both, \"kinds\"", ""];
+        let line: Vec<String> = inputs.iter().map(|s| csv_field(s)).collect();
+        let parsed = parse(&line.join(","));
+        assert_eq!(parsed, inputs.to_vec());
     }
 
     #[test]

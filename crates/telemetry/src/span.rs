@@ -1,7 +1,7 @@
 //! Sim-time spans and point events.
 
 use mrm_sim::time::SimTime;
-use mrm_sim::trace::TraceRecord;
+use mrm_sim::trace::{csv_field, TraceRecord};
 
 use crate::sink::TelemetrySink;
 
@@ -21,7 +21,9 @@ impl TraceRecord for TelemetryEvent {
         "event,value"
     }
     fn csv_row(&self) -> String {
-        format!("{},{}", self.name, self.value)
+        // Event names are free-form: quote per RFC 4180 so a name with a
+        // comma cannot shift every column after it.
+        format!("{},{}", csv_field(self.name), self.value)
     }
 }
 
@@ -89,6 +91,38 @@ mod tests {
     }
 
     #[test]
+    fn nested_spans_account_independently() {
+        // Spans are plain values: an inner span opened while an outer one
+        // is in flight closes on its own clock, and each emits exactly one
+        // duration event timestamped at its own start.
+        let mut t = SimTelemetry::new(SimDuration::from_secs(1));
+        let outer = SimSpan::begin("sweep", SimTime::from_nanos(100));
+        let inner = SimSpan::begin("refresh", SimTime::from_nanos(150));
+        inner.end(SimTime::from_nanos(250), &mut t);
+        outer.end(SimTime::from_nanos(600), &mut t);
+        let recs: Vec<(u64, &'static str, f64)> = t
+            .events()
+            .iter()
+            .map(|(at, ev)| (at.as_nanos(), ev.name, ev.value))
+            .collect();
+        // Events land in close order but carry begin timestamps, so the
+        // nesting is reconstructible: inner ⊂ [outer.start, outer.end].
+        assert_eq!(recs, vec![(150, "refresh", 100.0), (100, "sweep", 500.0)]);
+    }
+
+    #[test]
+    fn zero_width_and_reopened_spans_are_distinct_events() {
+        let mut t = SimTelemetry::new(SimDuration::from_secs(1));
+        let s = SimSpan::begin("plan", SimTime::from_nanos(10));
+        s.end(SimTime::from_nanos(10), &mut t); // zero-duration is legal
+        let again = SimSpan::begin("plan", SimTime::from_nanos(20));
+        again.end(SimTime::from_nanos(35), &mut t);
+        assert_eq!(t.events().total_pushed(), 2);
+        let vals: Vec<f64> = t.events().iter().map(|(_, ev)| ev.value).collect();
+        assert_eq!(vals, vec![0.0, 15.0]);
+    }
+
+    #[test]
     fn event_csv_shape() {
         assert_eq!(TelemetryEvent::csv_header(), "event,value");
         let ev = TelemetryEvent {
@@ -96,5 +130,16 @@ mod tests {
             value: 4096.0,
         };
         assert_eq!(ev.csv_row(), "migrate,4096");
+    }
+
+    #[test]
+    fn event_csv_quotes_names_with_commas() {
+        let ev = TelemetryEvent {
+            name: "migrate,escalated",
+            value: 1.0,
+        };
+        // The comma is inside one quoted field: the row still has exactly
+        // two CSV columns.
+        assert_eq!(ev.csv_row(), "\"migrate,escalated\",1");
     }
 }

@@ -26,6 +26,7 @@ use mrm_device::device::FRESH_RBER;
 use mrm_device::energy::EnergyBreakdown;
 use mrm_device::tech::presets;
 use mrm_faults::{FaultConfig, FaultModel};
+use mrm_obs::{Detail, Obs, SpanId, SpanKind};
 use mrm_sim::event::EventQueue;
 use mrm_sim::rng::SimRng;
 use mrm_sim::stats::LogHistogram;
@@ -478,6 +479,13 @@ pub struct ClusterSim<'t> {
     // Observability only: never consulted by the simulation logic and
     // never draws from `rng`, so an attached sink cannot change a report.
     telemetry: Option<&'t mut dyn TelemetrySink>,
+    // Causal tracer + profiler bundle (mrm-obs), same contract as the
+    // telemetry sink. Hook sites live only in the `obs_*` helpers below —
+    // lint rule D8 keeps them out of every function that draws RNG or
+    // mutates the event queue.
+    obs: Option<&'t mut Obs>,
+    // Open decode-iteration span per accelerator (obs bookkeeping only).
+    iter_spans: Vec<Option<SpanId>>,
 }
 
 impl<'t> ClusterSim<'t> {
@@ -674,6 +682,8 @@ impl<'t> ClusterSim<'t> {
             fault_recomputes: 0,
             fault_escalations: 0,
             telemetry: None,
+            obs: None,
+            iter_spans: Vec::new(),
         }
     }
 
@@ -713,6 +723,260 @@ impl<'t> ClusterSim<'t> {
         self.telemetry = Some(sink);
     }
 
+    /// Attaches a causal tracer + profiler for the lifetime of the run.
+    /// Same contract as [`ClusterSim::attach_telemetry`]: the bundle is
+    /// observe-only (hooks never draw RNG and never touch the event
+    /// queue — lint rule D8), so the report is byte-identical with or
+    /// without it.
+    pub fn attach_obs(&mut self, obs: &'t mut Obs) {
+        self.iter_spans = vec![None; self.accels.len()];
+        self.obs = Some(obs);
+    }
+
+    // ------------------------------------------------------------------
+    // Obs hooks. Every tracer/profiler touch in this simulator lives in
+    // one of these helpers; the event handlers call them by name. That
+    // confinement is what lint rule D8 enforces: a function that draws
+    // `SimRng`/`FaultRng` or mutates the event queue may not itself
+    // mention the tracer or profiler, so observation can never sit on a
+    // path that could perturb the simulation. Each hook is a `None`
+    // check when detached.
+    // ------------------------------------------------------------------
+
+    fn obs_prof_enter(&mut self, name: &'static str) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.profiler.enter(name);
+        }
+    }
+
+    fn obs_prof_exit(&mut self) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.profiler.exit();
+        }
+    }
+
+    /// Charges a handler with simulated time (e.g. an iteration's latency).
+    fn obs_prof_sim(&mut self, name: &'static str, d: SimDuration) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.profiler.sim_cost(name, d);
+        }
+    }
+
+    /// A request admitted into the batch: opens its session lifecycle
+    /// span and records the admission decision with its audit seq.
+    fn obs_admit(
+        &mut self,
+        at: SimTime,
+        acc: usize,
+        req: u64,
+        seq: u64,
+        bytes: u64,
+        followup: bool,
+    ) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.tracer.async_begin(at, SpanKind::Session, acc as u32, req);
+            o.tracer.instant(
+                at,
+                SpanKind::Admission,
+                acc as u32,
+                req,
+                Detail {
+                    bytes,
+                    reason: if followup { "followup-admit" } else { "admit" },
+                    audit_seq: Some(seq),
+                    required: true, // the KV tail is Required state
+                },
+            );
+        }
+    }
+
+    /// First token of a session (TTFT landmark).
+    fn obs_first_token(&mut self, at: SimTime, acc: usize, req: u64) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.tracer
+                .instant(at, SpanKind::FirstToken, acc as u32, req, Detail::default());
+        }
+    }
+
+    /// A session completed: closes its span, retires the tail (`detail`
+    /// carries the retire audit seq), and opens the parked prefix's
+    /// lifecycle span under `park_seq`.
+    fn obs_complete(
+        &mut self,
+        at: SimTime,
+        acc: usize,
+        req: u64,
+        ctx: u64,
+        detail: Detail,
+        park_seq: u64,
+    ) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.tracer
+                .instant(at, SpanKind::Completion, acc as u32, req, detail);
+            o.tracer
+                .async_end(at, SpanKind::Session, req, Detail::default());
+            o.tracer.async_begin(at, SpanKind::Prefix, acc as u32, ctx);
+            o.tracer.instant(
+                at,
+                SpanKind::Placement,
+                acc as u32,
+                ctx,
+                Detail {
+                    bytes: detail.bytes,
+                    reason: "park-followup",
+                    audit_seq: Some(park_seq),
+                    required: false,
+                },
+            );
+        }
+    }
+
+    /// A parked prefix re-opened (stall putback re-parks consumed state).
+    fn obs_prefix_begin(&mut self, at: SimTime, acc: usize, ctx: u64, bytes: u64, seq: u64) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.tracer.async_begin(at, SpanKind::Prefix, acc as u32, ctx);
+            o.tracer.instant(
+                at,
+                SpanKind::Placement,
+                acc as u32,
+                ctx,
+                Detail {
+                    bytes,
+                    reason: "stall-putback",
+                    audit_seq: Some(seq),
+                    required: false,
+                },
+            );
+        }
+    }
+
+    /// End of a parked prefix's life: retire (consumed), drop, or evict.
+    /// `detail.required` marks the drops that demanded recovery before
+    /// reclaim (the recompute-then-drop path) — the spans the trace
+    /// checker insists must carry a causal link from an audited recovery.
+    /// Returns the terminal span so callers can record that link.
+    fn obs_prefix_end(
+        &mut self,
+        at: SimTime,
+        acc: usize,
+        ctx: u64,
+        kind: SpanKind,
+        detail: Detail,
+    ) -> Option<SpanId> {
+        self.obs.as_deref_mut().map(|o| {
+            let span = o.tracer.instant(at, kind, acc as u32, ctx, detail);
+            o.tracer
+                .async_end(at, SpanKind::Prefix, ctx, Detail::default());
+            span
+        })
+    }
+
+    /// An uncorrectable read that survived the retry rung. Returns the
+    /// fault span for linking to whatever recovery it forces.
+    fn obs_fault(&mut self, at: SimTime, acc: usize, subject: u64, bytes: u64) -> Option<SpanId> {
+        self.obs.as_deref_mut().map(|o| {
+            o.tracer.instant(
+                at,
+                SpanKind::Fault,
+                acc as u32,
+                subject,
+                Detail {
+                    bytes,
+                    reason: "uncorrectable-read",
+                    audit_seq: None,
+                    required: false,
+                },
+            )
+        })
+    }
+
+    /// An audited recovery (refetch/recompute). Linked from the fault
+    /// that forced it; returns the recovery span for linking to a drop.
+    fn obs_recovery(
+        &mut self,
+        at: SimTime,
+        acc: usize,
+        subject: u64,
+        detail: Detail,
+        fault: Option<SpanId>,
+    ) -> Option<SpanId> {
+        self.obs.as_deref_mut().map(|o| {
+            let span = o
+                .tracer
+                .instant(at, SpanKind::Recovery, acc as u32, subject, detail);
+            if let Some(f) = fault {
+                o.tracer.link(f, span);
+            }
+            span
+        })
+    }
+
+    /// A maintenance work item (refresh/migrate/escalate) or redeploy.
+    fn obs_work(
+        &mut self,
+        at: SimTime,
+        acc: usize,
+        kind: SpanKind,
+        subject: u64,
+        detail: Detail,
+        cause: Option<SpanId>,
+    ) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            let span = o.tracer.instant(at, kind, acc as u32, subject, detail);
+            if let Some(c) = cause {
+                o.tracer.link(c, span);
+            }
+        }
+    }
+
+    /// Records a causal edge between two already-recorded spans.
+    fn obs_link(&mut self, cause: Option<SpanId>, effect: Option<SpanId>) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            if let (Some(c), Some(e)) = (cause, effect) {
+                o.tracer.link(c, e);
+            }
+        }
+    }
+
+    /// Opens the decode-iteration slice on an accelerator's track.
+    fn obs_iter_begin(&mut self, at: SimTime, acc: usize, batch: u64) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            let span = o.tracer.begin(at, SpanKind::DecodeIter, acc as u32, batch);
+            self.iter_spans[acc] = Some(span);
+        }
+    }
+
+    /// Closes the accelerator's open decode-iteration slice.
+    fn obs_iter_end(&mut self, at: SimTime, acc: usize) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            if let Some(span) = self.iter_spans[acc].take() {
+                o.tracer.end(at, span);
+            }
+        }
+    }
+
+    /// Opens/closes the maintenance-sweep slice.
+    fn obs_sweep_begin(&mut self, at: SimTime, acc: usize) -> Option<SpanId> {
+        self.obs
+            .as_deref_mut()
+            .map(|o| o.tracer.begin(at, SpanKind::Maintenance, acc as u32, 0))
+    }
+
+    fn obs_sweep_end(&mut self, at: SimTime, span: Option<SpanId>) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            if let Some(s) = span {
+                o.tracer.end(at, s);
+            }
+        }
+    }
+
+    /// Run teardown: closes every span still open at the end time.
+    fn obs_finish(&mut self, at: SimTime) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.tracer.finish(at);
+        }
+    }
+
     /// Runs to completion and produces the report.
     pub fn run(self) -> ClusterReport {
         self.run_with_audit().0
@@ -727,20 +991,42 @@ impl<'t> ClusterSim<'t> {
                 break;
             }
             self.pump_telemetry(t.min(end));
-            let Some((now, ev)) = self.queue.pop() else {
+            self.obs_prof_enter("event_queue");
+            let popped = self.queue.pop();
+            self.obs_prof_exit();
+            let Some((now, ev)) = popped else {
                 break; // unreachable: peek_time just returned Some
             };
-            match ev {
-                Ev::Arrival => self.on_arrival(now),
-                Ev::IterDone { acc } => self.on_iter_done(now, acc),
-                Ev::Followup { acc, ctx } => self.on_followup(now, acc, ctx),
-                Ev::CacheExpire { acc, ctx } => self.on_cache_expire(now, acc, ctx),
-                Ev::Maintenance { acc } => self.on_maintenance(now, acc),
-                Ev::WeightRedeploy { acc } => self.on_weight_redeploy(now, acc),
-                Ev::TraceArrival { prompt, output } => self.enqueue_request(now, prompt, output),
-            }
+            self.dispatch(now, ev);
         }
         self.finish(end)
+    }
+
+    /// Stable profiler label per event kind.
+    fn handler_label(ev: &Ev) -> &'static str {
+        match ev {
+            Ev::Arrival | Ev::TraceArrival { .. } => "arrival",
+            Ev::IterDone { .. } => "iter_done",
+            Ev::Followup { .. } => "followup",
+            Ev::CacheExpire { .. } => "cache_expire",
+            Ev::Maintenance { .. } => "maintenance",
+            Ev::WeightRedeploy { .. } => "weight_redeploy",
+        }
+    }
+
+    /// Executes one popped event, bracketed by the profiler.
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        self.obs_prof_enter(Self::handler_label(&ev));
+        match ev {
+            Ev::Arrival => self.on_arrival(now),
+            Ev::IterDone { acc } => self.on_iter_done(now, acc),
+            Ev::Followup { acc, ctx } => self.on_followup(now, acc, ctx),
+            Ev::CacheExpire { acc, ctx } => self.on_cache_expire(now, acc, ctx),
+            Ev::Maintenance { acc } => self.on_maintenance(now, acc),
+            Ev::WeightRedeploy { acc } => self.on_weight_redeploy(now, acc),
+            Ev::TraceArrival { prompt, output } => self.enqueue_request(now, prompt, output),
+        }
+        self.obs_prof_exit();
     }
 
     /// Stamps every telemetry snapshot boundary due at or before `now`.
@@ -894,6 +1180,7 @@ impl<'t> ClusterSim<'t> {
         // all plain scalars, so its fields are read through the reference
         // and the entry leaves the queue (one `pop_front`, no clone) only
         // once its KV allocation has succeeded.
+        self.obs_prof_enter("admission");
         loop {
             let a = &mut self.accels[acc];
             if a.batch.len() >= self.cfg.max_batch as usize {
@@ -916,12 +1203,13 @@ impl<'t> ClusterSim<'t> {
             // Reused (follow-up) context: existing KV is already resident.
             // Consuming it retires the parked prefix — the state is
             // promoted into the live tail, a planned end of need.
+            let mut consumed: Option<(u64, u64)> = None; // (audit seq, bytes)
             let (base_tokens, base_allocs, base_bytes) = match reuse {
                 Some(ctx) => match a.cached.remove(&ctx) {
                     Some(c) => {
                         self.cached_total -= 1;
                         a.reconciler.observe_release(ctx);
-                        self.control.record(
+                        let seq = self.control.record(
                             now,
                             ControlClass::KvPrefix,
                             ctx,
@@ -929,12 +1217,28 @@ impl<'t> ClusterSim<'t> {
                             "followup-consumed",
                             c.kv_bytes,
                         );
+                        consumed = Some((seq, c.kv_bytes));
                         (c.tokens, c.kv_allocs, c.kv_bytes)
                     }
                     None => (0, Vec::new(), 0),
                 },
                 None => (0, Vec::new(), 0),
             };
+            if let (Some((seq, bytes)), Some(ctx)) = (consumed, reuse) {
+                let _ = self.obs_prefix_end(
+                    now,
+                    acc,
+                    ctx,
+                    SpanKind::Retire,
+                    Detail {
+                        bytes,
+                        reason: "followup-consumed",
+                        audit_seq: Some(seq),
+                        required: false,
+                    },
+                );
+            }
+            let a = &mut self.accels[acc];
             let new_tokens = u64::from(prompt_tokens) + u64::from(output_tokens);
             let need = new_tokens * kvpt;
             let lifetime = self.estimator.kv_lifetime(output_tokens);
@@ -947,6 +1251,7 @@ impl<'t> ClusterSim<'t> {
             // cache — §4's scheduler deciding "based on the state of the
             // requests that depend on that data".
             let mut evicted_here = 0u64;
+            let mut evicted_obs: Vec<(u64, u64, u64)> = Vec::new(); // (ctx, seq, bytes)
             let alloc = loop {
                 match a.kv_tier(policy).alloc(need) {
                     Ok(al) => break Some(al),
@@ -961,7 +1266,7 @@ impl<'t> ClusterSim<'t> {
                                 if let Some(c) = a.cached.remove(&v) {
                                     self.cached_total -= 1;
                                     a.reconciler.observe_release(v);
-                                    self.control.record(
+                                    let seq = self.control.record(
                                         now,
                                         ControlClass::KvPrefix,
                                         v,
@@ -969,6 +1274,9 @@ impl<'t> ClusterSim<'t> {
                                         "memory-pressure",
                                         c.kv_bytes,
                                     );
+                                    if self.obs.is_some() {
+                                        evicted_obs.push((v, seq, c.kv_bytes));
+                                    }
                                     let kvt = a.kv_tier(policy);
                                     for al in c.kv_allocs {
                                         let _ = kvt.free(al);
@@ -983,6 +1291,21 @@ impl<'t> ClusterSim<'t> {
                 }
             };
             self.evictions += evicted_here;
+            for (v, seq, bytes) in evicted_obs {
+                let _ = self.obs_prefix_end(
+                    now,
+                    acc,
+                    v,
+                    SpanKind::Evict,
+                    Detail {
+                        bytes,
+                        reason: "memory-pressure",
+                        audit_seq: Some(seq),
+                        required: false,
+                    },
+                );
+            }
+            let a = &mut self.accels[acc];
             let Some(alloc) = alloc else {
                 // Genuinely out of memory even with an empty cache: put
                 // reused state back and stall admission.
@@ -999,7 +1322,7 @@ impl<'t> ClusterSim<'t> {
                             },
                         );
                         self.cached_total += 1;
-                        self.control.record(
+                        let seq = self.control.record(
                             now,
                             ControlClass::KvPrefix,
                             ctx,
@@ -1007,6 +1330,7 @@ impl<'t> ClusterSim<'t> {
                             "stall-putback",
                             base_bytes,
                         );
+                        self.obs_prefix_begin(now, acc, ctx, base_bytes, seq);
                     }
                 }
                 break;
@@ -1017,7 +1341,7 @@ impl<'t> ClusterSim<'t> {
             // completion; give it an audit identity.
             let req = self.next_req;
             self.next_req += 1;
-            self.control.record(
+            let admit_seq = self.control.record(
                 now,
                 ControlClass::KvTail,
                 req,
@@ -1029,6 +1353,8 @@ impl<'t> ClusterSim<'t> {
                 },
                 need,
             );
+            self.obs_admit(now, acc, req, admit_seq, need, reuse.is_some());
+            let a = &mut self.accels[acc];
             // Prefill traffic: the new prompt's KV vectors are written.
             prefill_write_bytes += u64::from(prompt_tokens) * kvpt;
             prefill_tokens += u64::from(prompt_tokens);
@@ -1046,6 +1372,7 @@ impl<'t> ClusterSim<'t> {
             });
             self.active_total += 1;
         }
+        self.obs_prof_exit();
 
         let a = &mut self.accels[acc];
         if a.batch.is_empty() {
@@ -1084,11 +1411,25 @@ impl<'t> ClusterSim<'t> {
                 // The ladder's work item: weights are Required, so the
                 // only legal response is a refetch — recorded in the
                 // audit log before anything else happens to the shard.
+                let fault = self.obs_fault(now, acc, acc as u64, weights_bytes);
                 let item = self
                     .control
                     .plan_fault_recovery(ControlClass::Weights, acc as u64);
                 debug_assert_eq!(item.kind, WorkKind::Refetch);
+                let seq0 = self.control.audit.len() as u64;
                 self.control.record_work(now, &item, weights_bytes);
+                let _ = self.obs_recovery(
+                    now,
+                    acc,
+                    acc as u64,
+                    Detail {
+                        bytes: weights_bytes,
+                        reason: "uncorrectable-read",
+                        audit_seq: Some(seq0),
+                        required: true,
+                    },
+                    fault,
+                );
                 self.fault_refetches += 1;
                 t += self.accels[acc]
                     .weights_tier(policy)
@@ -1134,14 +1475,18 @@ impl<'t> ClusterSim<'t> {
 
         self.iterations += 1;
         self.batch_sum += batch_len;
+        self.obs_iter_begin(now, acc, batch_len);
+        self.obs_prof_sim("decode_iter", t);
         self.accels[acc].running = true;
         self.queue.schedule(now + t, Ev::IterDone { acc });
     }
 
     fn on_iter_done(&mut self, now: SimTime, acc: usize) {
         let policy = self.cfg.policy;
+        self.obs_iter_end(now, acc);
         self.accels[acc].running = false;
         let mut finished: Vec<Active> = Vec::new();
+        let mut first_tokens: Vec<u64> = Vec::new();
         {
             let a = &mut self.accels[acc];
             let mut i = 0;
@@ -1157,6 +1502,9 @@ impl<'t> ClusterSim<'t> {
                     if let Some(sink) = self.telemetry.as_deref_mut() {
                         sink.observe("ttft_ms", ttft_ms);
                     }
+                    if self.obs.is_some() {
+                        first_tokens.push(a.batch[i].req);
+                    }
                 }
                 if a.batch[i].output_remaining == 0 {
                     finished.push(a.batch.swap_remove(i));
@@ -1165,6 +1513,9 @@ impl<'t> ClusterSim<'t> {
                     i += 1;
                 }
             }
+        }
+        for req in first_tokens {
+            self.obs_first_token(now, acc, req);
         }
         for r in finished {
             self.completions += 1;
@@ -1177,7 +1528,7 @@ impl<'t> ClusterSim<'t> {
             // The request's KV tail is retired (its need ended with the
             // final token) and the context is parked as a KV prefix for
             // follow-ups — a class transition, recorded as such.
-            self.control.record(
+            let retire_seq = self.control.record(
                 now,
                 ControlClass::KvTail,
                 r.req,
@@ -1187,7 +1538,7 @@ impl<'t> ClusterSim<'t> {
             );
             let ctx = self.next_ctx;
             self.next_ctx += 1;
-            self.control.record(
+            let park_seq = self.control.record(
                 now,
                 ControlClass::KvPrefix,
                 ctx,
@@ -1217,6 +1568,19 @@ impl<'t> ClusterSim<'t> {
                 a.reconciler
                     .observe_store(ctx, deadline, needed_until, r.retention);
             }
+            self.obs_complete(
+                now,
+                acc,
+                r.req,
+                ctx,
+                Detail {
+                    bytes: r.kv_bytes,
+                    reason: "completed",
+                    audit_seq: Some(retire_seq),
+                    required: true,
+                },
+                park_seq,
+            );
             self.queue
                 .schedule(now + self.cfg.followup_window, Ev::CacheExpire { acc, ctx });
             if self.rng.gen_bool(self.cfg.followup_prob) {
@@ -1238,6 +1602,7 @@ impl<'t> ClusterSim<'t> {
         // to the recompute path — KV state is soft, so the recovery for
         // lost cache lines is "drop and recompute", never an error.
         let mut hit_survived = true;
+        let mut fault_span: Option<SpanId> = None;
         if self.fault_layer.is_some() {
             let probe = match self.accels[acc].cached.get(&ctx) {
                 Some(c) if now <= c.deadline => {
@@ -1258,6 +1623,7 @@ impl<'t> ClusterSim<'t> {
                 hit_survived = self.read_survives(probe.0, rber);
                 if !hit_survived {
                     self.fault_recomputes += 1;
+                    fault_span = self.obs_fault(now, acc, ctx, probe.0);
                     if let Some(sink) = self.telemetry.as_deref_mut() {
                         sink.event(now, "fault_recompute", probe.0 as f64);
                     }
@@ -1300,7 +1666,35 @@ impl<'t> ClusterSim<'t> {
                         "uncorrectable-read"
                     },
                 };
+                let seq0 = self.control.audit.len() as u64;
                 self.control.record_work(now, &item, bytes);
+                // The recovery decision (audit seq0) authorizes the drop
+                // (seq0 + 1): export that authorization as a flow arrow.
+                let rec = self.obs_recovery(
+                    now,
+                    acc,
+                    ctx,
+                    Detail {
+                        bytes,
+                        reason: item.reason,
+                        audit_seq: Some(seq0),
+                        required: false,
+                    },
+                    fault_span,
+                );
+                let dropped = self.obs_prefix_end(
+                    now,
+                    acc,
+                    ctx,
+                    SpanKind::Drop,
+                    Detail {
+                        bytes,
+                        reason: item.reason,
+                        audit_seq: Some(seq0 + 1),
+                        required: true,
+                    },
+                );
+                self.obs_link(rec, dropped);
                 self.free_cached(acc, ctx);
                 let a = &mut self.accels[acc];
                 a.queue.push_back(Pending {
@@ -1316,13 +1710,25 @@ impl<'t> ClusterSim<'t> {
                 // with a fresh sampled prompt. Nothing is cached, so there
                 // is no drop to account — just the recompute itself.
                 self.recomputes += 1;
-                self.control.record(
+                let seq = self.control.record(
                     now,
                     ControlClass::KvPrefix,
                     ctx,
                     AuditAction::Recompute,
                     "already-evicted",
                     0,
+                );
+                let _ = self.obs_recovery(
+                    now,
+                    acc,
+                    ctx,
+                    Detail {
+                        bytes: 0,
+                        reason: "already-evicted",
+                        audit_seq: Some(seq),
+                        required: false,
+                    },
+                    None,
                 );
                 let (_k, p, o) = self.mix.sample_request(&mut self.rng);
                 let a = &mut self.accels[acc];
@@ -1356,13 +1762,25 @@ impl<'t> ClusterSim<'t> {
 
     fn on_cache_expire(&mut self, now: SimTime, acc: usize, ctx: u64) {
         if let Some(bytes) = self.accels[acc].cached.get(&ctx).map(|c| c.kv_bytes) {
-            self.control.record(
+            let seq = self.control.record(
                 now,
                 ControlClass::KvPrefix,
                 ctx,
                 AuditAction::Drop,
                 "ttl-expired",
                 bytes,
+            );
+            let _ = self.obs_prefix_end(
+                now,
+                acc,
+                ctx,
+                SpanKind::Drop,
+                Detail {
+                    bytes,
+                    reason: "ttl-expired",
+                    audit_seq: Some(seq),
+                    required: false,
+                },
             );
             self.free_cached(acc, ctx);
         }
@@ -1382,10 +1800,13 @@ impl<'t> ClusterSim<'t> {
     fn on_maintenance(&mut self, now: SimTime, acc: usize) {
         let policy = self.cfg.policy;
         if policy.uses_mrm() && self.cfg.scrub_enabled {
+            let sweep = self.obs_sweep_begin(now, acc);
             let horizon = now + self.cfg.maintenance_period * 2;
+            self.obs_prof_enter("reconcile_plan");
             let items = self.accels[acc]
                 .reconciler
                 .plan(now, horizon, &self.control.registry);
+            self.obs_prof_exit();
             for item in items {
                 let ctx = item.id;
                 match item.kind {
@@ -1414,7 +1835,21 @@ impl<'t> ClusterSim<'t> {
                             if let Some(c) = a.cached.get_mut(&ctx) {
                                 c.deadline = rearm_deadline(now, retention);
                             }
+                            let seq0 = self.control.audit.len() as u64;
                             self.control.record_work(now, &item, bytes);
+                            self.obs_work(
+                                now,
+                                acc,
+                                SpanKind::Refresh,
+                                ctx,
+                                Detail {
+                                    bytes,
+                                    reason: item.reason,
+                                    audit_seq: Some(seq0),
+                                    required: false,
+                                },
+                                None,
+                            );
                             self.scrubs += 1;
                             self.scrub_bytes += bytes;
                             if let Some(sink) = self.telemetry.as_deref_mut() {
@@ -1422,6 +1857,7 @@ impl<'t> ClusterSim<'t> {
                             }
                         } else {
                             self.fault_escalations += 1;
+                            let fault = self.obs_fault(now, acc, ctx, bytes);
                             let long = self
                                 .control
                                 .registry
@@ -1438,13 +1874,26 @@ impl<'t> ClusterSim<'t> {
                                 c.deadline = new_deadline;
                                 c.retention = long;
                             }
-                            self.control.record(
+                            let seq = self.control.record(
                                 now,
                                 ControlClass::KvPrefix,
                                 ctx,
                                 AuditAction::Escalate,
                                 "scrub-verify-failed",
                                 bytes,
+                            );
+                            self.obs_work(
+                                now,
+                                acc,
+                                SpanKind::Migrate,
+                                ctx,
+                                Detail {
+                                    bytes,
+                                    reason: "scrub-verify-failed",
+                                    audit_seq: Some(seq),
+                                    required: false,
+                                },
+                                fault,
                             );
                             self.migrations += 1;
                             self.migration_bytes += bytes;
@@ -1466,7 +1915,21 @@ impl<'t> ClusterSim<'t> {
                             c.deadline = deadline;
                             c.retention = to;
                         }
+                        let seq0 = self.control.audit.len() as u64;
                         self.control.record_work(now, &item, bytes);
+                        self.obs_work(
+                            now,
+                            acc,
+                            SpanKind::Migrate,
+                            ctx,
+                            Detail {
+                                bytes,
+                                reason: item.reason,
+                                audit_seq: Some(seq0),
+                                required: false,
+                            },
+                            None,
+                        );
                         self.migrations += 1;
                         self.migration_bytes += bytes;
                         if let Some(sink) = self.telemetry.as_deref_mut() {
@@ -1488,13 +1951,30 @@ impl<'t> ClusterSim<'t> {
                         } else {
                             AuditAction::Drop
                         };
-                        self.control.record(
+                        let seq = self.control.record(
                             now,
                             ControlClass::KvPrefix,
                             ctx,
                             action,
                             item.reason,
                             bytes,
+                        );
+                        let span_kind = if item.kind == WorkKind::Retire {
+                            SpanKind::Retire
+                        } else {
+                            SpanKind::Drop
+                        };
+                        let _ = self.obs_prefix_end(
+                            now,
+                            acc,
+                            ctx,
+                            span_kind,
+                            Detail {
+                                bytes,
+                                reason: item.reason,
+                                audit_seq: Some(seq),
+                                required: false,
+                            },
                         );
                         self.free_cached(acc, ctx);
                         self.drops += 1;
@@ -1505,6 +1985,7 @@ impl<'t> ClusterSim<'t> {
                     WorkKind::Refetch => unreachable!("plan never emits refetch"),
                 }
             }
+            self.obs_sweep_end(now, sweep);
         }
         self.queue
             .schedule(now + self.cfg.maintenance_period, Ev::Maintenance { acc });
@@ -1537,13 +2018,26 @@ impl<'t> ClusterSim<'t> {
             "superseded",
             weights_bytes,
         );
-        self.control.record(
+        let seq = self.control.record(
             now,
             ControlClass::Weights,
             acc as u64,
             AuditAction::Store,
             "redeploy",
             weights_bytes,
+        );
+        self.obs_work(
+            now,
+            acc,
+            SpanKind::Redeploy,
+            acc as u64,
+            Detail {
+                bytes: weights_bytes,
+                reason: "superseded",
+                audit_seq: Some(seq),
+                required: false,
+            },
+            None,
         );
         let wt = self.accels[acc].weights_tier(policy);
         let _ = wt.stream_write(weights_bytes, retention);
@@ -1558,6 +2052,7 @@ impl<'t> ClusterSim<'t> {
         // Close out any snapshot boundaries between the last event and the
         // end of the simulated window.
         self.pump_telemetry(end);
+        self.obs_finish(end);
         let elapsed = end.duration_since(SimTime::ZERO);
         // Background energy for the whole window on every tier.
         for a in &mut self.accels {
@@ -1678,6 +2173,21 @@ pub fn run_cluster_with_telemetry(
     sim.run()
 }
 
+/// Fully-observed run: telemetry sink, causal tracer + profiler, and the
+/// audit log all come back alongside the report. The obs bundle obeys the
+/// same contract as the sink — observe-only, byte-identical report (see
+/// [`ClusterSim::attach_obs`] and lint rule D8).
+pub fn run_cluster_observed(
+    cfg: ClusterConfig,
+    sink: &mut dyn TelemetrySink,
+    obs: &mut Obs,
+) -> (ClusterReport, AuditLog) {
+    let mut sim = ClusterSim::new(cfg);
+    sim.attach_telemetry(sink);
+    sim.attach_obs(obs);
+    sim.run_with_audit()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1756,6 +2266,70 @@ mod tests {
         assert!(reg.gauge_value("tier_mrm_occupancy").unwrap() > 0.0);
         let lat = reg.histogram_by_name("latency_ms").expect("latency hist");
         assert_eq!(lat.count(), traced.completions);
+    }
+
+    #[test]
+    fn obs_bundle_does_not_perturb_report() {
+        // The central mrm-obs contract: attaching the tracer + profiler
+        // changes NOTHING about the simulation — report and audit log are
+        // byte-identical, even with the fault layer (and its RNG) active.
+        let mut cfg = ClusterConfig::llama70b(PlacementPolicy::HbmMrmDcm, 2, 8.0);
+        cfg.duration = SimDuration::from_secs(30);
+        cfg.faults = FaultConfig {
+            ber_scale: 40.0,
+            provision_margin: Some(1.0),
+            ..FaultConfig::mrm()
+        };
+        let (plain, plain_audit) = run_cluster_with_audit(cfg.clone());
+
+        let mut tele = mrm_telemetry::SimTelemetry::new(SimDuration::from_secs(5));
+        let mut obs = Obs::new(cfg.seed);
+        let (observed, obs_audit) = run_cluster_observed(cfg, &mut tele, &mut obs);
+
+        assert_eq!(plain.tokens, observed.tokens);
+        assert_eq!(plain.completions, observed.completions);
+        assert_eq!(plain.cache_hits, observed.cache_hits);
+        assert_eq!(plain.recomputes, observed.recomputes);
+        assert_eq!(plain.scrubs, observed.scrubs);
+        assert_eq!(plain.migrations, observed.migrations);
+        assert_eq!(plain.evictions, observed.evictions);
+        assert_eq!(plain.faults, observed.faults);
+        assert_eq!(
+            plain.energy_total_j.to_bits(),
+            observed.energy_total_j.to_bits()
+        );
+        assert_eq!(
+            plain.p99_latency_ms.map(f64::to_bits),
+            observed.p99_latency_ms.map(f64::to_bits)
+        );
+        assert_eq!(
+            plain.p99_ttft_ms.map(f64::to_bits),
+            observed.p99_ttft_ms.map(f64::to_bits)
+        );
+        // Audit logs identical entry-for-entry: obs never adds, drops, or
+        // reorders control decisions.
+        assert_eq!(plain_audit.len(), obs_audit.len());
+        for (a, b) in plain_audit.records().iter().zip(obs_audit.records().iter()) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.reason, b.reason);
+            assert_eq!(a.bytes, b.bytes);
+        }
+
+        // And the trace actually observed something.
+        assert!(obs.tracer.total() > 0, "tracer recorded no spans");
+        assert!(
+            obs.tracer.spans().any(|s| s.kind == SpanKind::Admission),
+            "no admission spans"
+        );
+        assert!(
+            obs.tracer.spans().any(|s| s.kind == SpanKind::DecodeIter),
+            "no decode-iteration slices"
+        );
+        let prof = obs.profiler.report(5);
+        assert!(
+            prof.top.iter().any(|h| h.name == "event_queue"),
+            "profiler missed the event queue"
+        );
     }
 
     #[test]
