@@ -69,7 +69,7 @@ pub fn system_row(kind: SystemKind) -> SystemRow {
         let refresh: f64 = caps.iter().map(|c| c.3).sum();
         // Bulk data (weights+KV) lives in the *last* listed tier by
         // convention here; its bandwidth/energy characterize delivery.
-        let bulk = caps.last().unwrap();
+        let bulk = caps.last().expect("every system names at least one tier");
         SystemRow {
             system: name.to_string(),
             capacity_bytes: capacity,

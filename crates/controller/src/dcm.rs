@@ -196,7 +196,7 @@ impl DcmController {
         RetentionClass::ladder()
             .iter()
             .position(|&x| x == c)
-            .unwrap()
+            .expect("RetentionClass::ladder() covers every class")
     }
 
     /// Records per-class accounting and the reconfig edge for one write.

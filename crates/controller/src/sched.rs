@@ -118,7 +118,9 @@ impl<T> DrrQueue<T> {
             }
             if self.deficits[i] > 0 {
                 self.deficits[i] -= 1;
-                let item = self.queues[i].pop_front().unwrap();
+                let item = self.queues[i]
+                    .pop_front()
+                    .expect("deficit rounds only reach non-empty queues");
                 let class = QosClass::all()[i];
                 if self.deficits[i] == 0 {
                     self.cursor = (self.cursor + 1) % 3;

@@ -282,7 +282,7 @@ impl Bch {
             }
         }
         // Trim trailing zeros so degree reflects the true locator.
-        while c.len() > 1 && *c.last().unwrap() == 0 {
+        while c.len() > 1 && c.last() == Some(&0) {
             c.pop();
         }
         c

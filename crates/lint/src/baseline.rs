@@ -127,6 +127,7 @@ mod tests {
             path: path.into(),
             line,
             message: "bare unwrap".into(),
+            related: Vec::new(),
         }
     }
 

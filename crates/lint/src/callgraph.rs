@@ -1,0 +1,440 @@
+//! Workspace call graph: name-based, conservative, over-approximate.
+//!
+//! Edges are discovered syntactically — an identifier directly followed by
+//! `(` is a call site — and resolved by name against the symbol table
+//! (class-hierarchy analysis without the hierarchy):
+//!
+//! * `recv.method(...)` resolves to **every** workspace method named
+//!   `method`, unless the name sits on the [`METHOD_STOPLIST`] of
+//!   ubiquitous std methods (`iter`, `push`, `len`, ...), which would
+//!   otherwise connect everything to everything.
+//! * `Type::method(...)` resolves via the qualified index; a `use`
+//!   rename (`use a::B as C;`) is followed back to the original name.
+//! * A bare `free_fn(...)` resolves to free functions named that,
+//!   preferring same-file definitions, then same-crate, then workspace-wide.
+//!
+//! Over-approximation is the right default for D9: a spurious edge can at
+//! worst produce a suppressible false positive, while a missed edge hides a
+//! real nondeterminism leak. The stoplist is the one concession to noise —
+//! names on it are std-library vocabulary that workspace types almost never
+//! shadow with effectful code.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{Token, TokenKind};
+use crate::symbols::{FileEntry, FnId, SymbolTable};
+
+/// Method names too generic to resolve: connecting `.iter()` to every
+/// workspace `fn iter` drowns the graph. Kept deliberately to std-library
+/// vocabulary — domain verbs like `tick`, `dispatch`, `schedule` stay
+/// resolvable.
+pub const METHOD_STOPLIST: [&str; 36] = [
+    "as_mut",
+    "as_ref",
+    "clone",
+    "cmp",
+    "collect",
+    "contains",
+    "default",
+    "drain",
+    "entry",
+    "eq",
+    "expect",
+    "extend",
+    "filter",
+    "fmt",
+    "from",
+    "get",
+    "get_mut",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "keys",
+    "len",
+    "map",
+    "max",
+    "min",
+    "new",
+    "next",
+    "push",
+    "remove",
+    "sort",
+    "to_string",
+    "unwrap",
+    "values",
+];
+
+/// Rust keywords that look like call heads when followed by `(`.
+const KEYWORDS: [&str; 10] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "as", "in", "else",
+];
+
+/// One outgoing call edge.
+#[derive(Clone, Debug)]
+pub struct CallEdge {
+    pub to: FnId,
+    /// Source line of the call site in the caller's file.
+    pub line: u32,
+    /// How the call was spelled, e.g. `q.schedule` or `Baseline::load`.
+    pub call_repr: String,
+}
+
+/// The workspace call graph: adjacency by caller `FnId`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub edges: Vec<Vec<CallEdge>>,
+}
+
+/// One syntactic call site inside a body, before resolution.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Token index of the called name within the file's code tokens.
+    pub name_idx: usize,
+    pub name: String,
+    /// `Some(recv_repr)` for `recv.name(...)` method calls.
+    pub method: bool,
+    /// Path qualifier for `A::B::name(...)` calls (last segment before the
+    /// name, with `use` renames already applied upstream).
+    pub qualifier: Option<String>,
+    pub line: u32,
+}
+
+/// Extracts syntactic call sites from `code[range]`.
+pub fn call_sites(code: &[Token], range: std::ops::Range<usize>) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in range.clone() {
+        let t = &code[i];
+        if t.kind != TokenKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let Some(next) = code.get(i + 1) else {
+            continue;
+        };
+        if !next.is_punct("(") {
+            continue;
+        }
+        // `fn name(` is a definition; `name!(` is a macro.
+        if i > 0 && code[i - 1].is_ident("fn") {
+            continue;
+        }
+        if i > 0 && code[i - 1].is_punct("!") {
+            continue;
+        }
+        let method = i > 0 && code[i - 1].is_punct(".");
+        let mut qualifier = None;
+        if !method && i >= 2 && code[i - 1].is_punct("::") && code[i - 2].kind == TokenKind::Ident {
+            qualifier = Some(code[i - 2].text.clone());
+        }
+        out.push(CallSite {
+            name_idx: i,
+            name: t.text.clone(),
+            method,
+            qualifier,
+            line: t.line,
+        });
+    }
+    out
+}
+
+impl CallGraph {
+    /// Builds the graph: resolves every call site in every library fn body
+    /// against the symbol table.
+    pub fn build(table: &SymbolTable) -> CallGraph {
+        let renames: Vec<BTreeMap<String, String>> = table.files.iter().map(renames_of).collect();
+
+        let mut edges: Vec<Vec<CallEdge>> = vec![Vec::new(); table.fns.len()];
+        for (caller, def) in table.fns.iter().enumerate() {
+            let file = &table.files[def.file];
+            let code = &file.parsed.code;
+            for site in call_sites(code, def.item.body.clone()) {
+                let targets = resolve(table, def.file, &renames[def.file], &site);
+                let repr = if site.method {
+                    format!(".{}", site.name)
+                } else if let Some(q) = &site.qualifier {
+                    format!("{q}::{}", site.name)
+                } else {
+                    site.name.clone()
+                };
+                for to in targets {
+                    // Self-loops carry no reachability information.
+                    if to == caller {
+                        continue;
+                    }
+                    edges[caller].push(CallEdge {
+                        to,
+                        line: site.line,
+                        call_repr: repr.clone(),
+                    });
+                }
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Multi-source BFS. Returns, for every reachable fn, the `(caller,
+    /// edge)` it was first discovered through — `None` for the sources
+    /// themselves — so a chain can be reconstructed by walking parents.
+    pub fn reachable_from(&self, sources: &[FnId]) -> BTreeMap<FnId, Option<(FnId, CallEdge)>> {
+        use std::collections::btree_map::Entry;
+        let mut parent: BTreeMap<FnId, Option<(FnId, CallEdge)>> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &s in sources {
+            if let Entry::Vacant(slot) = parent.entry(s) {
+                slot.insert(None);
+                queue.push_back(s);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for e in &self.edges[f] {
+                if let Entry::Vacant(slot) = parent.entry(e.to) {
+                    slot.insert(Some((f, e.clone())));
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain from some source to `target`: a list of `(FnId,
+    /// Option<edge leading to it>)` from entry to target.
+    pub fn chain_to(
+        &self,
+        parent: &BTreeMap<FnId, Option<(FnId, CallEdge)>>,
+        target: FnId,
+    ) -> Vec<(FnId, Option<CallEdge>)> {
+        let mut chain = Vec::new();
+        let mut cur = target;
+        loop {
+            match parent.get(&cur) {
+                Some(Some((from, edge))) => {
+                    chain.push((cur, Some(edge.clone())));
+                    cur = *from;
+                }
+                Some(None) => {
+                    chain.push((cur, None));
+                    break;
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// DOT export of the subgraph induced by `keep`, for DESIGN.md and
+    /// `--dump-callgraph`. Nodes are `crate::qual` labels; sim-path entry
+    /// points render as boxes.
+    pub fn to_dot(&self, table: &SymbolTable, keep: &BTreeSet<FnId>, entries: &[FnId]) -> String {
+        let mut out = String::from(
+            "digraph mrm_callgraph {\n  rankdir=LR;\n  node [fontname=\"monospace\", fontsize=10];\n",
+        );
+        let label = |id: FnId| {
+            let d = &table.fns[id];
+            format!("{}::{}", d.crate_name, d.item.qual())
+        };
+        for &id in keep {
+            let shape = if entries.contains(&id) {
+                "box"
+            } else {
+                "ellipse"
+            };
+            out.push_str(&format!(
+                "  n{id} [label=\"{}\", shape={shape}];\n",
+                label(id)
+            ));
+        }
+        for &from in keep {
+            let mut seen = BTreeSet::new();
+            for e in &self.edges[from] {
+                if keep.contains(&e.to) && seen.insert(e.to) {
+                    out.push_str(&format!("  n{from} -> n{};\n", e.to));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Per-file rename map from `use` declarations: local alias → original
+/// last-segment name, for `Alias::method(...)` qualified calls.
+pub(crate) fn renames_of(file: &FileEntry) -> BTreeMap<String, String> {
+    file.parsed
+        .uses
+        .iter()
+        .filter(|u| u.local != "*")
+        .filter_map(|u| {
+            let orig = u.path.last()?;
+            (orig != &u.local).then_some((u.local.clone(), orig.clone()))
+        })
+        .collect()
+}
+
+/// Resolves one call site to candidate callee ids.
+pub(crate) fn resolve(
+    table: &SymbolTable,
+    file_idx: usize,
+    renames: &BTreeMap<String, String>,
+    site: &CallSite,
+) -> Vec<FnId> {
+    if site.method {
+        if METHOD_STOPLIST.contains(&site.name.as_str()) {
+            return Vec::new();
+        }
+        return table.methods(&site.name).to_vec();
+    }
+    if let Some(q) = &site.qualifier {
+        let q = renames.get(q.as_str()).map_or(q.as_str(), String::as_str);
+        // `Type::method` via the qualified index; a lowercase qualifier is
+        // a module path (`units::to_ns`), where the name is a free fn.
+        let via_qual = table.qual_fns(q, &site.name);
+        if !via_qual.is_empty() {
+            return via_qual.to_vec();
+        }
+        return table.free_fns(&site.name).to_vec();
+    }
+    // Bare call: prefer same-file free fns, then same-crate, then all.
+    let all = table.free_fns(&site.name);
+    let same_file: Vec<FnId> = all
+        .iter()
+        .copied()
+        .filter(|&id| table.fns[id].file == file_idx)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let caller_crate = crate_of_file(table, file_idx);
+    let same_crate: Vec<FnId> = all
+        .iter()
+        .copied()
+        .filter(|&id| table.fns[id].crate_name == caller_crate)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    all.to_vec()
+}
+
+fn crate_of_file(table: &SymbolTable, file_idx: usize) -> String {
+    crate::symbols::crate_of(&table.files[file_idx].ctx.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::rules::FileCtx;
+    use crate::symbols::FileEntry;
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        SymbolTable::build(
+            files
+                .iter()
+                .map(|(path, src)| FileEntry {
+                    parsed: parse_file(src),
+                    ctx: FileCtx::classify(path),
+                })
+                .collect(),
+        )
+    }
+
+    fn id(t: &SymbolTable, qual: &str) -> FnId {
+        t.fns
+            .iter()
+            .position(|d| d.item.qual() == qual)
+            .unwrap_or_else(|| panic!("no fn {qual}"))
+    }
+
+    #[test]
+    fn free_call_prefers_same_file_then_crate() {
+        let t = table(&[
+            (
+                "crates/sim/src/a.rs",
+                "pub fn go() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/sim/src/b.rs", "pub fn helper() {}\n"),
+            ("crates/util/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        let g = CallGraph::build(&t);
+        let go = id(&t, "go");
+        let targets: Vec<FnId> = g.edges[go].iter().map(|e| e.to).collect();
+        // Only the same-file helper.
+        assert_eq!(targets.len(), 1);
+        assert_eq!(t.fns[targets[0]].path, "crates/sim/src/a.rs");
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_with_stoplist() {
+        let t = table(&[
+            (
+                "crates/sim/src/a.rs",
+                "impl Sim { pub fn step(&mut self) { self.q.advance(); self.v.push(1); } }",
+            ),
+            (
+                "crates/sim/src/q.rs",
+                "impl Queue { pub fn advance(&mut self) {} pub fn push(&mut self, x: u32) {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&t);
+        let step = id(&t, "Sim::step");
+        let reprs: Vec<&str> = g.edges[step].iter().map(|e| e.call_repr.as_str()).collect();
+        assert_eq!(
+            reprs,
+            vec![".advance"],
+            "push is stoplisted, advance is not"
+        );
+    }
+
+    #[test]
+    fn qualified_calls_follow_use_renames() {
+        let t = table(&[
+            (
+                "crates/sim/src/a.rs",
+                "use crate::q::Queue as Q;\nfn go() { Q::advance(); }\n",
+            ),
+            (
+                "crates/sim/src/q.rs",
+                "impl Queue { pub fn advance() {} }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&t);
+        let go = id(&t, "go");
+        assert_eq!(g.edges[go].len(), 1);
+        assert_eq!(t.fns[g.edges[go][0].to].item.qual(), "Queue::advance");
+    }
+
+    #[test]
+    fn bfs_parents_reconstruct_chains() {
+        let t = table(&[(
+            "crates/sim/src/a.rs",
+            "fn entry() { mid(); }\nfn mid() { sink(); }\nfn sink() {}\nfn lonely() {}\n",
+        )]);
+        let g = CallGraph::build(&t);
+        let (entry, sink, lonely) = (id(&t, "entry"), id(&t, "sink"), id(&t, "lonely"));
+        let parent = g.reachable_from(&[entry]);
+        assert!(parent.contains_key(&sink));
+        assert!(!parent.contains_key(&lonely));
+        let chain = g.chain_to(&parent, sink);
+        let names: Vec<String> = chain
+            .iter()
+            .map(|(f, _)| t.fns[*f].item.name.clone())
+            .collect();
+        assert_eq!(names, vec!["entry", "mid", "sink"]);
+        assert!(chain[0].1.is_none(), "entry has no incoming edge");
+        assert_eq!(
+            chain[1].1.as_ref().map(|e| e.call_repr.as_str()),
+            Some("mid")
+        );
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let code = parse_file("fn f(x: bool) { if (x) {} println!(\"{}\", x); g(); }\nfn g() {}");
+        let sites = call_sites(&code.code, code.fns[0].body.clone());
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["g"]);
+    }
+}

@@ -1,0 +1,1026 @@
+//! The interprocedural analyses: D9 (transitive determinism over the call
+//! graph), D10 (RNG stream-separation taint), and U2 (unit-dimension
+//! propagation).
+//!
+//! All three are deliberately conservative over-approximations driven by
+//! names, not types (DESIGN.md §6.2 spells out the limits):
+//!
+//! * **D9** walks the call graph from sim entry points and flags paths
+//!   that reach a forbidden-sink function in a non-sim crate. Sinks inside
+//!   sim-path crates are excluded — the lexical D1–D3 already own those —
+//!   as are the observe-only crates (`obs`, `telemetry`), whose contracts
+//!   (D4/D8 plus the byte-identity smokes) pin that they cannot perturb a
+//!   run and whose wall profiler reads wall-clock *by design*.
+//! * **D10** runs per function: values drawn from a `FaultRng` are
+//!   fault-tainted, single-assignment propagation carries the taint
+//!   through locals, and a tainted atom inside a sink call (`SimRng`
+//!   seeding, event scheduling, `TraceId` derivation) is an error. The
+//!   symmetric direction (a `SimRng` draw seeding a `FaultRng`) is flagged
+//!   the same way.
+//! * **U2** seeds a per-function dimension environment from parameter-name
+//!   suffixes, propagates through single-ident let-bindings (additive
+//!   expressions preserve the class; `*`, `/`, `%`, or an unresolved call
+//!   make it unknown), and checks mixing operators and call boundaries.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{call_sites, renames_of, resolve, CallGraph, CallSite};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{unit_class, RelatedSite, RuleId, Violation, MIXING_OPS};
+use crate::symbols::{FnDef, FnId, SymbolTable};
+
+// ---------------------------------------------------------------------------
+// shared token helpers
+// ---------------------------------------------------------------------------
+
+/// Index of the token matching the opener at `open_idx` (owned-token slice
+/// counterpart of `rules::matching`).
+fn matching(code: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// End (exclusive) of the statement starting at `from`: the first `;` at
+/// bracket depth zero, or `to` if none.
+fn stmt_end(code: &[Token], from: usize, to: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().take(to).skip(from) {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            if depth == 0 {
+                return k;
+            }
+            depth -= 1;
+        } else if t.is_punct(";") && depth == 0 {
+            return k;
+        }
+    }
+    to
+}
+
+fn seq3(code: &[Token], i: usize, a: &str, b: &str, c: &str) -> bool {
+    code.get(i).is_some_and(|t| t.is_ident(a))
+        && code.get(i + 1).is_some_and(|t| t.is_punct(b))
+        && code.get(i + 2).is_some_and(|t| t.is_ident(c))
+}
+
+// ---------------------------------------------------------------------------
+// D9 — transitive determinism
+// ---------------------------------------------------------------------------
+
+/// Sim entry-point names: the surfaces the event loop and the harness call
+/// into. Anything transitively reachable from one of these runs on the
+/// simulated timeline.
+fn is_entry_name(name: &str) -> bool {
+    name.starts_with("run")
+        || name.starts_with("on_")
+        || name.starts_with("handle")
+        || name.starts_with("read")
+        || name.starts_with("write")
+        || matches!(name, "dispatch" | "tick" | "step")
+}
+
+/// Sim-path functions D9 treats as roots of the reachability walk.
+pub fn entry_points(table: &SymbolTable) -> Vec<FnId> {
+    table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            table.files[d.file].ctx.sim_path && !d.item.is_test && is_entry_name(&d.item.name)
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum SinkKind {
+    WallClock,
+    Entropy,
+    UnorderedIter,
+}
+
+impl SinkKind {
+    fn describe(self) -> &'static str {
+        match self {
+            SinkKind::WallClock => "wall-clock time",
+            SinkKind::Entropy => "ambient entropy",
+            SinkKind::UnorderedIter => "unordered HashMap/HashSet iteration",
+        }
+    }
+}
+
+const WALL_CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "UNIX_EPOCH"];
+const ENTROPY_IDENTS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+const ITER_IDENTS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Forbidden sinks inside one function's body — only in non-sim,
+/// non-observe-only crates (see the module doc for why those are excluded).
+/// Returns at most one site per kind.
+fn sinks_in(table: &SymbolTable, id: FnId) -> Vec<(SinkKind, u32, String)> {
+    let def = &table.fns[id];
+    let ctx = &table.files[def.file].ctx;
+    if ctx.sim_path || matches!(def.crate_name.as_str(), "obs" | "telemetry") {
+        return Vec::new();
+    }
+    let code = &table.files[def.file].parsed.code;
+    let body = &code[def.item.body.clone()];
+    let mut out: Vec<(SinkKind, u32, String)> = Vec::new();
+    let mut push = |kind: SinkKind, line: u32, tok: &str| {
+        if !out.iter().any(|(k, _, _)| *k == kind) {
+            out.push((kind, line, tok.to_string()));
+        }
+    };
+    let has_unordered_map = body
+        .iter()
+        .any(|t| t.is_ident("HashMap") || t.is_ident("HashSet"));
+    for t in body {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        if WALL_CLOCK_IDENTS.contains(&name) {
+            push(SinkKind::WallClock, t.line, name);
+        } else if ENTROPY_IDENTS.contains(&name) {
+            push(SinkKind::Entropy, t.line, name);
+        } else if has_unordered_map && ITER_IDENTS.contains(&name) {
+            push(SinkKind::UnorderedIter, t.line, name);
+        }
+    }
+    out.sort_by_key(|(k, _, _)| *k);
+    out
+}
+
+/// D9: reachability from sim entry points to forbidden sinks, reported with
+/// the full call chain. The diagnostic anchors on the *first edge out of
+/// the entry point* — the commitment point where the sim path leaves the
+/// entry function — so an `allow(D9)` annotation sits next to the call that
+/// starts the chain.
+pub fn analyze_d9(table: &SymbolTable, graph: &CallGraph) -> Vec<Violation> {
+    let entries = entry_points(table);
+    let parent = graph.reachable_from(&entries);
+    let mut out = Vec::new();
+    for &id in parent.keys() {
+        for (kind, sink_line, sink_tok) in sinks_in(table, id) {
+            let chain = graph.chain_to(&parent, id);
+            // Entries live in sim-path crates and sinks are excluded there,
+            // so a chain always has an entry distinct from the sink.
+            let Some((entry_id, _)) = chain.first() else {
+                continue;
+            };
+            let Some((_, Some(first_edge))) = chain.get(1) else {
+                continue;
+            };
+            let entry = &table.fns[*entry_id];
+            let sink = &table.fns[id];
+            let mut hops = format!("`{}`", entry.item.qual());
+            let mut related = Vec::new();
+            for (hop_id, edge) in chain.iter().skip(1) {
+                let hop = &table.fns[*hop_id];
+                let edge = edge.as_ref().expect("non-root chain hops have an edge");
+                hops.push_str(&format!(
+                    " -> `{}` ({}:{})",
+                    hop.item.qual(),
+                    hop.path,
+                    hop.item.line
+                ));
+                related.push(RelatedSite {
+                    path: table.fns[*hop_id].path.clone(),
+                    line: hop.item.line,
+                    note: format!(
+                        "reached via call `{}` at line {}",
+                        edge.call_repr, edge.line
+                    ),
+                });
+            }
+            related.push(RelatedSite {
+                path: sink.path.clone(),
+                line: sink_line,
+                note: format!("{} via `{sink_tok}` here", kind.describe()),
+            });
+            out.push(Violation {
+                rule: RuleId::D9,
+                path: entry.path.clone(),
+                line: first_edge.line,
+                message: format!(
+                    "sim entry `{}` transitively reaches {} (`{}` in `{}`, {}:{}): {} — \
+                     results stop being a pure function of (config, seed)",
+                    entry.item.qual(),
+                    kind.describe(),
+                    sink_tok,
+                    sink.item.qual(),
+                    sink.path,
+                    sink_line,
+                    hops
+                ),
+                related,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D10 — RNG stream-separation taint
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Stream {
+    Fault,
+    Sim,
+}
+
+impl Stream {
+    fn name(self) -> &'static str {
+        match self {
+            Stream::Fault => "FaultRng",
+            Stream::Sim => "SimRng",
+        }
+    }
+}
+
+/// Methods that draw a value from a generator.
+const DRAW_METHODS: [&str; 7] = [
+    "next_u64",
+    "next_u32",
+    "next_f64",
+    "gen_range",
+    "gen_range_u64",
+    "gen_index",
+    "gen_bool",
+];
+
+/// Which stream an identifier names a generator of: tracked bindings first,
+/// then the naming convention (`fault_rng` / `sim_rng`).
+fn gen_of(name: &str, gens: &BTreeMap<String, Stream>) -> Option<Stream> {
+    if let Some(&k) = gens.get(name) {
+        return Some(k);
+    }
+    if name.contains("fault_rng") {
+        return Some(Stream::Fault);
+    }
+    if name.contains("sim_rng") {
+        return Some(Stream::Sim);
+    }
+    None
+}
+
+/// Streams whose values appear in `expr`: tainted locals, plus direct
+/// draws (`gen.next_u64()` inside the expression). Returns each stream with
+/// the identifier that carried it, for diagnostics.
+fn expr_taint(
+    expr: &[Token],
+    gens: &BTreeMap<String, Stream>,
+    taints: &BTreeMap<String, Stream>,
+) -> BTreeMap<Stream, String> {
+    let mut found = BTreeMap::new();
+    for (j, t) in expr.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some(&k) = taints.get(&t.text) {
+            found.entry(k).or_insert_with(|| t.text.clone());
+        }
+        let is_draw = expr.get(j + 1).is_some_and(|d| d.is_punct("."))
+            && expr
+                .get(j + 2)
+                .is_some_and(|m| DRAW_METHODS.contains(&m.text.as_str()));
+        if is_draw {
+            if let Some(k) = gen_of(&t.text, gens) {
+                found
+                    .entry(k)
+                    .or_insert_with(|| format!("{}.{}", t.text, expr[j + 2].text));
+            }
+        }
+    }
+    found
+}
+
+/// D10 for one function: forward single-pass taint over statements.
+fn d10_fn(table: &SymbolTable, def: &FnDef, out: &mut Vec<Violation>) {
+    let file = &table.files[def.file];
+    let code = &file.parsed.code;
+    let body = def.item.body.clone();
+    let mut gens: BTreeMap<String, Stream> = BTreeMap::new();
+    let mut taints: BTreeMap<String, Stream> = BTreeMap::new();
+
+    let mut sink = |line: u32, what: &str, stream: Stream, carrier: &str| {
+        out.push(Violation {
+            rule: RuleId::D10,
+            path: file.ctx.path.clone(),
+            line,
+            message: format!(
+                "{}-derived value `{carrier}` flows into {what} in `{}`: the fault \
+                 stream and the scheduling stream must stay independent (same seed, \
+                 same schedule, same flipped bits)",
+                stream.name(),
+                def.item.qual(),
+            ),
+            related: Vec::new(),
+        });
+    };
+
+    let mut i = body.start;
+    while i < body.end {
+        let t = &code[i];
+        // Sink heads. Args run from the `(` after the head to its match.
+        let args_of = |open: usize| -> &[Token] {
+            match matching(code, open, "(", ")") {
+                Some(close) if close <= body.end => &code[open + 1..close],
+                _ => &code[open + 1..body.end.min(code.len())],
+            }
+        };
+        if seq3(code, i, "SimRng", "::", "seed_from")
+            && code.get(i + 3).is_some_and(|p| p.is_punct("("))
+        {
+            let found = expr_taint(args_of(i + 3), &gens, &taints);
+            if let Some(carrier) = found.get(&Stream::Fault) {
+                sink(
+                    code[i + 2].line,
+                    "`SimRng::seed_from`",
+                    Stream::Fault,
+                    carrier,
+                );
+            }
+        } else if seq3(code, i, "FaultRng", "::", "for_seed")
+            && code.get(i + 3).is_some_and(|p| p.is_punct("("))
+        {
+            let found = expr_taint(args_of(i + 3), &gens, &taints);
+            if let Some(carrier) = found.get(&Stream::Sim) {
+                sink(
+                    code[i + 2].line,
+                    "`FaultRng::for_seed`",
+                    Stream::Sim,
+                    carrier,
+                );
+            }
+        } else if (t.is_ident("schedule") || t.is_ident("schedule_after"))
+            && i > body.start
+            && code[i - 1].is_punct(".")
+            && code.get(i + 1).is_some_and(|p| p.is_punct("("))
+        {
+            let found = expr_taint(args_of(i + 1), &gens, &taints);
+            if let Some(carrier) = found.get(&Stream::Fault) {
+                sink(
+                    t.line,
+                    &format!("event scheduling (`{}`)", t.text),
+                    Stream::Fault,
+                    carrier,
+                );
+            }
+        } else if t.is_ident("TraceId")
+            && (code.get(i + 1).is_some_and(|p| p.is_punct("("))
+                || (code.get(i + 1).is_some_and(|p| p.is_punct("::"))
+                    && code.get(i + 2).is_some_and(|m| m.is_ident("derive"))
+                    && code.get(i + 3).is_some_and(|p| p.is_punct("("))))
+        {
+            let open = if code[i + 1].is_punct("(") {
+                i + 1
+            } else {
+                i + 3
+            };
+            let found = expr_taint(args_of(open), &gens, &taints);
+            if let Some(carrier) = found.get(&Stream::Fault) {
+                sink(t.line, "`TraceId` derivation", Stream::Fault, carrier);
+            }
+        }
+
+        // Bindings: `let [mut] name [: ty] = expr ;` and `name = expr ;`.
+        let binding = if t.is_ident("let") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|m| m.is_ident("mut")) {
+                j += 1;
+            }
+            code.get(j)
+                .filter(|n| n.kind == TokenKind::Ident)
+                .map(|n| (n.text.clone(), j + 1))
+        } else if t.kind == TokenKind::Ident
+            && code.get(i + 1).is_some_and(|e| e.is_punct("="))
+            && (i == body.start || !code[i - 1].is_punct("."))
+        {
+            Some((t.text.clone(), i + 1))
+        } else {
+            None
+        };
+        if let Some((name, after_name)) = binding {
+            let end = stmt_end(code, after_name, body.end);
+            let eq = (after_name..end).find(|&k| code[k].is_punct("="));
+            if let Some(eq) = eq {
+                let rhs = &code[eq + 1..end];
+                let has = |k: usize, a: &str, b: &str, c: &str| seq3(rhs, k, a, b, c);
+                let mut new_gen = None;
+                for k in 0..rhs.len() {
+                    if has(k, "FaultRng", "::", "for_seed") {
+                        new_gen = Some(Stream::Fault);
+                        break;
+                    }
+                    if has(k, "SimRng", "::", "seed_from") {
+                        new_gen = Some(Stream::Sim);
+                        break;
+                    }
+                    // `let child = parent.split();` forks the same stream.
+                    if rhs[k].kind == TokenKind::Ident
+                        && rhs.get(k + 1).is_some_and(|d| d.is_punct("."))
+                        && rhs.get(k + 2).is_some_and(|m| m.is_ident("split"))
+                    {
+                        if let Some(g) = gen_of(&rhs[k].text, &gens) {
+                            new_gen = Some(g);
+                            break;
+                        }
+                    }
+                }
+                gens.remove(&name);
+                taints.remove(&name);
+                if let Some(g) = new_gen {
+                    gens.insert(name, g);
+                } else {
+                    let found = expr_taint(rhs, &gens, &taints);
+                    // A value touched by the fault stream stays fault-
+                    // tainted even if sim values are mixed in.
+                    if let Some((&k, _)) = found.iter().next() {
+                        taints.insert(name, k);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// U2 — interprocedural units
+// ---------------------------------------------------------------------------
+
+/// Dimension class of a single atom: a bare local (tracked dims apply), a
+/// suffixed postfix chain (`dev.stats.sum_pj`), a whole-expression call
+/// (`to_ns(...)`, `x.total_bytes()`), or a cast (`lat_ns as f64`). `None`
+/// when the expression is anything more compound.
+fn single_atom_class(
+    expr: &[Token],
+    dims: &BTreeMap<String, &'static str>,
+) -> Option<(&'static str, String)> {
+    let mut j = 0;
+    // Leading borrows do not change the dimension.
+    while expr
+        .get(j)
+        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+    {
+        j += 1;
+    }
+    let first = expr.get(j).filter(|t| t.kind == TokenKind::Ident)?;
+    let mut last = first;
+    let mut chain_len = 1usize;
+    j += 1;
+    while j + 1 < expr.len()
+        && (expr[j].is_punct(".") || expr[j].is_punct("::"))
+        && expr[j + 1].kind == TokenKind::Ident
+    {
+        last = &expr[j + 1];
+        chain_len += 1;
+        j += 2;
+    }
+    let whole = if j == expr.len() {
+        true
+    } else if expr[j].is_punct("(") {
+        // A call spanning the rest of the expression: dimension comes from
+        // the called name's suffix (`to_ns(...)` returns time).
+        matching(expr, j, "(", ")") == Some(expr.len() - 1)
+    } else {
+        // A cast: `lat_ns as f64` keeps lat_ns's dimension.
+        expr[j].is_ident("as")
+    };
+    if !whole {
+        return None;
+    }
+    if let Some(c) = unit_class(&last.text) {
+        return Some((c, last.text.clone()));
+    }
+    if chain_len == 1 && j == expr.len() {
+        if let Some(&c) = dims.get(&first.text) {
+            return Some((c, first.text.clone()));
+        }
+    }
+    None
+}
+
+/// Dimension of a let-initializer. `None` (unknown) as soon as the
+/// expression multiplies/divides or calls something unresolved; otherwise
+/// the single class its atoms agree on.
+fn infer_dim(expr: &[Token], dims: &BTreeMap<String, &'static str>) -> Option<&'static str> {
+    if let Some((c, _)) = single_atom_class(expr, dims) {
+        return Some(c);
+    }
+    let mut classes: BTreeSet<&'static str> = BTreeSet::new();
+    for (j, t) in expr.iter().enumerate() {
+        if t.is_punct("*") || t.is_punct("/") || t.is_punct("%") {
+            return None;
+        }
+        if t.kind == TokenKind::Ident && expr.get(j + 1).is_some_and(|p| p.is_punct("(")) {
+            return None;
+        }
+        if t.kind == TokenKind::Ident {
+            if let Some(c) = unit_class(&t.text).or_else(|| dims.get(&t.text).copied()) {
+                classes.insert(c);
+            }
+        }
+    }
+    if classes.len() == 1 {
+        classes.into_iter().next()
+    } else {
+        None
+    }
+}
+
+/// Class of the operand ending at `i` (the token left of an operator):
+/// suffix of the identifier, or a tracked local. Returns (class, name,
+/// from_suffix).
+fn operand_class_left(
+    code: &[Token],
+    i: usize,
+    dims: &BTreeMap<String, &'static str>,
+) -> Option<(&'static str, String, bool)> {
+    let t = code.get(i)?;
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    if let Some(c) = unit_class(&t.text) {
+        return Some((c, t.text.clone(), true));
+    }
+    dims.get(&t.text).map(|&c| (c, t.text.clone(), false))
+}
+
+/// Class of the operand starting at `j` (right of an operator): walks the
+/// postfix chain for a suffixed tail, falling back to a tracked single
+/// local.
+fn operand_class_right(
+    code: &[Token],
+    mut j: usize,
+    end: usize,
+    dims: &BTreeMap<String, &'static str>,
+) -> Option<(&'static str, String, bool)> {
+    let first = code.get(j).filter(|t| t.kind == TokenKind::Ident)?;
+    let mut last = first;
+    let mut chain_len = 1usize;
+    j += 1;
+    while j + 1 < end
+        && (code[j].is_punct(".") || code[j].is_punct("::"))
+        && code[j + 1].kind == TokenKind::Ident
+    {
+        last = &code[j + 1];
+        chain_len += 1;
+        j += 2;
+    }
+    if let Some(c) = unit_class(&last.text) {
+        return Some((c, last.text.clone(), true));
+    }
+    if chain_len == 1 {
+        if let Some(&c) = dims.get(&first.text) {
+            return Some((c, first.text.clone(), false));
+        }
+    }
+    None
+}
+
+/// Splits a call's argument tokens at top-level commas.
+fn split_args(args: &[Token]) -> Vec<&[Token]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (k, t) in args.iter().enumerate() {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if t.is_punct(",") && depth == 0 {
+            out.push(&args[start..k]);
+            start = k + 1;
+        }
+    }
+    if start < args.len() {
+        out.push(&args[start..]);
+    }
+    out
+}
+
+/// U2 for one function.
+fn u2_fn(
+    table: &SymbolTable,
+    def: &FnDef,
+    renames: &BTreeMap<String, String>,
+    out: &mut Vec<Violation>,
+) {
+    let file = &table.files[def.file];
+    let code = &file.parsed.code;
+    let body = def.item.body.clone();
+    // Dimension environment, seeded from suffixed parameter names (their
+    // suffix already speaks for itself; tracking them would only duplicate
+    // U1) — so the map holds *propagated* classes for unsuffixed locals.
+    let mut dims: BTreeMap<String, &'static str> = BTreeMap::new();
+    let sites: BTreeMap<usize, CallSite> = call_sites(code, body.clone())
+        .into_iter()
+        .map(|s| (s.name_idx, s))
+        .collect();
+
+    let mut i = body.start;
+    while i < body.end {
+        let t = &code[i];
+        // (a) let-binding propagation and suffixed-binding checks.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if code.get(j).is_some_and(|m| m.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = code.get(j).filter(|n| n.kind == TokenKind::Ident) {
+                let end = stmt_end(code, j + 1, body.end);
+                if let Some(eq) = (j + 1..end).find(|&k| code[k].is_punct("=")) {
+                    let rhs = &code[eq + 1..end];
+                    let d = infer_dim(rhs, &dims);
+                    match (unit_class(&name.text), d) {
+                        (Some(nc), Some(c)) if nc != c => out.push(Violation {
+                            rule: RuleId::U2,
+                            path: file.ctx.path.clone(),
+                            line: name.line,
+                            message: format!(
+                                "binding `{}` is named as {nc} but its initializer has \
+                                 dimension {c}; rename the binding or convert via `sim::units`",
+                                name.text
+                            ),
+                            related: Vec::new(),
+                        }),
+                        (None, Some(c)) => {
+                            dims.insert(name.text.clone(), c);
+                        }
+                        (None, None) => {
+                            dims.remove(&name.text);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // (b) mixing operators where at least one side's class is propagated.
+        if t.kind == TokenKind::Punct && MIXING_OPS.contains(&t.text.as_str()) && i > body.start {
+            let lhs = operand_class_left(code, i - 1, &dims);
+            let rhs = operand_class_right(code, i + 1, body.end, &dims);
+            if let (Some((lc, ln, ls)), Some((rc, rn, rs))) = (lhs, rhs) {
+                // Both-suffixed is U1's finding; U2 owns the propagated cases.
+                if lc != rc && !(ls && rs) {
+                    out.push(Violation {
+                        rule: RuleId::U2,
+                        path: file.ctx.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{ln}` ({lc}{}) {} `{rn}` ({rc}{}) mixes unit classes through \
+                             a propagated dimension; convert explicitly via `sim::units`",
+                            if ls { "" } else { ", propagated" },
+                            t.text,
+                            if rs { "" } else { ", propagated" },
+                        ),
+                        related: Vec::new(),
+                    });
+                }
+            }
+        }
+        // (c) call-boundary checks against callee parameter-name suffixes.
+        if let Some(site) = sites.get(&i) {
+            let targets = resolve(table, def.file, renames, site);
+            if !targets.is_empty() {
+                if let Some(close) = matching(code, i + 1, "(", ")") {
+                    let args = split_args(&code[i + 2..close]);
+                    check_call_dims(table, def, site, &targets, &args, &dims, out);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Checks one call site's argument dimensions against the callee's
+/// parameter-name suffixes. Conservative: a position is checked only when
+/// every resolution candidate has a matching arity and agrees on that
+/// parameter's class.
+fn check_call_dims(
+    table: &SymbolTable,
+    caller: &FnDef,
+    site: &CallSite,
+    targets: &[FnId],
+    args: &[&[Token]],
+    dims: &BTreeMap<String, &'static str>,
+    out: &mut Vec<Violation>,
+) {
+    let file = &table.files[caller.file];
+    for (p, arg) in args.iter().enumerate() {
+        let Some((ac, an)) = single_atom_class(arg, dims) else {
+            continue;
+        };
+        let mut agreed: Option<(&'static str, String, FnId)> = None;
+        let mut ok = true;
+        for &tid in targets {
+            let callee = &table.fns[tid].item;
+            let offset =
+                usize::from(site.method && callee.params.first().is_some_and(|s| s.name == "self"));
+            let Some(param) = callee.params.get(p + offset) else {
+                ok = false;
+                break;
+            };
+            if callee.params.len() - offset != args.len() {
+                ok = false;
+                break;
+            }
+            let Some(pc) = unit_class(&param.name) else {
+                ok = false;
+                break;
+            };
+            match &agreed {
+                None => agreed = Some((pc, param.name.clone(), tid)),
+                Some((prev, _, _)) if *prev == pc => {}
+                Some(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let Some((pc, pname, tid)) = agreed else {
+            continue;
+        };
+        if !ok || pc == ac {
+            continue;
+        }
+        let callee = &table.fns[tid];
+        out.push(Violation {
+            rule: RuleId::U2,
+            path: file.ctx.path.clone(),
+            line: site.line,
+            message: format!(
+                "argument `{an}` ({ac}) passed to parameter `{pname}` ({pc}) of \
+                 `{}`; convert explicitly via `sim::units` at the call site",
+                callee.item.qual()
+            ),
+            related: vec![RelatedSite {
+                path: callee.path.clone(),
+                line: callee.item.line,
+                note: format!("`{}` declared here", callee.item.qual()),
+            }],
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// per-file driver
+// ---------------------------------------------------------------------------
+
+/// Runs the intraprocedural analyses (D10, U2) over every non-test function
+/// defined in `file_idx`. D9 is workspace-level — see [`analyze_d9`].
+pub fn analyze_file(table: &SymbolTable, file_idx: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let renames = renames_of(&table.files[file_idx]);
+    for def in table.fns.iter().filter(|d| d.file == file_idx) {
+        if def.item.is_test || def.item.body.is_empty() {
+            continue;
+        }
+        d10_fn(table, def, &mut out);
+        u2_fn(table, def, &renames, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::rules::FileCtx;
+    use crate::symbols::FileEntry;
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        SymbolTable::build(
+            files
+                .iter()
+                .map(|(path, src)| FileEntry {
+                    parsed: parse_file(src),
+                    ctx: FileCtx::classify(path),
+                })
+                .collect(),
+        )
+    }
+
+    fn rules_of(vs: &[Violation]) -> Vec<RuleId> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn d9_flags_transitive_wall_clock_with_chain() {
+        let t = table(&[
+            (
+                "crates/sim/src/lib.rs",
+                "pub fn run_sim(n: u64) { helper(n); }\n",
+            ),
+            (
+                "crates/util/src/lib.rs",
+                "pub fn helper(n: u64) { let _ = Instant::now(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&t);
+        let vs = analyze_d9(&t, &g);
+        assert_eq!(rules_of(&vs), vec![RuleId::D9]);
+        let v = &vs[0];
+        assert_eq!(v.path, "crates/sim/src/lib.rs");
+        assert!(v.message.contains("run_sim"), "{}", v.message);
+        assert!(v.message.contains("helper"), "{}", v.message);
+        assert!(v.message.contains("wall-clock"), "{}", v.message);
+        assert!(!v.related.is_empty());
+    }
+
+    #[test]
+    fn d9_ignores_sinks_in_sim_and_observe_only_crates() {
+        // Sink in a sim-path crate: D1's territory, not D9's.
+        let t = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn run_sim() { let _ = Instant::now(); }\n",
+        )]);
+        let g = CallGraph::build(&t);
+        assert!(analyze_d9(&t, &g).is_empty());
+        // Sink in obs: the wall profiler is wall-clock by design.
+        let t = table(&[
+            ("crates/sim/src/lib.rs", "pub fn run_sim() { observe(); }\n"),
+            (
+                "crates/obs/src/lib.rs",
+                "pub fn observe() { let _ = Instant::now(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&t);
+        assert!(analyze_d9(&t, &g).is_empty());
+    }
+
+    #[test]
+    fn d9_unreachable_sinks_do_not_fire() {
+        let t = table(&[
+            ("crates/sim/src/lib.rs", "pub fn run_sim() {}\n"),
+            (
+                "crates/util/src/lib.rs",
+                "pub fn unused() { let _ = Instant::now(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&t);
+        assert!(analyze_d9(&t, &g).is_empty());
+    }
+
+    #[test]
+    fn d10_taints_fault_draw_into_schedule_and_seed() {
+        let t = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn go(fault_rng: &mut FaultRng, q: &mut EventQueue) {\n\
+             let delay = fault_rng.next_u64();\n\
+             q.schedule_after(delay, Ev::Tick);\n\
+             let mut r = SimRng::seed_from(delay);\n\
+             }\n",
+        )]);
+        let vs = analyze_file(&t, 0);
+        assert_eq!(rules_of(&vs), vec![RuleId::D10, RuleId::D10]);
+        assert!(
+            vs[0].message.contains("schedule_after"),
+            "{}",
+            vs[0].message
+        );
+        assert!(vs[1].message.contains("seed_from"), "{}", vs[1].message);
+    }
+
+    #[test]
+    fn d10_sim_values_may_schedule_and_fault_values_may_not_trace() {
+        let t = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn ok(sim_rng: &mut SimRng, q: &mut EventQueue) {\n\
+             let jitter = sim_rng.next_u64();\n\
+             q.schedule_after(jitter, Ev::Tick);\n\
+             }\n\
+             pub fn bad(fault_rng: &mut FaultRng) -> TraceId {\n\
+             let salt = fault_rng.next_u64();\n\
+             TraceId::derive(salt)\n\
+             }\n",
+        )]);
+        let vs = analyze_file(&t, 0);
+        assert_eq!(rules_of(&vs), vec![RuleId::D10]);
+        assert!(vs[0].message.contains("TraceId"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn d10_reverse_direction_sim_into_fault_seed() {
+        let t = table(&[(
+            "crates/faults/src/lib.rs",
+            "pub fn bad(sim_rng: &mut SimRng) -> FaultRng {\n\
+             let s = sim_rng.next_u64();\n\
+             FaultRng::for_seed(s)\n\
+             }\n",
+        )]);
+        let vs = analyze_file(&t, 0);
+        assert_eq!(rules_of(&vs), vec![RuleId::D10]);
+        assert!(vs[0].message.contains("for_seed"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn d10_rebinding_clears_taint() {
+        let t = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn go(fault_rng: &mut FaultRng, q: &mut EventQueue, now: u64) {\n\
+             let mut x = fault_rng.next_u64();\n\
+             x = now + 1;\n\
+             q.schedule_after(x, Ev::Tick);\n\
+             }\n",
+        )]);
+        assert!(analyze_file(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn u2_propagates_through_lets() {
+        let t = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn f(a_ns: u64, b_ns: u64, size_bytes: u64) {\n\
+             let total = a_ns + b_ns;\n\
+             let _bad = total + size_bytes;\n\
+             }\n",
+        )]);
+        let vs = analyze_file(&t, 0);
+        assert_eq!(rules_of(&vs), vec![RuleId::U2]);
+        assert!(vs[0].message.contains("total"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn u2_checks_suffixed_binding_names() {
+        let t = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn f(a_ns: u64, b_ns: u64) { let sum_bytes = a_ns + b_ns; }\n",
+        )]);
+        let vs = analyze_file(&t, 0);
+        assert_eq!(rules_of(&vs), vec![RuleId::U2]);
+    }
+
+    #[test]
+    fn u2_checks_call_boundaries() {
+        let t = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn caller(lat_ns: u64) { book(lat_ns); }\n\
+             pub fn book(cost_pj: u64) {}\n",
+        )]);
+        let vs = analyze_file(&t, 0);
+        assert_eq!(rules_of(&vs), vec![RuleId::U2]);
+        assert!(vs[0].message.contains("cost_pj"), "{}", vs[0].message);
+        assert_eq!(vs[0].related.len(), 1);
+    }
+
+    #[test]
+    fn u2_multiplication_and_ambiguity_stop_propagation() {
+        let t = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn f(a_ns: u64, w: u64, size_bytes: u64) {\n\
+             let rate = a_ns * w;\n\
+             let _x = rate + size_bytes;\n\
+             let both = a_ns + size_bytes_to_ns(size_bytes);\n\
+             }\n",
+        )]);
+        // `rate` has unknown dimension (multiplication); the call in `both`'s
+        // initializer makes it unknown too. (`a_ns + size_bytes…` inside is
+        // not flagged: the rhs atom is a call, not an ident.)
+        let vs = analyze_file(&t, 0);
+        assert!(rules_of(&vs).is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn entry_points_cover_run_on_tick_surfaces() {
+        let t = table(&[
+            (
+                "crates/tiering/src/cluster.rs",
+                "impl ClusterSim { pub fn run(&mut self) {} fn on_arrival(&mut self) {} }\n\
+                 pub fn helper() {}\n",
+            ),
+            ("crates/bench/src/lib.rs", "pub fn run_bench() {}\n"),
+        ]);
+        let e = entry_points(&t);
+        let names: Vec<&str> = e.iter().map(|&id| t.fns[id].item.name.as_str()).collect();
+        assert_eq!(names, vec!["run", "on_arrival"], "bench is not sim-path");
+    }
+}

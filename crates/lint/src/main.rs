@@ -3,6 +3,9 @@
 //! ```text
 //! cargo run -p mrm-lint                    # report, always exit 0
 //! cargo run -p mrm-lint -- --deny          # CI gate: nonzero on violations
+//! cargo run -p mrm-lint -- --format sarif  # SARIF 2.1.0 log on stdout
+//! cargo run -p mrm-lint -- --explain D9
+//! cargo run -p mrm-lint -- --dump-callgraph > callgraph.dot
 //! cargo run -p mrm-lint -- --update-baseline
 //! cargo run -p mrm-lint -- --rules
 //! ```
@@ -13,7 +16,7 @@ use std::process::ExitCode;
 
 use mrm_lint::baseline::Baseline;
 use mrm_lint::rules::{RuleId, Severity};
-use mrm_lint::{lint_workspace, walk};
+use mrm_lint::{analyze_workspace, sarif, walk};
 
 const USAGE: &str = "\
 mrm-lint: workspace determinism & unit-safety auditor
@@ -25,6 +28,10 @@ OPTIONS:
   --root <DIR>         Workspace root (default: nearest ancestor with [workspace])
   --baseline <FILE>    Baseline file (default: <root>/lint-baseline.txt)
   --update-baseline    Rewrite the baseline from the current D5 debt
+                       (deletes the file when the debt is zero)
+  --format <FMT>       Output format: text (default) or sarif (SARIF 2.1.0)
+  --explain <RULE>     Print the extended explanation for one rule and exit
+  --dump-callgraph     Print the sim-reachable call graph as DOT and exit
   --rules              Print the rule catalogue and exit
   -h, --help           Show this help
 
@@ -32,12 +39,20 @@ Suppression: `// mrm-lint: allow(RULE, ...) reason` on the offending line or
 the line above; `// mrm-lint: allow-file(RULE) reason` anywhere in a file.
 A reason is mandatory.";
 
+enum Format {
+    Text,
+    Sarif,
+}
+
 struct Args {
     deny: bool,
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     update_baseline: bool,
     rules: bool,
+    format: Format,
+    explain: Option<String>,
+    dump_callgraph: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +62,9 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         update_baseline: false,
         rules: false,
+        format: Format::Text,
+        explain: None,
+        dump_callgraph: false,
     };
     let mut it = env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "--deny" => args.deny = true,
             "--update-baseline" => args.update_baseline = true,
             "--rules" => args.rules = true,
+            "--dump-callgraph" => args.dump_callgraph = true,
             "--root" => {
                 args.root = Some(PathBuf::from(
                     it.next().ok_or("--root needs a directory argument")?,
@@ -63,6 +82,17 @@ fn parse_args() -> Result<Args, String> {
                 args.baseline = Some(PathBuf::from(
                     it.next().ok_or("--baseline needs a file argument")?,
                 ))
+            }
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("sarif") => Format::Sarif,
+                    Some(other) => return Err(format!("unknown format `{other}` (text or sarif)")),
+                    None => return Err("--format needs an argument (text or sarif)".to_string()),
+                }
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain needs a rule name (e.g. D9)")?)
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -94,6 +124,24 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(name) = &args.explain {
+        let rule = if name == "LINT" {
+            Some(RuleId::Meta)
+        } else {
+            RuleId::parse(name)
+        };
+        return match rule {
+            Some(r) => {
+                println!("{}", r.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("mrm-lint: unknown rule `{name}` (see --rules)");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let root = match args.root.or_else(|| {
         env::current_dir()
             .ok()
@@ -109,26 +157,49 @@ fn main() -> ExitCode {
         .baseline
         .unwrap_or_else(|| root.join("lint-baseline.txt"));
 
-    let violations = match lint_workspace(&root) {
-        Ok(v) => v,
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("mrm-lint: walk failed: {e}");
             return ExitCode::from(2);
         }
     };
 
+    if args.dump_callgraph {
+        print!("{}", analysis.callgraph_dot());
+        return ExitCode::SUCCESS;
+    }
+    let violations = analysis.violations;
+
     if args.update_baseline {
         let rendered = Baseline::render_from(&violations);
-        if let Err(e) = std::fs::write(&baseline_path, &rendered) {
-            eprintln!("mrm-lint: cannot write {}: {e}", baseline_path.display());
-            return ExitCode::from(2);
-        }
         let entries = rendered.lines().filter(|l| l.starts_with("D5 ")).count();
-        println!(
-            "mrm-lint: wrote {} ({} D5 entries)",
-            baseline_path.display(),
-            entries
-        );
+        if entries == 0 {
+            // The backlog is gone: the baseline file's presence is optional
+            // when empty, so remove it rather than leaving a husk behind.
+            match std::fs::remove_file(&baseline_path) {
+                Ok(()) => println!(
+                    "mrm-lint: D5 debt is zero — removed {}",
+                    baseline_path.display()
+                ),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    println!("mrm-lint: D5 debt is zero — no baseline file needed")
+                }
+                Err(e) => {
+                    eprintln!("mrm-lint: cannot remove {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            if let Err(e) = std::fs::write(&baseline_path, &rendered) {
+                eprintln!("mrm-lint: cannot write {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "mrm-lint: wrote {} ({entries} D5 entries)",
+                baseline_path.display()
+            );
+        }
     }
 
     let baseline = match Baseline::load(&baseline_path) {
@@ -149,29 +220,42 @@ fn main() -> ExitCode {
             b.rule,
         ))
     });
-    for v in &kept {
-        println!("{}", v.render());
-    }
-    for (file, allowed, actual) in &outcome.stale {
-        println!(
-            "{file}: stale baseline: D5 allowance is {allowed} but only {actual} remain — \
-             run `cargo run -p mrm-lint -- --update-baseline` to tighten the ratchet"
-        );
-    }
 
-    let errors = kept
-        .iter()
-        .filter(|v| v.rule.severity() == Severity::Error)
-        .count();
-    let warns = kept.len() - errors;
-    println!(
-        "mrm-lint: {} error(s), {} warning(s), {} baselined, {} stale baseline entr{}",
-        errors,
-        warns,
-        outcome.suppressed,
-        outcome.stale.len(),
-        if outcome.stale.len() == 1 { "y" } else { "ies" }
-    );
+    match args.format {
+        Format::Text => {
+            for v in &kept {
+                println!("{}", v.render());
+            }
+            for (file, allowed, actual) in &outcome.stale {
+                println!(
+                    "{file}: stale baseline: D5 allowance is {allowed} but only {actual} remain — \
+                     run `cargo run -p mrm-lint -- --update-baseline` to tighten the ratchet"
+                );
+            }
+            let errors = kept
+                .iter()
+                .filter(|v| v.rule.severity() == Severity::Error)
+                .count();
+            let warns = kept.len() - errors;
+            println!(
+                "mrm-lint: {} error(s), {} warning(s), {} baselined, {} stale baseline entr{}",
+                errors,
+                warns,
+                outcome.suppressed,
+                outcome.stale.len(),
+                if outcome.stale.len() == 1 { "y" } else { "ies" }
+            );
+        }
+        Format::Sarif => {
+            // stdout carries pure JSON; human-facing notes go to stderr.
+            print!("{}", sarif::render(&kept));
+            for (file, allowed, actual) in &outcome.stale {
+                eprintln!(
+                    "{file}: stale baseline: D5 allowance is {allowed} but only {actual} remain"
+                );
+            }
+        }
+    }
 
     if args.deny && (!kept.is_empty() || !outcome.stale.is_empty()) {
         return ExitCode::FAILURE;

@@ -29,6 +29,14 @@
 //! * **U1** guards the unit conventions of `sim/src/units.rs`: the paper's
 //!   cost-model conclusions die silently when `*_ns` meets `*_bytes` in an
 //!   addition, or a capacity is re-derived as `1 << 30` with the wrong shift.
+//! * **D9/D10/U2** are the *interprocedural* versions of the contracts
+//!   above, computed in [`crate::dataflow`] on the workspace symbol table
+//!   and call graph ([`crate::symbols`], [`crate::callgraph`]): D9 walks
+//!   reachability from sim entry points to forbidden sinks hiding in
+//!   non-sim helper crates, D10 taints `FaultRng`-derived values so the
+//!   two-stream contract cannot be laundered through a local variable, and
+//!   U2 propagates unit-suffix dimensions through let-bindings and call
+//!   boundaries where U1's single-expression check goes blind.
 
 use crate::lexer::{lex, Token, TokenKind};
 
@@ -57,8 +65,22 @@ pub enum RuleId {
     /// randomness or mutates the event queue: observation must be confined
     /// to dedicated `obs_*` helpers off the RNG/scheduling paths.
     D8,
+    /// Transitive determinism: a sim entry point (event handler,
+    /// `ClusterSim::run*`, controller `tick`/`read`/`write` surface)
+    /// reaches wall-clock, ambient entropy, or `HashMap`/`HashSet`
+    /// iteration through a helper in a non-sim crate. Reported with the
+    /// full call chain.
+    D9,
+    /// RNG stream separation: a `FaultRng`-derived value flows into
+    /// `SimRng` seeding, event-queue scheduling, or `TraceId` derivation
+    /// (or a `SimRng`-derived value into `FaultRng` seeding).
+    D10,
     /// Unit-suffix mixing or raw capacity literal outside `sim/src/units.rs`.
     U1,
+    /// Interprocedural units: a `_ns`/`_bytes`/`_pj` dimension propagated
+    /// through a let-binding or across a call boundary meets a conflicting
+    /// dimension.
+    U2,
     /// Malformed `mrm-lint` annotation (cannot be allowed or baselined).
     Meta,
 }
@@ -72,7 +94,7 @@ pub enum Severity {
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -81,7 +103,10 @@ impl RuleId {
         RuleId::D6,
         RuleId::D7,
         RuleId::D8,
+        RuleId::D9,
+        RuleId::D10,
         RuleId::U1,
+        RuleId::U2,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -94,7 +119,10 @@ impl RuleId {
             RuleId::D6 => "D6",
             RuleId::D7 => "D7",
             RuleId::D8 => "D8",
+            RuleId::D9 => "D9",
+            RuleId::D10 => "D10",
             RuleId::U1 => "U1",
+            RuleId::U2 => "U2",
             RuleId::Meta => "LINT",
         }
     }
@@ -109,7 +137,10 @@ impl RuleId {
             "D6" => Some(RuleId::D6),
             "D7" => Some(RuleId::D7),
             "D8" => Some(RuleId::D8),
+            "D9" => Some(RuleId::D9),
+            "D10" => Some(RuleId::D10),
             "U1" => Some(RuleId::U1),
+            "U2" => Some(RuleId::U2),
             _ => None,
         }
     }
@@ -143,11 +174,155 @@ impl RuleId {
                 "obs hooks (tracer/profiler) may not be touched inside functions that \
                  draw randomness or mutate the event queue; confine them to obs_* helpers"
             }
+            RuleId::D9 => {
+                "no sim entry point may transitively reach wall-clock, ambient \
+                 entropy, or HashMap/HashSet iteration through non-sim helper crates"
+            }
+            RuleId::D10 => {
+                "FaultRng-derived values must not flow into SimRng seeding, \
+                 event scheduling, or TraceId derivation (nor SimRng draws into FaultRng)"
+            }
             RuleId::U1 => {
                 "no arithmetic mixing *_ns/*_bytes/*_pj identifiers; \
                  no raw capacity literals outside sim/src/units.rs"
             }
+            RuleId::U2 => {
+                "unit-suffix dimensions propagate through let-bindings and call \
+                 boundaries; mixed-dimension arithmetic across them is an error"
+            }
             RuleId::Meta => "malformed mrm-lint annotation",
+        }
+    }
+
+    /// Extended explanation shown by `--explain RULE`: what the rule
+    /// catches, why the invariant exists, and how to fix or suppress a
+    /// finding.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::D1 => {
+                "D1 — no wall-clock time in sim-path crates.\n\n\
+                 Simulated results must be a pure function of (config, seed). A read\n\
+                 of `Instant::now()`, `SystemTime`, or `UNIX_EPOCH` couples the run to\n\
+                 the host machine, so two runs of the same experiment stop being\n\
+                 byte-identical. Use `SimTime` / `EventQueue::now` for anything the\n\
+                 simulation can observe. Benchmarks and the test harness may time\n\
+                 things — D1 is scoped to the sim-path crates only.\n\n\
+                 Fix: thread the event-queue clock through the call; if the read is\n\
+                 provably observation-only, annotate `// mrm-lint: allow(D1) reason`."
+            }
+            RuleId::D2 => {
+                "D2 — no HashMap/HashSet in sim-path crates.\n\n\
+                 `RandomState` hashing randomizes iteration order per process, so any\n\
+                 loop over a HashMap can reorder events, allocations, or report rows\n\
+                 between runs. Use `BTreeMap`/`BTreeSet` (deterministic order) or an\n\
+                 index-keyed Vec. If a map is provably never iterated, annotate\n\
+                 `// mrm-lint: allow(D2) reason` — and see D9, which catches the\n\
+                 same hazard hiding behind a helper in a non-sim crate."
+            }
+            RuleId::D3 => {
+                "D3 — no entropy source other than SimRng in sim-path crates.\n\n\
+                 All randomness flows from the experiment seed through the seeded,\n\
+                 splittable `SimRng`. `thread_rng`, `from_entropy`, `OsRng`,\n\
+                 `getrandom`, and `RandomState` pull ambient entropy that cannot be\n\
+                 replayed. Fix: accept a `&mut SimRng` (or split a child stream)\n\
+                 instead of constructing a generator locally."
+            }
+            RuleId::D4 => {
+                "D4 — telemetry is observe-only.\n\n\
+                 Attaching a metrics sink must never change what a simulation does:\n\
+                 reports are byte-identical with and without telemetry. The telemetry\n\
+                 crate therefore may not name `SimRng` or the event-scheduling API.\n\
+                 Fix: move the decision into the simulation and publish the outcome."
+            }
+            RuleId::D5 => {
+                "D5 — no bare unwrap()/expect(\"\") in non-test library code.\n\n\
+                 A panic mid-sweep takes out the whole parallel run with no\n\
+                 actionable message. Return a typed error, or use\n\
+                 `expect(\"which invariant failed and why it cannot\")`. D5 is a\n\
+                 warning with a shrink-only baseline (`lint-baseline.txt`); new debt\n\
+                 fails `--deny`, paid-down debt must tighten the ratchet via\n\
+                 `--update-baseline` (the file is deleted when the debt hits zero)."
+            }
+            RuleId::D6 => {
+                "D6 — fault injection draws only from the dedicated FaultRng.\n\n\
+                 The fault stream is the scheduling seed XOR a fixed salt, so enabling\n\
+                 faults cannot move arrival times and the same seed flips the same\n\
+                 bits. Only `crates/faults/src/rng.rs` (the wrapper) may name\n\
+                 `SimRng`; everything else draws through `FaultRng`. See also D10,\n\
+                 which tracks the *values* across the two streams."
+            }
+            RuleId::D7 => {
+                "D7 — placement/expiry decisions are confined to mrm-control.\n\n\
+                 `retention_for`, `ExpiryTracker`, and `ExpiryAction` route every\n\
+                 store/drop/retire decision through the RetentionRegistry and the\n\
+                 append-only audit log. A data-path crate naming the decision API has\n\
+                 grown an inline retention decision that bypasses both. Fix: call\n\
+                 through `mrm-control` (or one of the two designated tiering shims)."
+            }
+            RuleId::D8 => {
+                "D8 — obs hooks stay off the RNG and scheduling paths.\n\n\
+                 A function that both draws randomness (or mutates the event queue)\n\
+                 and touches `tracer`/`profiler` directly is one refactor away from\n\
+                 making results depend on whether observation is attached. Fix: move\n\
+                 the hook into a dedicated `obs_*` helper that only observes."
+            }
+            RuleId::D9 => {
+                "D9 — transitive determinism (interprocedural D1/D2/D3).\n\n\
+                 D1–D3 are lexical and scoped to sim-path crates, so a wall-clock\n\
+                 read or HashMap iteration wrapped in a helper function in a non-sim\n\
+                 crate sails straight through them. D9 closes the gap: it builds the\n\
+                 workspace call graph, walks reachability from sim entry points\n\
+                 (event handlers `on_*`/`dispatch`, `ClusterSim::run*`, controller\n\
+                 `tick`/`read*`/`write*`/`step` surfaces), and reports any path that\n\
+                 reaches wall-clock, ambient entropy, or HashMap/HashSet iteration in\n\
+                 a non-sim crate — with the full call chain, entry to sink.\n\n\
+                 The observe-only crates (`telemetry`, `obs`) are excluded as sinks:\n\
+                 their own contracts (D4, D8, byte-identity CI smokes) pin that they\n\
+                 cannot perturb a run, and the wall profiler reads wall-clock by\n\
+                 design. Suppress a false positive with `// mrm-lint: allow(D9)\n\
+                 reason` at the reported call site (the chain's first edge)."
+            }
+            RuleId::D10 => {
+                "D10 — RNG stream separation, value-level.\n\n\
+                 PR 5's contract keeps the fault stream and the scheduling stream\n\
+                 independent; D6 pins the *types* but cannot see a `FaultRng` draw\n\
+                 stored in a local and later fed to `SimRng::seed_from`, an event\n\
+                 `schedule*` call, or `TraceId` derivation (which would couple which\n\
+                 bits flip to when requests arrive, or to trace identity). D10 runs an\n\
+                 intraprocedural taint pass: values drawn from a fault generator are\n\
+                 fault-tainted, assignments propagate the taint, and tainted atoms in\n\
+                 a sink call's arguments are errors. The reverse direction (a SimRng\n\
+                 draw seeding a FaultRng) is flagged the same way."
+            }
+            RuleId::U1 => {
+                "U1 — unit-suffix hygiene, single expression.\n\n\
+                 Identifiers carry dimension via suffix: `*_ns`/`*_us`/`*_ms` (time),\n\
+                 `*_bytes` (bytes), `*_pj`/`*_nj` (energy). Adding or comparing across\n\
+                 classes is meaningless and silently poisons the cost model. Raw\n\
+                 capacity literals (`1 << 30`, `1024 * 1024`) belong in\n\
+                 `sim/src/units.rs` as named constants. Multiplication and division\n\
+                 legitimately combine dimensions and are not flagged."
+            }
+            RuleId::U2 => {
+                "U2 — unit-suffix hygiene, interprocedural.\n\n\
+                 U1 dies at the first let-binding: `let total = a_ns + b_ns;` strips\n\
+                 the suffix, and `total + size_bytes` passes. U2 propagates dimensions\n\
+                 through single-ident let-bindings (additive expressions preserve the\n\
+                 class; any `*`//`/` makes it unknown), checks suffixed binding names\n\
+                 against the dimension of their initializer, and checks call\n\
+                 boundaries: an argument with a known dimension passed to a workspace\n\
+                 function whose parameter name carries a different suffix is an\n\
+                 error. Resolution is name-based and conservative — when multiple\n\
+                 candidate callees disagree about a parameter's dimension the call is\n\
+                 not checked."
+            }
+            RuleId::Meta => {
+                "LINT — malformed mrm-lint annotation.\n\n\
+                 `// mrm-lint: allow(RULE, ...) reason` and\n\
+                 `// mrm-lint: allow-file(RULE) reason` must name known rules and\n\
+                 carry a non-empty reason; anything else is an error so a typo can\n\
+                 never silently disable a rule."
+            }
         }
     }
 }
@@ -231,6 +406,16 @@ impl FileCtx {
     }
 }
 
+/// A secondary location attached to a diagnostic — one hop of a D9 call
+/// chain, or the declaration a U2 dimension was propagated from. Rendered
+/// as `relatedLocations`/`codeFlows` in SARIF output.
+#[derive(Clone, Debug)]
+pub struct RelatedSite {
+    pub path: String,
+    pub line: u32,
+    pub note: String,
+}
+
 /// One diagnostic.
 #[derive(Clone, Debug)]
 pub struct Violation {
@@ -238,6 +423,8 @@ pub struct Violation {
     pub path: String,
     pub line: u32,
     pub message: String,
+    /// Supporting locations (empty for single-site rules).
+    pub related: Vec<RelatedSite>,
 }
 
 impl Violation {
@@ -263,8 +450,28 @@ pub struct FileReport {
     pub test_only_modules: Vec<String>,
 }
 
-/// Lints one file's source under the given context.
+/// Lints one file's source under the given context: the lexical rules plus
+/// the single-file slice of the interprocedural analyses (D10 and U2 run on
+/// a symbol table built from just this file; D9 needs the workspace — see
+/// [`crate::analyze_workspace`](crate::analyze_workspace)).
 pub fn lint_source(source: &str, ctx: &FileCtx) -> FileReport {
+    let mut scan = scan_lexical(source, ctx);
+    let table = crate::symbols::SymbolTable::build(vec![crate::symbols::FileEntry {
+        parsed: crate::parse::parse_file(source),
+        ctx: ctx.clone(),
+    }]);
+    scan.raw.extend(crate::dataflow::analyze_file(&table, 0));
+    let test_only_modules = std::mem::take(&mut scan.test_only_modules);
+    FileReport {
+        violations: scan.finish(),
+        test_only_modules,
+    }
+}
+
+/// The lexical rules (D1–D8, U1) for one file, with suppression *not yet
+/// applied* — the caller may add interprocedural findings to `raw` before
+/// calling [`LexicalScan::finish`].
+pub(crate) fn scan_lexical(source: &str, ctx: &FileCtx) -> LexicalScan {
     let tokens = lex(source);
     let allows = parse_allows(&tokens, ctx);
     let code: Vec<&Token> = tokens
@@ -282,15 +489,32 @@ pub fn lint_source(source: &str, ctx: &FileCtx) -> FileReport {
     scan_d8(&code, &in_test, ctx, &mut raw);
     scan_u1(&code, ctx, &mut raw);
 
-    let mut violations: Vec<Violation> = raw
-        .into_iter()
-        .filter(|v| !allows.suppresses(v.rule, v.line))
-        .collect();
-    violations.extend(allows.malformed);
-    violations.sort_by_key(|a| (a.line, a.rule));
-    FileReport {
-        violations,
+    LexicalScan {
+        raw,
+        allows,
         test_only_modules,
+    }
+}
+
+/// One file's lexical findings plus its suppression state.
+pub(crate) struct LexicalScan {
+    pub(crate) raw: Vec<Violation>,
+    pub(crate) allows: Allows,
+    pub(crate) test_only_modules: Vec<String>,
+}
+
+impl LexicalScan {
+    /// Applies suppression, appends malformed-annotation diagnostics, and
+    /// returns the file's violations sorted by (line, rule).
+    pub(crate) fn finish(self) -> Vec<Violation> {
+        let mut violations: Vec<Violation> = self
+            .raw
+            .into_iter()
+            .filter(|v| !self.allows.suppresses(v.rule, v.line))
+            .collect();
+        violations.extend(self.allows.malformed);
+        violations.sort_by_key(|a| (a.line, a.rule));
+        violations
     }
 }
 
@@ -298,16 +522,16 @@ pub fn lint_source(source: &str, ctx: &FileCtx) -> FileReport {
 // allow annotations
 // ---------------------------------------------------------------------------
 
-struct Allows {
+pub(crate) struct Allows {
     /// (rule, line) pairs: the annotation suppresses matches on its own line
     /// and the line directly below (so it can sit above the offending code).
     sites: Vec<(RuleId, u32)>,
     file_wide: Vec<RuleId>,
-    malformed: Vec<Violation>,
+    pub(crate) malformed: Vec<Violation>,
 }
 
 impl Allows {
-    fn suppresses(&self, rule: RuleId, line: u32) -> bool {
+    pub(crate) fn suppresses(&self, rule: RuleId, line: u32) -> bool {
         self.file_wide.contains(&rule)
             || self
                 .sites
@@ -318,7 +542,7 @@ impl Allows {
 
 /// Parses `// mrm-lint: allow(D2, U1) reason...` and
 /// `// mrm-lint: allow-file(D5) reason...` comments.
-fn parse_allows(tokens: &[Token], ctx: &FileCtx) -> Allows {
+pub(crate) fn parse_allows(tokens: &[Token], ctx: &FileCtx) -> Allows {
     let mut allows = Allows {
         sites: Vec::new(),
         file_wide: Vec::new(),
@@ -342,6 +566,7 @@ fn parse_allows(tokens: &[Token], ctx: &FileCtx) -> Allows {
                 path: ctx.path.clone(),
                 line: t.line,
                 message: format!("unknown mrm-lint directive: `{}`", rest),
+                related: Vec::new(),
             });
             continue;
         };
@@ -350,6 +575,7 @@ fn parse_allows(tokens: &[Token], ctx: &FileCtx) -> Allows {
             path: ctx.path.clone(),
             line: t.line,
             message: msg.to_string(),
+            related: Vec::new(),
         };
         let rest = rest.trim_start();
         let Some(inner_end) = rest.strip_prefix('(').and_then(|r| r.find(')')) else {
@@ -401,7 +627,7 @@ fn parse_allows(tokens: &[Token], ctx: &FileCtx) -> Allows {
 /// Returns, per code token, whether it sits inside a `#[cfg(test)]` item or a
 /// `#[test]` function — plus the names of test-only out-of-line modules
 /// (`#[cfg(test)] mod foo;`).
-fn test_regions(code: &[&Token]) -> (Vec<bool>, Vec<String>) {
+pub(crate) fn test_regions(code: &[&Token]) -> (Vec<bool>, Vec<String>) {
     let mut in_test = vec![false; code.len()];
     let mut test_mods = Vec::new();
     let mut i = 0usize;
@@ -443,7 +669,7 @@ fn test_regions(code: &[&Token]) -> (Vec<bool>, Vec<String>) {
 }
 
 /// Index of the token matching the opener at `open_idx` (same nesting level).
-fn matching(code: &[&Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+pub(crate) fn matching(code: &[&Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
     let mut depth = 0i32;
     for (k, t) in code.iter().enumerate().skip(open_idx) {
         if t.is_punct(open) {
@@ -502,6 +728,7 @@ fn push(out: &mut Vec<Violation>, rule: RuleId, ctx: &FileCtx, line: u32, messag
         path: ctx.path.clone(),
         line,
         message,
+        related: Vec::new(),
     });
 }
 
@@ -785,7 +1012,7 @@ fn scan_d8(code: &[&Token], in_test: &[bool], ctx: &FileCtx, out: &mut Vec<Viola
 }
 
 /// Unit-suffix class of an identifier, per the `sim/src/units.rs` conventions.
-fn unit_class(ident: &str) -> Option<&'static str> {
+pub(crate) fn unit_class(ident: &str) -> Option<&'static str> {
     if ident.ends_with("_ns") || ident.ends_with("_us") || ident.ends_with("_ms") {
         Some("time")
     } else if ident.ends_with("_bytes") {
@@ -797,7 +1024,7 @@ fn unit_class(ident: &str) -> Option<&'static str> {
     }
 }
 
-const MIXING_OPS: [&str; 8] = ["+", "-", "<", ">", "<=", ">=", "==", "!="];
+pub(crate) const MIXING_OPS: [&str; 8] = ["+", "-", "<", ">", "<=", ">=", "==", "!="];
 const CAPACITY_SHIFTS: [u128; 5] = [10, 20, 30, 40, 50];
 
 /// U1: unit-suffix mixing across additive/comparison operators, and raw

@@ -1,0 +1,241 @@
+//! Call-graph reachability checked against a hand-computed oracle.
+//!
+//! The graph under test is built from a small in-memory workspace whose
+//! exact edge set is worked out by hand below; the test then asserts that
+//! `CallGraph::build` + `reachable_from` agree with the oracle on every
+//! function — reachable and unreachable alike — and that the recorded
+//! parent edges reconstruct the expected shortest chains.
+
+use std::collections::BTreeSet;
+
+use mrm_lint::callgraph::CallGraph;
+use mrm_lint::dataflow::entry_points;
+use mrm_lint::parse::parse_file;
+use mrm_lint::rules::FileCtx;
+use mrm_lint::symbols::{FileEntry, FnId, SymbolTable};
+
+/// The mini-workspace. Hand-derived call edges (after stoplist and
+/// self-loop pruning):
+///
+/// ```text
+/// sim::run_cluster  -> sim::phase_a            (bare, same file)
+/// sim::phase_a      -> sim::phase_b            (bare, same file)
+/// sim::phase_a      -> util::shared_cost       (qualified, module path)
+/// sim::phase_b      -> util::shared_cost       (qualified, module path)
+/// sim::on_arrival   -> sim::decode             (bare, same file)
+/// sim::Sim::step    -> sim::Sim::advance_clock (method, unique name)
+/// control::Controller::tick -> control::Controller::refresh_queue
+/// util::shared_cost -> util::leaf              (bare, same file)
+/// util::island      -> util::leaf              (bare, same file)
+/// ```
+///
+/// `.push(...)` inside `run_cluster` is stoplisted and contributes no
+/// edge even though `util` defines a `push` method; `lonely_sim` and
+/// `island` have no incoming edges from any entry point.
+const SIM_SRC: &str = r#"
+pub fn run_cluster(n: u64) -> u64 {
+    let mut acc = Vec::new();
+    for i in 0..n {
+        acc.push(phase_a(i));
+    }
+    acc.len() as u64
+}
+
+fn phase_a(i: u64) -> u64 {
+    phase_b(i) + mrm_util::shared_cost(i)
+}
+
+fn phase_b(i: u64) -> u64 {
+    mrm_util::shared_cost(i) * 2
+}
+
+pub fn on_arrival(ev: u64) -> u64 {
+    decode(ev)
+}
+
+fn decode(ev: u64) -> u64 {
+    ev ^ 1
+}
+
+fn lonely_sim(x: u64) -> u64 {
+    x
+}
+
+impl Sim {
+    pub fn step(&mut self) {
+        self.advance_clock();
+    }
+    fn advance_clock(&mut self) {}
+}
+"#;
+
+const CONTROL_SRC: &str = r#"
+impl Controller {
+    pub fn tick(&mut self) {
+        self.refresh_queue();
+    }
+    fn refresh_queue(&mut self) {}
+}
+"#;
+
+const UTIL_SRC: &str = r#"
+pub fn shared_cost(i: u64) -> u64 {
+    leaf(i)
+}
+
+fn leaf(i: u64) -> u64 {
+    i + 1
+}
+
+pub fn island(i: u64) -> u64 {
+    leaf(i)
+}
+
+impl Bag {
+    pub fn push(&mut self, _x: u64) {}
+}
+"#;
+
+fn build() -> (SymbolTable, CallGraph) {
+    let entries = vec![
+        ("crates/sim/src/lib.rs", SIM_SRC),
+        ("crates/control/src/lib.rs", CONTROL_SRC),
+        ("crates/util/src/lib.rs", UTIL_SRC),
+    ]
+    .into_iter()
+    .map(|(path, src)| FileEntry {
+        parsed: parse_file(src),
+        ctx: FileCtx::classify(path),
+    })
+    .collect();
+    let table = SymbolTable::build(entries);
+    let graph = CallGraph::build(&table);
+    (table, graph)
+}
+
+fn id(table: &SymbolTable, crate_name: &str, qual: &str) -> FnId {
+    table
+        .fns
+        .iter()
+        .position(|d| d.crate_name == crate_name && d.item.qual() == qual)
+        .unwrap_or_else(|| panic!("no fn {crate_name}::{qual}"))
+}
+
+fn names_of(table: &SymbolTable, ids: impl IntoIterator<Item = FnId>) -> BTreeSet<String> {
+    ids.into_iter()
+        .map(|f| {
+            let d = &table.fns[f];
+            format!("{}::{}", d.crate_name, d.item.qual())
+        })
+        .collect()
+}
+
+#[test]
+fn edges_match_hand_derived_oracle() {
+    let (table, graph) = build();
+    let oracle: BTreeSet<(String, String)> = [
+        ("sim::run_cluster", "sim::phase_a"),
+        ("sim::phase_a", "sim::phase_b"),
+        ("sim::phase_a", "util::shared_cost"),
+        ("sim::phase_b", "util::shared_cost"),
+        ("sim::on_arrival", "sim::decode"),
+        ("sim::Sim::step", "sim::Sim::advance_clock"),
+        (
+            "control::Controller::tick",
+            "control::Controller::refresh_queue",
+        ),
+        ("util::shared_cost", "util::leaf"),
+        ("util::island", "util::leaf"),
+    ]
+    .into_iter()
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .collect();
+
+    let mut actual: BTreeSet<(String, String)> = BTreeSet::new();
+    for (caller, edges) in graph.edges.iter().enumerate() {
+        let from = names_of(&table, [caller]).into_iter().next().expect("name");
+        for e in edges {
+            let to = names_of(&table, [e.to]).into_iter().next().expect("name");
+            actual.insert((from.clone(), to));
+        }
+    }
+    assert_eq!(actual, oracle, "call graph diverged from the hand oracle");
+}
+
+#[test]
+fn reachability_matches_hand_derived_oracle() {
+    let (table, graph) = build();
+    let entries = entry_points(&table);
+    // Entry discovery itself is part of the oracle: run_cluster (run*),
+    // on_arrival (on_*), Sim::step and Controller::tick (controller verbs).
+    assert_eq!(
+        names_of(&table, entries.iter().copied()),
+        [
+            "sim::run_cluster",
+            "sim::on_arrival",
+            "sim::Sim::step",
+            "control::Controller::tick"
+        ]
+        .into_iter()
+        .map(str::to_string)
+        .collect::<BTreeSet<_>>()
+    );
+
+    let parent = graph.reachable_from(&entries);
+    let reachable = names_of(&table, parent.keys().copied());
+    let expected: BTreeSet<String> = [
+        "sim::run_cluster",
+        "sim::on_arrival",
+        "sim::Sim::step",
+        "sim::Sim::advance_clock",
+        "sim::phase_a",
+        "sim::phase_b",
+        "sim::decode",
+        "control::Controller::tick",
+        "control::Controller::refresh_queue",
+        "util::shared_cost",
+        "util::leaf",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect();
+    assert_eq!(
+        reachable, expected,
+        "reachable set diverged from the oracle"
+    );
+
+    // The complement stays out: no path from any entry.
+    for unreachable in ["sim::lonely_sim", "util::island", "util::Bag::push"] {
+        assert!(
+            !reachable.contains(unreachable),
+            "{unreachable} must not be reachable"
+        );
+    }
+}
+
+#[test]
+fn parent_edges_reconstruct_shortest_chains() {
+    let (table, graph) = build();
+    let parent = graph.reachable_from(&entry_points(&table));
+    let leaf = id(&table, "util", "leaf");
+    let chain = graph.chain_to(&parent, leaf);
+    let names: Vec<String> = chain
+        .iter()
+        .map(|(f, _)| table.fns[*f].item.name.clone())
+        .collect();
+    // BFS guarantees a shortest chain: entry -> phase_a -> shared_cost ->
+    // leaf (4 hops), never the 5-hop detour through phase_b.
+    assert_eq!(names, vec!["run_cluster", "phase_a", "shared_cost", "leaf"]);
+    assert!(chain[0].1.is_none(), "the entry has no incoming edge");
+    assert_eq!(
+        chain[2].1.as_ref().map(|e| e.call_repr.as_str()),
+        Some("mrm_util::shared_cost"),
+        "edges record how the call was spelled"
+    );
+
+    // Every non-root hop's edge line points at real source.
+    for (f, e) in &chain[1..] {
+        let edge = e.as_ref().expect("non-root hop has an edge");
+        assert!(edge.line > 0, "edge line for {}", table.fns[*f].item.name);
+    }
+}

@@ -1,0 +1,47 @@
+//! D10 corpus: FaultRng-derived values must not flow into SimRng seeding,
+//! event scheduling, or TraceId derivation (nor SimRng draws into FaultRng
+//! seeding). This file pretends to live at `crates/sim/src/fixture.rs`.
+
+/// Direct draw into a scheduling call: fault timing perturbs the schedule.
+pub fn schedule_from_fault_draw(fault_rng: &mut FaultRng, q: &mut EventQueue) {
+    let delay = fault_rng.next_u64(); // fault-tainted
+    q.schedule_after(delay, Ev::Tick); // D10: fault value decides arrival time
+}
+
+/// Taint survives a chain of let-bindings before reaching the sink.
+pub fn laundered_through_locals(fault_rng: &mut FaultRng) -> SimRng {
+    let raw = fault_rng.next_u64();
+    let cooked = raw ^ 0xDEAD_BEEF;
+    SimRng::seed_from(cooked) // D10: fault value seeds the scheduling stream
+}
+
+/// Trace identity must derive from the experiment seed, not fault bits.
+pub fn trace_from_fault(fault_rng: &mut FaultRng) -> TraceId {
+    let salt = fault_rng.gen_range_u64(0, 1 << 16);
+    TraceId::derive(salt) // D10: fault value decides trace identity
+}
+
+/// The reverse direction: a scheduling draw must not seed the fault stream.
+pub fn fault_seed_from_sim(sim_rng: &mut SimRng) -> FaultRng {
+    let s = sim_rng.next_u64();
+    FaultRng::for_seed(s) // D10: sim value seeds the fault stream
+}
+
+/// Sim-stream values may schedule freely — that is their job.
+pub fn sim_jitter_is_fine(sim_rng: &mut SimRng, q: &mut EventQueue) {
+    let jitter = sim_rng.next_u64();
+    q.schedule_after(jitter, Ev::Tick);
+}
+
+/// Rebinding with an untainted value clears the taint.
+pub fn rebinding_clears(fault_rng: &mut FaultRng, q: &mut EventQueue, now: u64) {
+    let mut x = fault_rng.next_u64();
+    x = now + 1;
+    q.schedule_after(x, Ev::Tick);
+}
+
+/// Suppression path for the golden file: the annotated sink stays silent.
+pub fn explicitly_allowed(fault_rng: &mut FaultRng, q: &mut EventQueue) {
+    // mrm-lint: allow(D10) fixture exercising the suppression path
+    q.schedule_after(fault_rng.next_u64(), Ev::Tick);
+}

@@ -1,0 +1,45 @@
+//! U2 corpus: unit-suffix dimensions propagate through let-bindings and
+//! call boundaries where U1's single-expression check goes blind. This
+//! file pretends to live at `crates/sim/src/fixture.rs`.
+
+/// U1 dies at the first binding: `total` has no suffix. U2 remembers that
+/// it carries time and flags the later mix with a byte count.
+pub fn mix_through_binding(read_ns: u64, decode_ns: u64, size_bytes: u64) -> u64 {
+    let total = read_ns + decode_ns;
+    total + size_bytes // U2: time (propagated) + bytes
+}
+
+/// A binding whose *name* claims one dimension while its initializer has
+/// another is a lie waiting to be believed.
+pub fn misnamed_binding(read_ns: u64, decode_ns: u64) -> u64 {
+    let sum_bytes = read_ns + decode_ns; // U2: named bytes, initialized as time
+    sum_bytes
+}
+
+/// Dimension checks cross call boundaries via parameter-name suffixes.
+pub fn book_energy(cost_pj: f64) -> f64 {
+    cost_pj * 2.0
+}
+
+pub fn calls_with_wrong_dimension(lat_ns: f64) -> f64 {
+    book_energy(lat_ns) // U2: time passed to an energy parameter
+}
+
+/// Comparisons count as mixing too.
+pub fn compares_through_binding(a_ns: u64, b_ns: u64, cap_bytes: u64) -> bool {
+    let budget = a_ns + b_ns;
+    budget < cap_bytes // U2: time (propagated) compared against bytes
+}
+
+/// Multiplication legitimately changes dimension: propagation stops.
+pub fn rates_are_fine(a_ns: u64, weight: u64, size_bytes: u64) -> u64 {
+    let rate = a_ns * weight;
+    rate + size_bytes // no finding: rate's dimension is unknown
+}
+
+/// Suppression path for the golden file: the annotated mix stays silent.
+pub fn explicitly_allowed(read_ns: u64, decode_ns: u64, size_bytes: u64) -> u64 {
+    let total = read_ns + decode_ns;
+    // mrm-lint: allow(U2) fixture exercising the suppression path
+    total + size_bytes
+}

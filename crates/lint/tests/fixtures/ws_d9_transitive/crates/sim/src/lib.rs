@@ -1,0 +1,15 @@
+//! D9 workspace fixture, sim side: an event-loop entry point whose helper
+//! chain crosses into a non-sim crate. The lexical D1 cannot see the sink
+//! (it lives outside the sim-path crates); D9 follows the calls.
+
+pub fn run_cluster(iters: u64) -> u64 {
+    let mut total = 0;
+    for i in 0..iters {
+        total += stage_cost(i);
+    }
+    total
+}
+
+fn stage_cost(i: u64) -> u64 {
+    mrm_util::observed_latency(i)
+}

@@ -1,0 +1,7 @@
+//! D9 workspace fixture, helper side: a "utility" crate that reads the
+//! wall clock. Harmless on its own — but reachable from the sim loop.
+
+pub fn observed_latency(i: u64) -> u64 {
+    let t = Instant::now(); // the forbidden sink, two hops from the entry
+    i + t.elapsed().as_nanos() as u64
+}

@@ -13,6 +13,7 @@ use std::process::Command;
 
 use mrm_lint::rules::{lint_source, FileCtx, RuleId};
 use mrm_lint::walk::find_workspace_root;
+use mrm_lint::{analyze_workspace, lint_workspace};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -83,6 +84,60 @@ fn fixtures_match_golden_output() {
     }
 }
 
+/// The D9 fixture is a two-crate workspace directory (a single file cannot
+/// demonstrate a cross-crate chain by construction); it is linted with
+/// `lint_workspace` and blessed against its own golden file.
+#[test]
+fn ws_d9_fixture_matches_golden_with_full_chain() {
+    let dir = fixtures_dir();
+    let violations =
+        lint_workspace(&dir.join("ws_d9_transitive")).expect("workspace fixture lints");
+    let mut actual = String::new();
+    for v in &violations {
+        actual.push_str(&v.render());
+        actual.push('\n');
+    }
+    assert!(
+        violations.iter().any(|v| v.rule == RuleId::D9),
+        "workspace fixture must trigger D9: {actual}"
+    );
+    // The acceptance criterion: the golden encodes a full chain, entry
+    // point -> helper -> forbidden sink, with file:line hops.
+    let d9 = violations
+        .iter()
+        .find(|v| v.rule == RuleId::D9)
+        .expect("D9 violation present");
+    for hop in ["run_cluster", "stage_cost", "observed_latency", "Instant"] {
+        assert!(
+            d9.message.contains(hop),
+            "chain missing `{hop}`: {}",
+            d9.message
+        );
+    }
+    assert!(
+        d9.message.contains("crates/util/src/lib.rs"),
+        "chain names the sink file: {}",
+        d9.message
+    );
+    assert!(
+        d9.related.len() >= 2,
+        "chain hops are attached as related sites: {:?}",
+        d9.related
+    );
+
+    let expected_path = dir.join("ws_d9_transitive.expected");
+    if std::env::var_os("MRM_LINT_BLESS").is_some() {
+        fs::write(&expected_path, &actual)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", expected_path.display()));
+        return;
+    }
+    assert_eq!(
+        actual,
+        read(&expected_path),
+        "golden mismatch for ws_d9_transitive; run MRM_LINT_BLESS=1 cargo test -p mrm-lint"
+    );
+}
+
 #[test]
 fn every_rule_has_fixture_coverage() {
     let dir = fixtures_dir();
@@ -100,6 +155,12 @@ fn every_rule_has_fixture_coverage() {
                     seen.push(v.rule);
                 }
             }
+        }
+    }
+    // D9 is covered by the workspace-directory fixture.
+    for v in lint_workspace(&dir.join("ws_d9_transitive")).expect("workspace fixture lints") {
+        if !seen.contains(&v.rule) {
+            seen.push(v.rule);
         }
     }
     for rule in RuleId::ALL {
@@ -124,7 +185,9 @@ fn allow_annotations_suppress_in_fixtures() {
         "d5_unwrap",
         "d6_fault_rng",
         "d7_decision_api",
+        "d10_rng_taint",
         "u1_units",
+        "u2_interproc_units",
     ] {
         let source = read(&dir.join(format!("{name}.rs")));
         let with = lint_source(&source, &fixture_ctx(name)).violations.len();
@@ -289,9 +352,132 @@ fn fixture_corpus_fails_deny_when_walked() {
     }
     let (ok, text) = ws.run(&["--deny"]);
     assert!(!ok, "fixture corpus must fail --deny:\n{text}");
-    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "U1"] {
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D10", "U1", "U2"] {
         assert!(text.contains(rule), "corpus run missing {rule}:\n{text}");
     }
+}
+
+#[test]
+fn transitive_wall_clock_fails_deny_while_direct_helper_is_invisible_lexically() {
+    // The acceptance criterion for D9: a sim entry point whose helper chain
+    // crosses into a non-sim crate and reads the wall clock there must fail
+    // `--deny`, with the full chain in the diagnostic. The same helper with
+    // no path from an entry point stays clean (reachability, not presence).
+    let ws = Scratch::new("d9");
+    ws.file(
+        "crates/sim/src/lib.rs",
+        "pub fn run_epoch(n: u64) -> u64 {\n    cost_model(n)\n}\n\
+         fn cost_model(n: u64) -> u64 {\n    mrm_util::sampled_now(n)\n}\n",
+    );
+    ws.file(
+        "crates/util/src/lib.rs",
+        "pub fn sampled_now(n: u64) -> u64 {\n    n + Instant::now().elapsed().as_nanos() as u64\n}\n",
+    );
+    let (ok, text) = ws.run(&["--deny"]);
+    assert!(!ok, "transitive wall-clock must fail --deny:\n{text}");
+    assert!(text.contains("D9"), "expected a D9 diagnostic:\n{text}");
+    for hop in ["run_epoch", "cost_model", "sampled_now"] {
+        assert!(text.contains(hop), "chain missing `{hop}`:\n{text}");
+    }
+
+    // Sever the chain: the helper still reads the clock, but no sim entry
+    // reaches it, so the workspace passes.
+    let severed = Scratch::new("d9-severed");
+    severed.file(
+        "crates/sim/src/lib.rs",
+        "pub fn run_epoch(n: u64) -> u64 {\n    n * 2\n}\n",
+    );
+    severed.file(
+        "crates/util/src/lib.rs",
+        "pub fn sampled_now(n: u64) -> u64 {\n    n + Instant::now().elapsed().as_nanos() as u64\n}\n",
+    );
+    let (ok, text) = severed.run(&["--deny"]);
+    assert!(ok, "unreachable helper must pass --deny:\n{text}");
+}
+
+#[test]
+fn sarif_output_is_well_formed_and_carries_code_flows() {
+    let ws = Scratch::new("sarif");
+    ws.file(
+        "crates/sim/src/lib.rs",
+        "pub fn run_epoch(n: u64) -> u64 {\n    mrm_util::sampled_now(n)\n}\n",
+    );
+    ws.file(
+        "crates/util/src/lib.rs",
+        "pub fn sampled_now(n: u64) -> u64 {\n    n + Instant::now().elapsed().as_nanos() as u64\n}\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_mrm-lint"))
+        .arg("--root")
+        .arg(&ws.root)
+        .arg("--format")
+        .arg("sarif")
+        .output()
+        .expect("spawn mrm-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Stdout is the SARIF document and nothing else: machine-consumable.
+    assert!(
+        stdout.trim_start().starts_with('{') && stdout.trim_end().ends_with('}'),
+        "sarif stdout must be a single JSON object:\n{stdout}"
+    );
+    for needle in [
+        "\"version\":\"2.1.0\"",
+        "sarif-2.1.0.json",
+        "\"ruleId\":\"D9\"",
+        "\"codeFlows\"",
+        "\"relatedLocations\"",
+        "mrm-lint",
+    ] {
+        assert!(stdout.contains(needle), "sarif missing {needle}:\n{stdout}");
+    }
+}
+
+#[test]
+fn explain_and_dump_callgraph_flags() {
+    let ws = Scratch::new("cli");
+    ws.file(
+        "crates/sim/src/lib.rs",
+        "pub fn run_epoch(n: u64) -> u64 {\n    helper(n)\n}\nfn helper(n: u64) -> u64 {\n    n\n}\n",
+    );
+    let (ok, text) = ws.run(&["--explain", "D9"]);
+    assert!(ok, "--explain D9 exits zero:\n{text}");
+    assert!(
+        text.contains("transitively") || text.contains("call chain"),
+        "--explain D9 describes the analysis:\n{text}"
+    );
+    let (ok, _) = ws.run(&["--explain", "Z99"]);
+    assert!(!ok, "--explain with an unknown rule must fail");
+
+    let (ok, text) = ws.run(&["--dump-callgraph"]);
+    assert!(ok, "--dump-callgraph exits zero:\n{text}");
+    assert!(text.contains("digraph"), "DOT output expected:\n{text}");
+    assert!(
+        text.contains("run_epoch") && text.contains("helper"),
+        "callgraph names reachable functions:\n{text}"
+    );
+}
+
+#[test]
+fn update_baseline_deletes_file_when_debt_reaches_zero() {
+    let ws = Scratch::new("zero-debt");
+    ws.file(
+        "crates/foo/src/lib.rs",
+        "pub fn a(x: u32) -> u32 { x + 1 }\n",
+    );
+    ws.file("lint-baseline.txt", "D5 crates/foo/src/lib.rs 3\n");
+    let (ok, text) = ws.run(&["--deny"]);
+    assert!(!ok, "stale baseline must fail --deny:\n{text}");
+    let (ok, text) = ws.run(&["--update-baseline"]);
+    assert!(ok, "--update-baseline succeeds at zero debt:\n{text}");
+    assert!(
+        !ws.root.join("lint-baseline.txt").exists(),
+        "baseline file must be deleted when the debt reaches zero"
+    );
+    // And the workspace passes --deny with no baseline file at all.
+    let (ok, text) = ws.run(&["--deny"]);
+    assert!(
+        ok,
+        "zero-debt workspace passes --deny without a baseline:\n{text}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +507,30 @@ fn lint_is_clean_on_its_own_sources() {
             report.violations
         );
     }
+}
+
+#[test]
+fn workspace_is_interprocedurally_clean() {
+    // The real workspace must hold the D9/D10/U2 invariants without any
+    // suppressions beyond what the sources annotate, and its call graph
+    // must be non-trivial (entry points exist and reach helper crates).
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let analysis = analyze_workspace(&root).expect("workspace analyzes");
+    let interproc: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| matches!(v.rule, RuleId::D9 | RuleId::D10 | RuleId::U2))
+        .collect();
+    assert!(
+        interproc.is_empty(),
+        "workspace must be D9/D10/U2-clean: {interproc:?}"
+    );
+    let dot = analysis.callgraph_dot();
+    assert!(
+        dot.contains("digraph") && dot.contains("->"),
+        "workspace call graph must have reachable edges"
+    );
 }
 
 #[test]

@@ -188,7 +188,9 @@ where
                         break;
                     }
                     let r = (self.job)(&self.grid.points()[i], rngs[i].clone());
-                    *slots[i].lock().unwrap() = Some(r);
+                    *slots[i]
+                        .lock()
+                        .expect("a sweep worker panicked while holding a result slot") = Some(r);
                 });
             }
         });
@@ -197,7 +199,7 @@ where
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .unwrap()
+                    .expect("a sweep worker panicked while holding a result slot")
                     .expect("every grid point ran to completion")
             })
             .collect()

@@ -120,7 +120,10 @@ pub fn simulate_wear_with_telemetry(
 
     while now.duration_since(SimTime::ZERO) < window {
         if live.len() >= max_live {
-            for z in live.pop_front().unwrap() {
+            let retired = live
+                .pop_front()
+                .expect("live stream queue is non-empty when at max_live");
+            for z in retired {
                 ctrl.reset_zone(z).expect("reset");
             }
         }
@@ -152,7 +155,9 @@ pub fn simulate_wear_with_telemetry(
     let (max_cycles, mean_cycles) = zone_cycle_stats(&ctrl);
     if sink.enabled() {
         for i in 0..ctrl.zone_count() {
-            let c = ctrl.write_cycles(ZoneId(i as u32)).unwrap();
+            let c = ctrl
+                .write_cycles(ZoneId(i as u32))
+                .expect("zone index is within zone_count");
             sink.observe("zone_write_cycles", c as f64);
         }
     }
@@ -179,7 +184,9 @@ fn zone_cycle_stats(ctrl: &MrmBlockController) -> (u64, f64) {
     let mut max_cycles = 0u64;
     let mut total_cycles = 0u64;
     for i in 0..n {
-        let c = ctrl.write_cycles(ZoneId(i as u32)).unwrap();
+        let c = ctrl
+            .write_cycles(ZoneId(i as u32))
+            .expect("zone index is within zone_count");
         max_cycles = max_cycles.max(c);
         total_cycles += c;
     }

@@ -212,7 +212,11 @@ impl TraceMix {
             }
             pick -= w;
         }
-        let s = &self.samplers.last().unwrap().1;
+        let s = &self
+            .samplers
+            .last()
+            .expect("TraceMix has at least one sampler")
+            .1;
         let (p, o) = s.sample(rng);
         (s.kind(), p, o)
     }
