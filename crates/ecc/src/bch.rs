@@ -71,6 +71,11 @@ pub struct Bch {
     shorten: usize,
     /// Generator polynomial coefficients over GF(2), index = degree.
     gen: Vec<u8>,
+    /// Horner hop tables for syndrome evaluation: `steps[j-1][d] = α^{j·d}`
+    /// for `d ∈ 0..=64`, so the packed evaluator multiplies across a gap of
+    /// `d` zero coefficients (up to a whole `u64` word) with one table
+    /// lookup instead of `d` field multiplications.
+    steps: Vec<Vec<u16>>,
 }
 
 impl Bch {
@@ -115,6 +120,18 @@ impl Bch {
                 (d, k_full - d)
             }
         };
+        let steps = (1..=2 * t)
+            .map(|j| {
+                let aj = gf.alpha_pow(j as i64);
+                let mut row = Vec::with_capacity(65);
+                row.push(1u16);
+                for d in 1..=64usize {
+                    let prev = row[d - 1];
+                    row.push(gf.mul(prev, aj));
+                }
+                row
+            })
+            .collect();
         Bch {
             gf,
             n_full,
@@ -122,6 +139,7 @@ impl Bch {
             k,
             shorten,
             gen,
+            steps,
         }
     }
 
@@ -177,18 +195,77 @@ impl Bch {
         cw
     }
 
-    /// Computes the 2t syndromes of a stored codeword. All-zero syndromes
-    /// mean a valid codeword.
-    fn syndromes(&self, cw: &[u8]) -> Vec<u16> {
+    /// Computes the 2t syndromes of a stored codeword by direct per-set-bit
+    /// accumulation: `S_j = Σ_{i: c_i=1} α^{j·i}`. Retained as the reference
+    /// oracle for the packed Horner evaluator below.
+    #[cfg(test)]
+    fn syndromes_reference(&self, cw: &[u8]) -> Vec<u16> {
         (1..=2 * self.t)
             .map(|j| {
-                // S_j = c(α^j), evaluated by accumulating only set bits:
-                // Σ_{i: c_i=1} α^{j·i}.
                 let mut acc = 0u16;
                 for (i, &b) in cw.iter().enumerate() {
                     if b != 0 {
                         acc ^= self.gf.alpha_pow((j * i) as i64);
                     }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Packs a one-bit-per-byte codeword into `u64` words, bit `i % 64` of
+    /// word `i / 64` holding coefficient `i`.
+    fn pack_bits(cw: &[u8], words: &mut Vec<u64>) {
+        words.clear();
+        words.resize(cw.len().div_ceil(64), 0);
+        for (i, &b) in cw.iter().enumerate() {
+            debug_assert!(b <= 1, "bits must be 0 or 1");
+            words[i / 64] |= u64::from(b) << (i % 64);
+        }
+    }
+
+    /// Computes the 2t syndromes from a bit-packed codeword by Horner's
+    /// rule over GF(2^m), hopping between set coefficients with the
+    /// precomputed `steps` tables: `S_j = c(α^j)` costs ≈ one table-driven
+    /// multiplication per set bit (zero words are skipped whole), instead of
+    /// one modular exponent per set bit per syndrome.
+    fn syndromes_packed(&self, words: &[u64]) -> Vec<u16> {
+        (1..=2 * self.t)
+            .map(|j| {
+                let step = &self.steps[j - 1];
+                let mut acc = 0u16;
+                // `mark` = coefficient index `acc` is aligned to: acc holds
+                // Σ_{i ≥ mark} c_i α^{j·(i−mark)}. Visit set bits high → low.
+                let mut mark = 0usize;
+                for (w_idx, &w) in words.iter().enumerate().rev() {
+                    if w == 0 {
+                        continue;
+                    }
+                    let mut x = w;
+                    while x != 0 {
+                        let b = 63 - x.leading_zeros() as usize;
+                        x ^= 1u64 << b;
+                        let i = w_idx * 64 + b;
+                        if acc != 0 {
+                            let mut gap = mark - i;
+                            while gap > 64 {
+                                acc = self.gf.mul(acc, step[64]);
+                                gap -= 64;
+                            }
+                            acc = self.gf.mul(acc, step[gap]);
+                        }
+                        acc ^= 1;
+                        mark = i;
+                    }
+                }
+                // Align the accumulator down to coefficient 0.
+                if acc != 0 {
+                    let mut gap = mark;
+                    while gap > 64 {
+                        acc = self.gf.mul(acc, step[64]);
+                        gap -= 64;
+                    }
+                    acc = self.gf.mul(acc, step[gap]);
                 }
                 acc
             })
@@ -207,12 +284,67 @@ impl Bch {
     /// Panics if `cw.len() != self.n()`.
     pub fn decode(&self, cw: &[u8]) -> Result<(Vec<u8>, usize), BchError> {
         assert_eq!(cw.len(), self.n(), "codeword length mismatch");
-        let syn = self.syndromes(cw);
+        let mut words = Vec::new();
+        Self::pack_bits(cw, &mut words);
+        let syn = self.syndromes_packed(&words);
         if syn.iter().all(|&s| s == 0) {
             return Ok((cw[self.parity_bits()..].to_vec(), 0));
         }
+        self.correct(cw, &syn)
+    }
 
-        let sigma = self.berlekamp_massey(&syn);
+    /// Decodes a slice of stored codewords: the batched front-end the fault
+    /// model's decode ladders call.
+    ///
+    /// A [`CleanScreen`] reduction table — `v(x)·x^d mod g(x)` for every
+    /// 8-bit chunk `v` — is built once per call and amortized across the
+    /// batch. Each lane then pays one word-parallel remainder computation
+    /// (≈ `n/8` table lookups): remainder zero is *exactly* "all 2t
+    /// syndromes zero" (the syndromes are `c(α^j)` for the roots of `g`, so
+    /// both say `g | c`), and the lane early-exits to the clean path. Only
+    /// lanes with a nonzero remainder pay the per-set-bit Horner syndrome
+    /// pass, Berlekamp–Massey, and Chien search — so a clean-dominated
+    /// batch costs per-batch table construction plus per-lane screening.
+    /// Results are bitwise identical to mapping [`Bch::decode`] over the
+    /// slice (asserted by the differential suite in
+    /// `tests/batch_differential.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any codeword's length differs from `n()`.
+    pub fn decode_batch(&self, cws: &[&[u8]]) -> Vec<Result<(Vec<u8>, usize), BchError>> {
+        let screen = CleanScreen::build(&self.gen);
+        let mut words = Vec::new();
+        cws.iter()
+            .map(|cw| {
+                assert_eq!(cw.len(), self.n(), "codeword length mismatch");
+                Self::pack_bits(cw, &mut words);
+                match &screen {
+                    Some(s) => {
+                        if s.rem(&words) == 0 {
+                            return Ok((cw[self.parity_bits()..].to_vec(), 0));
+                        }
+                        // Nonzero remainder ⇒ nonzero syndromes: go
+                        // straight to the algebraic decode.
+                        let syn = self.syndromes_packed(&words);
+                        self.correct(cw, &syn)
+                    }
+                    None => {
+                        let syn = self.syndromes_packed(&words);
+                        if syn.iter().all(|&v| v == 0) {
+                            return Ok((cw[self.parity_bits()..].to_vec(), 0));
+                        }
+                        self.correct(cw, &syn)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The dirty back half of decoding: Berlekamp–Massey, Chien search over
+    /// stored positions, and the validity recheck.
+    fn correct(&self, cw: &[u8], syn: &[u16]) -> Result<(Vec<u8>, usize), BchError> {
+        let sigma = self.berlekamp_massey(syn);
         let nu = sigma.len() - 1;
         if nu > self.t {
             return Err(BchError::TooManyErrors);
@@ -234,7 +366,9 @@ impl Bch {
             return Err(BchError::TooManyErrors);
         }
         // Recheck: corrected word must be a valid codeword.
-        if self.syndromes(&cw).iter().any(|&s| s != 0) {
+        let mut words = Vec::new();
+        Self::pack_bits(&cw, &mut words);
+        if self.syndromes_packed(&words).iter().any(|&s| s != 0) {
             return Err(BchError::TooManyErrors);
         }
         Ok((cw[self.parity_bits()..].to_vec(), found))
@@ -286,6 +420,79 @@ impl Bch {
             c.pop();
         }
         c
+    }
+}
+
+/// CRC-style clean screen for [`Bch::decode_batch`]: a byte-indexed
+/// reduction table for computing `c(x) mod g(x)` over GF(2) word-parallel.
+///
+/// A stored word is a valid codeword iff `g | c`, which is also exactly
+/// "all 2t syndromes zero" (the syndromes evaluate `c` at the roots of
+/// `g`), so a zero remainder lets a lane skip syndrome computation
+/// entirely. Building the 256-entry table costs a few microseconds and is
+/// paid once per batch; screening a lane costs one table lookup per input
+/// byte — an order of magnitude cheaper than the per-set-bit Horner
+/// syndrome pass it replaces on clean lanes.
+///
+/// Only codes whose parity degree fits the `u64` shift register
+/// (`8 ≤ deg g ≤ 56`) get a screen; tiny test codes fall back to the
+/// syndrome check.
+struct CleanScreen {
+    /// Degree of the generator polynomial (= parity bits).
+    d: usize,
+    /// `(1 << d) − 1`: the remainder register mask.
+    mask: u64,
+    /// `table[v] = v(x)·x^d mod g(x)` for each 8-bit chunk `v`.
+    table: [u64; 256],
+}
+
+impl CleanScreen {
+    fn build(gen: &[u8]) -> Option<CleanScreen> {
+        let d = gen.len() - 1;
+        if !(8..=56).contains(&d) {
+            return None;
+        }
+        // g(x) = x^d + (low bits), so x^d ≡ low bits (mod g).
+        let mut gbits = 0u64;
+        for (j, &g) in gen.iter().enumerate().take(d) {
+            gbits |= u64::from(g) << j;
+        }
+        let mask = (1u64 << d) - 1;
+        // base[k] = x^{d+k} mod g, by repeated multiply-by-x with reduction.
+        let mut base = [0u64; 8];
+        let mut pow = gbits;
+        for b in &mut base {
+            *b = pow;
+            let overflow = pow >> (d - 1) & 1 == 1;
+            pow = (pow << 1) & mask;
+            if overflow {
+                pow ^= gbits;
+            }
+        }
+        // table[v] = Σ_{k set in v} base[k], filled in one pass: each v
+        // extends the entry with its lowest bit cleared.
+        let mut table = [0u64; 256];
+        for v in 1usize..256 {
+            let k = v.trailing_zeros() as usize;
+            table[v] = table[v ^ (1 << k)] ^ base[k];
+        }
+        Some(CleanScreen { d, mask, table })
+    }
+
+    /// Remainder of the bit-packed codeword polynomial mod `g`, processing
+    /// 8 coefficients per step from the highest degree down. Zero iff the
+    /// word is a valid codeword. Leading zero padding in the top word is
+    /// harmless: absorbing zero bytes into a zero register is a no-op.
+    fn rem(&self, words: &[u64]) -> u64 {
+        let mut r = 0u64;
+        for &w in words.iter().rev() {
+            for shift in (0..8).rev() {
+                let byte = (w >> (shift * 8)) & 0xFF;
+                let top = (r >> (self.d - 8)) as usize;
+                r = (((r << 8) | byte) & self.mask) ^ self.table[top];
+            }
+        }
+        r
     }
 }
 
@@ -368,6 +575,42 @@ mod tests {
         assert_eq!((c.n(), c.k()), (63, 51)); // BCH(63,51,2)
         let c = Bch::new(8, 2);
         assert_eq!((c.n(), c.k()), (255, 239)); // BCH(255,239,2)
+    }
+
+    #[test]
+    fn clean_screen_remainder_agrees_with_syndromes() {
+        // The batch screen's claim: remainder zero ⇔ all 2t syndromes
+        // zero — checked on clean codewords, every single-bit corruption
+        // of one, and a handful of multi-bit corruptions.
+        for (m, t) in [(4u32, 2usize), (6, 2), (8, 3), (10, 2)] {
+            let code = Bch::new(m, t);
+            let screen = CleanScreen::build(&code.gen).expect("deg g within screen bounds");
+            let mut words = Vec::new();
+            let check = |cw: &[u8], words: &mut Vec<u64>| {
+                Bch::pack_bits(cw, words);
+                let clean_by_screen = screen.rem(words) == 0;
+                let clean_by_syndromes = code.syndromes_reference(cw).iter().all(|&s| s == 0);
+                assert_eq!(clean_by_screen, clean_by_syndromes, "m={m} t={t}");
+                clean_by_screen
+            };
+            let data = data_pattern(code.k(), 99);
+            let mut cw = code.encode(&data);
+            assert!(check(&cw, &mut words));
+            for i in 0..code.n() {
+                cw[i] ^= 1;
+                assert!(!check(&cw, &mut words), "flip at {i}");
+                cw[i] ^= 1;
+            }
+            for flips in [[0usize, 7], [3, 11], [1, 2]] {
+                for &i in &flips {
+                    cw[i % code.n()] ^= 1;
+                }
+                check(&cw, &mut words);
+                for &i in &flips {
+                    cw[i % code.n()] ^= 1;
+                }
+            }
+        }
     }
 
     #[test]
@@ -479,6 +722,47 @@ mod tests {
             // deg(g) ≤ m·t for binary BCH.
             assert!(gen.len() - 1 <= m as usize * t, "m={m} t={t}");
             assert_eq!(*gen.last().unwrap(), 1, "monic");
+        }
+    }
+
+    #[test]
+    fn packed_syndromes_match_reference() {
+        for (m, t) in [(4u32, 2usize), (6, 3), (8, 4), (10, 2), (10, 4)] {
+            let code = Bch::new(m, t);
+            for seed in 0..8u64 {
+                let data = data_pattern(code.k(), seed);
+                let mut cw = code.encode(&data);
+                // Clean, then progressively dirtier patterns.
+                for flips in 0..=(t + 2) {
+                    let mut words = Vec::new();
+                    Bch::pack_bits(&cw, &mut words);
+                    assert_eq!(
+                        code.syndromes_packed(&words),
+                        code.syndromes_reference(&cw),
+                        "m={m} t={t} seed={seed} flips={flips}"
+                    );
+                    cw[(seed as usize * 37 + flips * 101) % code.n()] ^= 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_decode_matches_scalar() {
+        let code = Bch::with_data_len(10, 2, 512);
+        let mut cws: Vec<Vec<u8>> = Vec::new();
+        for i in 0..40u64 {
+            let mut cw = code.encode(&data_pattern(512, i));
+            // Mix clean lanes with 1..=t+1-error lanes.
+            for e in 0..(i % 4) {
+                cw[((i * 131 + e * 977) % 532) as usize] ^= 1;
+            }
+            cws.push(cw);
+        }
+        let refs: Vec<&[u8]> = cws.iter().map(Vec::as_slice).collect();
+        let batch = code.decode_batch(&refs);
+        for (i, cw) in cws.iter().enumerate() {
+            assert_eq!(batch[i], code.decode(cw), "lane {i}");
         }
     }
 

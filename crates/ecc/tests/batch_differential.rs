@@ -1,0 +1,123 @@
+//! Seeded differential oracle: batched decode vs the scalar path.
+//!
+//! `Hamming::decode_batch` (bit-sliced syndrome folds) and
+//! `Bch::decode_batch` (packed Horner syndrome front-end) are pure
+//! optimizations — for every input, data *and* outcome must be bitwise
+//! identical to mapping the scalar decoder over the batch. This suite
+//! replays seeded random error patterns from zero flips up to and past the
+//! correction budget, across chunk boundaries (the SECDED bit-slicer works
+//! in lanes of 64) and across code geometries, and asserts exact equality.
+
+use mrm_ecc::bch::Bch;
+use mrm_ecc::hamming::Hamming;
+use mrm_sim::rng::SimRng;
+
+/// Flips `flips` distinct positions of `cw`, chosen by `rng`.
+fn flip(cw: &mut [u8], flips: usize, rng: &mut SimRng) {
+    let mut chosen: Vec<usize> = Vec::with_capacity(flips);
+    while chosen.len() < flips.min(cw.len()) {
+        let i = rng.gen_range_u64(cw.len() as u64) as usize;
+        if !chosen.contains(&i) {
+            chosen.push(i);
+            cw[i] ^= 1;
+        }
+    }
+}
+
+fn random_bits(n: usize, rng: &mut SimRng) -> Vec<u8> {
+    (0..n).map(|_| u8::from(rng.gen_bool(0.5))).collect()
+}
+
+#[test]
+fn secded_batch_is_bitwise_identical_to_scalar() {
+    for (k, seed) in [(64usize, 11u64), (26, 12), (120, 13)] {
+        let h = Hamming::new(k);
+        let mut rng = SimRng::seed_from(seed);
+        // 200 lanes: 3 full bit-slice chunks + a partial one. Error weight
+        // cycles 0..=3 — clean, corrected, and past-budget double errors.
+        let cws: Vec<Vec<u8>> = (0..200usize)
+            .map(|i| {
+                let mut cw = h.encode(&random_bits(k, &mut rng));
+                flip(&mut cw, i % 4, &mut rng);
+                cw
+            })
+            .collect();
+        let refs: Vec<&[u8]> = cws.iter().map(Vec::as_slice).collect();
+        let batch = h.decode_batch(&refs);
+        assert_eq!(batch.len(), cws.len());
+        for (i, cw) in cws.iter().enumerate() {
+            let scalar = h.decode(cw);
+            assert_eq!(batch[i], scalar, "k={k} lane {i}");
+        }
+    }
+}
+
+#[test]
+fn secded_batch_all_clean_chunk_early_exit_matches() {
+    let h = Hamming::secded_72_64();
+    let mut rng = SimRng::seed_from(99);
+    let cws: Vec<Vec<u8>> = (0..128)
+        .map(|_| h.encode(&random_bits(64, &mut rng)))
+        .collect();
+    let refs: Vec<&[u8]> = cws.iter().map(Vec::as_slice).collect();
+    for (i, got) in h.decode_batch(&refs).into_iter().enumerate() {
+        assert_eq!(got, h.decode(&cws[i]), "clean lane {i}");
+    }
+}
+
+#[test]
+fn bch_batch_is_bitwise_identical_to_scalar() {
+    // The fault model's production geometry (t=2 over 512 data bits,
+    // GF(2^10)) plus a small and a high-t code.
+    let codes = [
+        Bch::with_data_len(10, 2, 512),
+        Bch::new(6, 3),
+        Bch::with_data_len(10, 4, 256),
+    ];
+    for (ci, code) in codes.iter().enumerate() {
+        let mut rng = SimRng::seed_from(0xBC_u64 + ci as u64);
+        // Error weight sweeps 0..=t+2: through the budget and past it,
+        // where the decoder must fail identically on both paths.
+        let cws: Vec<Vec<u8>> = (0..60usize)
+            .map(|i| {
+                let mut cw = code.encode(&random_bits(code.k(), &mut rng));
+                flip(&mut cw, i % (code.t() + 3), &mut rng);
+                cw
+            })
+            .collect();
+        let refs: Vec<&[u8]> = cws.iter().map(Vec::as_slice).collect();
+        let batch = code.decode_batch(&refs);
+        for (i, cw) in cws.iter().enumerate() {
+            let scalar = code.decode(cw);
+            assert_eq!(batch[i], scalar, "code {ci} lane {i}");
+        }
+    }
+}
+
+#[test]
+fn bch_batch_clean_dominated_mix_matches() {
+    // The shape `mrm-faults` decode ladders see: overwhelmingly clean reads
+    // with a sparse sprinkle of dirty codewords.
+    let code = Bch::with_data_len(10, 2, 512);
+    let mut rng = SimRng::seed_from(7777);
+    let cws: Vec<Vec<u8>> = (0..256usize)
+        .map(|i| {
+            let mut cw = code.encode(&random_bits(code.k(), &mut rng));
+            if i % 32 == 5 {
+                flip(&mut cw, 1 + i % 2, &mut rng);
+            }
+            cw
+        })
+        .collect();
+    let refs: Vec<&[u8]> = cws.iter().map(Vec::as_slice).collect();
+    let batch = code.decode_batch(&refs);
+    let mut clean = 0;
+    for (i, cw) in cws.iter().enumerate() {
+        let scalar = code.decode(cw);
+        if matches!(&scalar, Ok((_, 0))) {
+            clean += 1;
+        }
+        assert_eq!(batch[i], scalar, "lane {i}");
+    }
+    assert!(clean >= 240, "mix should be clean-dominated, got {clean}");
+}

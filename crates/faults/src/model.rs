@@ -168,6 +168,13 @@ enum Probe {
     Miscorrected,
 }
 
+/// Pre-drawn input for one decoder probe: the written data and the
+/// adversarially flipped codeword.
+struct ProbeInput {
+    data: Vec<u8>,
+    cw: Vec<u8>,
+}
+
 /// The deterministic fault injector for one controller or tier.
 #[derive(Clone, Debug)]
 pub struct FaultModel {
@@ -284,10 +291,15 @@ impl FaultModel {
             }
             // Classify UE candidates through the real decoder on
             // adversarially flipped codewords (t+1 distinct positions).
+            // Inputs are drawn sequentially (decoding consumes no RNG, so
+            // the stream is identical to a draw/decode interleave) and the
+            // whole ladder is decoded in one batch.
             let probes = ue.min(u64::from(self.cfg.decoder_probes));
             out.detected_ue = ue - probes;
-            for _ in 0..probes {
-                match self.probe(self.t + 1) {
+            let inputs: Vec<ProbeInput> =
+                (0..probes).map(|_| self.probe_input(self.t + 1)).collect();
+            for p in self.classify_batch(&inputs) {
+                match p {
                     Probe::Detected => out.detected_ue += 1,
                     Probe::Corrected => out.corrected += 1,
                     Probe::Miscorrected => {
@@ -303,7 +315,8 @@ impl FaultModel {
             // failure here is an ECC bug and is surfaced, not hidden.
             if out.corrected > 0 {
                 let e = 1 + self.rng.gen_range_u64(self.t);
-                match self.probe(e) {
+                let input = self.probe_input(e);
+                match self.classify_batch(std::slice::from_ref(&input))[0] {
                     Probe::Corrected => {}
                     Probe::Detected => {
                         out.corrected -= 1;
@@ -320,9 +333,11 @@ impl FaultModel {
         out
     }
 
-    /// Encodes random data, flips `errors` distinct bits, decodes through
-    /// the real inner decoder, and classifies the outcome.
-    fn probe(&mut self, errors: u64) -> Probe {
+    /// Draws one probe's input: encodes random data and flips `errors`
+    /// distinct bits. This is the *only* RNG-consuming half of a probe —
+    /// classification is pure, so inputs can be drawn up front and decoded
+    /// as one batch without moving a single draw.
+    fn probe_input(&mut self, errors: u64) -> ProbeInput {
         let n = self.n as usize;
         let mut data = vec![0u8; self.k as usize];
         for chunk in data.chunks_mut(64) {
@@ -344,20 +359,34 @@ impl FaultModel {
                 cw[i] ^= 1;
             }
         }
+        ProbeInput { data, cw }
+    }
+
+    /// Decodes a slice of probe inputs through the batched inner decoder
+    /// and classifies each outcome. RNG-free.
+    fn classify_batch(&self, inputs: &[ProbeInput]) -> Vec<Probe> {
+        let refs: Vec<&[u8]> = inputs.iter().map(|p| p.cw.as_slice()).collect();
         match &self.codec {
-            Codec::Secded(h) => {
-                let (out, outcome) = h.decode(&cw);
-                match outcome {
+            Codec::Secded(h) => h
+                .decode_batch(&refs)
+                .into_iter()
+                .zip(inputs)
+                .map(|((out, outcome), p)| match outcome {
                     HammingOutcome::DoubleError => Probe::Detected,
-                    _ if out == data => Probe::Corrected,
+                    _ if out == p.data => Probe::Corrected,
                     _ => Probe::Miscorrected,
-                }
-            }
-            Codec::Bch(c) => match c.decode(&cw) {
-                Err(_) => Probe::Detected,
-                Ok((out, _)) if out == data => Probe::Corrected,
-                Ok(_) => Probe::Miscorrected,
-            },
+                })
+                .collect(),
+            Codec::Bch(c) => c
+                .decode_batch(&refs)
+                .into_iter()
+                .zip(inputs)
+                .map(|(res, p)| match res {
+                    Err(_) => Probe::Detected,
+                    Ok((out, _)) if out == p.data => Probe::Corrected,
+                    Ok(_) => Probe::Miscorrected,
+                })
+                .collect(),
         }
     }
 }

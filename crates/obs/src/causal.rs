@@ -29,7 +29,7 @@
 //!
 //! [`async_end`]: CausalTracer::async_end
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use mrm_sim::time::SimTime;
 
@@ -191,6 +191,10 @@ pub const CLUSTER_TRACK: u32 = u32::MAX;
 /// Bounded, deterministic span recorder. See the module docs for the
 /// span shapes; all methods are observe-only and O(open spans) worst
 /// case, O(1) typical.
+/// Async-span slot: the first open span inline plus spilled duplicates
+/// (see the `async_open` field doc).
+type AsyncSlot = (SpanRec, Vec<SpanRec>);
+
 pub struct CausalTracer {
     trace_id: TraceId,
     next: u64,
@@ -201,8 +205,14 @@ pub struct CausalTracer {
     open: Vec<SpanRec>,
     /// Per-track nesting stacks over `open` span ids.
     stacks: Vec<(u32, Vec<SpanId>)>,
-    /// Open async spans keyed by (kind, subject).
-    async_open: Vec<SpanRec>,
+    /// Open async spans keyed by (kind, subject). The value holds the
+    /// first open span inline and spills re-opened duplicates into the
+    /// vec (empty in the common case, so no per-key allocation). Keyed
+    /// lookup keeps `async_end` O(1) however many prefixes are parked
+    /// at once. The map is only ever *looked up* by key on the hot path;
+    /// the one place that iterates it ([`CausalTracer::finish`]) sorts
+    /// first, so hash order never reaches the trace.
+    async_open: HashMap<(u8, u64), AsyncSlot>,
     links: Vec<Link>,
     dropped: u64,
 }
@@ -219,14 +229,18 @@ impl CausalTracer {
     /// New tracer retaining at most `capacity` closed spans (oldest are
     /// evicted first; `dropped()` counts evictions).
     pub fn with_capacity(trace_id: TraceId, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         CausalTracer {
             trace_id,
             next: 0,
-            capacity: capacity.max(1),
-            closed: VecDeque::new(),
+            capacity,
+            // Preallocate a generous slab (bounded well below `capacity`'s
+            // worst case) so steady-state recording never pays a growth
+            // memcpy of the whole ring.
+            closed: VecDeque::with_capacity(capacity.min(1 << 15)),
             open: Vec::new(),
             stacks: Vec::new(),
-            async_open: Vec::new(),
+            async_open: HashMap::new(),
             links: Vec::new(),
             dropped: 0,
         }
@@ -243,15 +257,6 @@ impl CausalTracer {
         id
     }
 
-    fn stack_mut(&mut self, track: u32) -> &mut Vec<SpanId> {
-        if let Some(i) = self.stacks.iter().position(|(t, _)| *t == track) {
-            &mut self.stacks[i].1
-        } else {
-            self.stacks.push((track, Vec::new()));
-            &mut self.stacks.last_mut().expect("just pushed").1
-        }
-    }
-
     fn retain(&mut self, rec: SpanRec) {
         if self.closed.len() == self.capacity {
             self.closed.pop_front();
@@ -264,11 +269,15 @@ impl CausalTracer {
     /// currently open on that track.
     pub fn begin(&mut self, at: SimTime, kind: SpanKind, track: u32, subject: u64) -> SpanId {
         let id = self.next_id();
-        let parent = self
-            .stacks
-            .iter()
-            .find(|(t, _)| *t == track)
-            .and_then(|(_, s)| s.last().copied());
+        // One track lookup serves both the parent read and the push.
+        let si = match self.stacks.iter().position(|(t, _)| *t == track) {
+            Some(i) => i,
+            None => {
+                self.stacks.push((track, Vec::new()));
+                self.stacks.len() - 1
+            }
+        };
+        let parent = self.stacks[si].1.last().copied();
         self.open.push(SpanRec {
             id,
             parent,
@@ -280,7 +289,7 @@ impl CausalTracer {
             is_async: false,
             detail: Detail::default(),
         });
-        self.stack_mut(track).push(id);
+        self.stacks[si].1.push(id);
         id
     }
 
@@ -292,10 +301,50 @@ impl CausalTracer {
         };
         let mut rec = self.open.swap_remove(i);
         rec.end = at;
-        for (_, stack) in &mut self.stacks {
-            stack.retain(|s| *s != id);
+        // A slice can only sit in its own track's stack, and the common
+        // case (well-nested begin/end) closes the innermost one.
+        if let Some((_, stack)) = self.stacks.iter_mut().find(|(t, _)| *t == rec.track) {
+            if stack.last() == Some(&id) {
+                stack.pop();
+            } else {
+                stack.retain(|s| *s != id);
+            }
         }
         self.retain(rec);
+    }
+
+    /// Records an already-closed slice in one step — the hot path for
+    /// back-to-back spans whose bounds are both known at record time
+    /// (e.g. decode iterations), skipping the open-set and stack
+    /// bookkeeping of [`CausalTracer::begin`]/[`CausalTracer::end`].
+    /// The parent is the innermost slice open on `track` at record time;
+    /// nothing can nest *under* a slice recorded this way.
+    pub fn slice(
+        &mut self,
+        begin: SimTime,
+        end: SimTime,
+        kind: SpanKind,
+        track: u32,
+        subject: u64,
+    ) -> SpanId {
+        let id = self.next_id();
+        let parent = self
+            .stacks
+            .iter()
+            .find(|(t, _)| *t == track)
+            .and_then(|(_, s)| s.last().copied());
+        self.retain(SpanRec {
+            id,
+            parent,
+            kind,
+            track,
+            subject,
+            begin,
+            end,
+            is_async: false,
+            detail: Detail::default(),
+        });
+        id
     }
 
     /// Records a zero-duration slice (a point decision). Parent nesting
@@ -331,7 +380,7 @@ impl CausalTracer {
     /// Opens an async lifecycle span keyed by `(kind, subject)`.
     pub fn async_begin(&mut self, at: SimTime, kind: SpanKind, track: u32, subject: u64) -> SpanId {
         let id = self.next_id();
-        self.async_open.push(SpanRec {
+        let rec = SpanRec {
             id,
             parent: None,
             kind,
@@ -341,21 +390,31 @@ impl CausalTracer {
             end: at,
             is_async: true,
             detail: Detail::default(),
-        });
+        };
+        match self.async_open.entry((kind as u8, subject)) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((rec, Vec::new()));
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().1.push(rec),
+        }
         id
     }
 
     /// Closes the most recent open async span of `(kind, subject)`;
     /// unmatched ends are ignored.
     pub fn async_end(&mut self, at: SimTime, kind: SpanKind, subject: u64, detail: Detail) {
-        let Some(i) = self
-            .async_open
-            .iter()
-            .rposition(|s| s.kind == kind && s.subject == subject)
-        else {
+        let key = (kind as u8, subject);
+        let Some((first, spill)) = self.async_open.get_mut(&key) else {
             return;
         };
-        let mut rec = self.async_open.swap_remove(i);
+        let mut rec = match spill.pop() {
+            Some(r) => r,
+            None => {
+                let r = *first;
+                self.async_open.remove(&key);
+                r
+            }
+        };
         rec.end = at;
         rec.detail = detail;
         self.retain(rec);
@@ -366,13 +425,23 @@ impl CausalTracer {
         self.links.push(Link { cause, effect });
     }
 
-    /// Closes everything still open (run teardown) at `at`.
+    /// Closes everything still open (run teardown) at `at`. Async spans
+    /// close in key order — the entries are sorted before draining, so
+    /// the trace bytes never depend on hash order.
     pub fn finish(&mut self, at: SimTime) {
         let open: Vec<SpanId> = self.open.iter().map(|s| s.id).collect();
         for id in open {
             self.end(at, id);
         }
-        while let Some(mut rec) = self.async_open.pop() {
+        let mut entries: Vec<((u8, u64), AsyncSlot)> =
+            std::mem::take(&mut self.async_open).into_iter().collect();
+        entries.sort_unstable_by_key(|(key, _)| *key);
+        for (_, (first, mut spill)) in entries {
+            while let Some(mut rec) = spill.pop() {
+                rec.end = at;
+                self.retain(rec);
+            }
+            let mut rec = first;
             rec.end = at;
             self.retain(rec);
         }
@@ -405,7 +474,12 @@ impl CausalTracer {
 
     /// Spans currently open (slices + async).
     pub fn open_count(&self) -> usize {
-        self.open.len() + self.async_open.len()
+        self.open.len()
+            + self
+                .async_open
+                .values()
+                .map(|(_, spill)| 1 + spill.len())
+                .sum::<usize>()
     }
 }
 

@@ -38,7 +38,7 @@ pub mod slo;
 
 pub use causal::{CausalTracer, Detail, SpanId, SpanKind, SpanRec, TraceId};
 pub use check::{validate_chrome_trace, TraceStats};
-pub use profile::{HotHandler, ProfileReport, Profiler};
+pub use profile::{HandlerId, HotHandler, ProfileReport, Profiler};
 pub use slo::{SloBreach, SloKind, SloReport, SloSpec};
 
 /// The bundle a simulator attaches: one tracer plus one profiler, both

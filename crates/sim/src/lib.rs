@@ -42,7 +42,7 @@ pub mod trace;
 pub mod units;
 
 pub use dist::{Distribution, Empirical, Exponential, LogNormal, Zipf};
-pub use event::EventQueue;
+pub use event::{EventQueue, LegacyHeapQueue};
 pub use rng::SimRng;
 pub use stats::{LogHistogram, StreamingStats};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,261 @@
+//! Shared conformance suite for the two event-queue implementations.
+//!
+//! The calendar [`EventQueue`] and the retained [`LegacyHeapQueue`] oracle
+//! promise the same contract: `(time, seq)` pop order with FIFO ties, a
+//! clock that only advances on pop, and a `clear` that drops pending events
+//! while the clock and the FIFO sequence counter survive. Every test here
+//! runs against *both* implementations through one trait, so a contract
+//! drift in either shows up as a named failure — and a seeded differential
+//! replay drives random schedule/pop interleavings (same-instant bursts,
+//! far-future overflow-ladder jumps) through both queues side by side.
+
+use mrm_sim::event::{EventQueue, LegacyHeapQueue};
+use mrm_sim::rng::SimRng;
+use mrm_sim::time::{SimDuration, SimTime};
+
+/// The common queue contract, implemented by both queues for the tests.
+trait Queue<E>: Default {
+    fn schedule(&mut self, at: SimTime, event: E);
+    fn schedule_after(&mut self, delay: SimDuration, event: E);
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+    fn peek_time(&self) -> Option<SimTime>;
+    fn now(&self) -> SimTime;
+    fn len(&self) -> usize;
+    fn clear(&mut self);
+}
+
+macro_rules! impl_queue {
+    ($ty:ident) => {
+        impl<E> Queue<E> for $ty<E> {
+            fn schedule(&mut self, at: SimTime, event: E) {
+                $ty::schedule(self, at, event)
+            }
+            fn schedule_after(&mut self, delay: SimDuration, event: E) {
+                $ty::schedule_after(self, delay, event)
+            }
+            fn pop(&mut self) -> Option<(SimTime, E)> {
+                $ty::pop(self)
+            }
+            fn peek_time(&self) -> Option<SimTime> {
+                $ty::peek_time(self)
+            }
+            fn now(&self) -> SimTime {
+                $ty::now(self)
+            }
+            fn len(&self) -> usize {
+                $ty::len(self)
+            }
+            fn clear(&mut self) {
+                $ty::clear(self)
+            }
+        }
+    };
+}
+
+impl_queue!(EventQueue);
+impl_queue!(LegacyHeapQueue);
+
+// ---------------------------------------------------------------------------
+// clear contract (pinned for both implementations)
+// ---------------------------------------------------------------------------
+
+/// `clear` drops pending events but the clock survives: `now()` still
+/// reports the last popped timestamp and post-clear scheduling is relative
+/// to it.
+fn clear_keeps_clock<Q: Queue<u32>>() {
+    let mut q = Q::default();
+    q.schedule(SimTime::from_secs(10), 1);
+    q.schedule(SimTime::from_secs(20), 2);
+    assert_eq!(q.pop().unwrap(), (SimTime::from_secs(10), 1));
+    q.clear();
+    assert_eq!(q.len(), 0);
+    assert!(q.pop().is_none());
+    assert_eq!(
+        q.now(),
+        SimTime::from_secs(10),
+        "clear must not rewind time"
+    );
+    q.schedule_after(SimDuration::from_secs(5), 3);
+    assert_eq!(q.pop().unwrap(), (SimTime::from_secs(15), 3));
+}
+
+/// `clear` preserves the FIFO sequence counter: events scheduled after a
+/// clear tie-break *after* survivors of the same instant scheduled before
+/// it would have — observable as plain FIFO order across the clear.
+fn clear_keeps_seq_counter<Q: Queue<u32>>() {
+    let mut q = Q::default();
+    let t = SimTime::from_secs(1);
+    q.schedule(t, 100);
+    q.clear();
+    // Same instant, scheduled after the clear: must pop in schedule order,
+    // which requires the counter to have kept counting across the clear.
+    q.schedule(t, 0);
+    q.schedule(t, 1);
+    q.schedule(t, 2);
+    let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+    assert_eq!(order, vec![0, 1, 2]);
+}
+
+/// Scheduling and popping resumes cleanly after a clear mid-drain.
+fn clear_mid_drain_then_reuse<Q: Queue<u64>>() {
+    let mut q = Q::default();
+    for i in 0..100u64 {
+        q.schedule(SimTime::from_nanos(i * 3), i);
+    }
+    for _ in 0..50 {
+        q.pop();
+    }
+    q.clear();
+    assert!(q.peek_time().is_none());
+    for i in 0..100u64 {
+        q.schedule_after(SimDuration::from_nanos(i % 11), 1000 + i);
+    }
+    let mut last = q.now();
+    let mut n = 0;
+    while let Some((t, _)) = q.pop() {
+        assert!(t >= last);
+        last = t;
+        n += 1;
+    }
+    assert_eq!(n, 100);
+}
+
+#[test]
+fn clear_contract_calendar() {
+    clear_keeps_clock::<EventQueue<u32>>();
+    clear_keeps_seq_counter::<EventQueue<u32>>();
+    clear_mid_drain_then_reuse::<EventQueue<u64>>();
+}
+
+#[test]
+fn clear_contract_legacy_heap() {
+    clear_keeps_clock::<LegacyHeapQueue<u32>>();
+    clear_keeps_seq_counter::<LegacyHeapQueue<u32>>();
+    clear_mid_drain_then_reuse::<LegacyHeapQueue<u64>>();
+}
+
+// ---------------------------------------------------------------------------
+// seeded differential oracle
+// ---------------------------------------------------------------------------
+
+/// One differential step: both queues see the identical operation; every
+/// observable (pop results, peeks, clocks, lengths) must agree.
+fn differential_replay(seed: u64, ops: usize) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: LegacyHeapQueue<u64> = LegacyHeapQueue::new();
+    let mut payload = 0u64;
+    for step in 0..ops {
+        assert_eq!(cal.peek_time(), heap.peek_time(), "seed {seed} step {step}");
+        assert_eq!(cal.now(), heap.now(), "seed {seed} step {step}");
+        assert_eq!(cal.len(), heap.len(), "seed {seed} step {step}");
+        match rng.gen_range_u64(10) {
+            // Near-future single event (dense steady-state pattern).
+            0..=3 => {
+                let d = SimDuration::from_nanos(rng.gen_range_u64(10_000));
+                cal.schedule_after(d, payload);
+                heap.schedule_after(d, payload);
+                payload += 1;
+            }
+            // Same-instant FIFO burst.
+            4 => {
+                let d = SimDuration::from_nanos(rng.gen_range_u64(1_000));
+                let burst = 2 + rng.gen_range_u64(14);
+                for _ in 0..burst {
+                    cal.schedule_after(d, payload);
+                    heap.schedule_after(d, payload);
+                    payload += 1;
+                }
+            }
+            // Far-future event: lands in the calendar's overflow ladder
+            // (hours-to-days beyond any density-derived window).
+            5 => {
+                let d = SimDuration::from_secs(60 + rng.gen_range_u64(180_000));
+                cal.schedule_after(d, payload);
+                heap.schedule_after(d, payload);
+                payload += 1;
+            }
+            // Pop a few.
+            6..=8 => {
+                for _ in 0..=rng.gen_range_u64(4) {
+                    let (a, b) = (cal.pop(), heap.pop());
+                    assert_eq!(a, b, "seed {seed} step {step}: pop diverged");
+                }
+            }
+            // Rare clear (the contract above keeps clocks aligned).
+            _ => {
+                if rng.gen_bool(0.05) {
+                    cal.clear();
+                    heap.clear();
+                }
+            }
+        }
+    }
+    // Drain to the end: the tails must agree element for element.
+    loop {
+        let (a, b) = (cal.pop(), heap.pop());
+        assert_eq!(a, b, "seed {seed}: drain diverged");
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(cal.now(), heap.now(), "seed {seed}: final clocks diverged");
+}
+
+#[test]
+fn calendar_matches_heap_on_random_interleavings() {
+    for seed in 0..8u64 {
+        differential_replay(0xE0E0 + seed, 2_000);
+    }
+}
+
+#[test]
+fn calendar_matches_heap_on_long_dense_trace() {
+    differential_replay(0xD1CE, 20_000);
+}
+
+/// Monotone-heavy trace: every pop reschedules into the near future, the
+/// clock marches through many window rebuilds.
+#[test]
+fn calendar_matches_heap_under_sustained_advance() {
+    let mut rng = SimRng::seed_from(42);
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: LegacyHeapQueue<u64> = LegacyHeapQueue::new();
+    for i in 0..256u64 {
+        let t = SimTime::from_nanos(rng.gen_range_u64(1_000_000));
+        cal.schedule(t, i);
+        heap.schedule(t, i);
+    }
+    let mut payload = 256u64;
+    for _ in 0..50_000 {
+        let (a, b) = (cal.pop(), heap.pop());
+        assert_eq!(a, b);
+        let Some((t, _)) = a else { break };
+        // Refresh-like reschedule plus an occasional expiry far ahead.
+        let d = SimDuration::from_nanos(1 + rng.gen_range_u64(50_000));
+        cal.schedule(t + d, payload);
+        heap.schedule(t + d, payload);
+        payload += 1;
+        if rng.gen_bool(0.02) {
+            let far = SimDuration::from_secs(600);
+            cal.schedule(t + far, payload);
+            heap.schedule(t + far, payload);
+            payload += 1;
+        }
+        if rng.gen_bool(0.01) {
+            // Same-instant burst at the current clock.
+            for _ in 0..8 {
+                cal.schedule(t, payload);
+                heap.schedule(t, payload);
+                payload += 1;
+            }
+        }
+    }
+    loop {
+        let (a, b) = (cal.pop(), heap.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+}

@@ -26,7 +26,7 @@ use mrm_device::device::FRESH_RBER;
 use mrm_device::energy::EnergyBreakdown;
 use mrm_device::tech::presets;
 use mrm_faults::{FaultConfig, FaultModel};
-use mrm_obs::{Detail, Obs, SpanId, SpanKind};
+use mrm_obs::{Detail, HandlerId, Obs, SpanId, SpanKind};
 use mrm_sim::event::EventQueue;
 use mrm_sim::rng::SimRng;
 use mrm_sim::stats::LogHistogram;
@@ -326,6 +326,33 @@ enum Ev {
     TraceArrival { prompt: u32, output: u32 },
 }
 
+/// Profiler handler ids, interned once at [`ClusterSim::attach_obs`] so
+/// the per-event hooks never resolve a name on the dispatch path.
+#[derive(Clone, Copy)]
+struct ProfIds {
+    arrival: HandlerId,
+    iter_done: HandlerId,
+    followup: HandlerId,
+    cache_expire: HandlerId,
+    maintenance: HandlerId,
+    weight_redeploy: HandlerId,
+    admission: HandlerId,
+    reconcile_plan: HandlerId,
+    decode_iter: HandlerId,
+}
+
+/// Stable profiler handler per event kind (pre-interned id form).
+fn handler_id(ids: &ProfIds, ev: &Ev) -> HandlerId {
+    match ev {
+        Ev::Arrival | Ev::TraceArrival { .. } => ids.arrival,
+        Ev::IterDone { .. } => ids.iter_done,
+        Ev::Followup { .. } => ids.followup,
+        Ev::CacheExpire { .. } => ids.cache_expire,
+        Ev::Maintenance { .. } => ids.maintenance,
+        Ev::WeightRedeploy { .. } => ids.weight_redeploy,
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Pending {
     arrival: SimTime,
@@ -349,6 +376,66 @@ struct Active {
     first_token_done: bool,
 }
 
+/// The in-flight decode batch in struct-of-arrays layout.
+///
+/// Every decode iteration scans the whole batch twice (KV read sizing over
+/// `context_tokens`, per-context KV append over `retention`) and the
+/// completion sweep walks four more fields; splitting them into parallel
+/// dense columns keeps those scans on contiguous homogeneous memory
+/// instead of striding over `Active` records dragging the cold
+/// `kv_allocs` vectors through cache. Slot `i` means the same request in
+/// every column, and removal is a columnwise `swap_remove` — the exact
+/// ordering the AoS `Vec<Active>` had, so event order (and therefore
+/// every byte of every report) is unchanged.
+#[derive(Clone, Debug, Default)]
+struct ActiveBatch {
+    // Hot columns: scanned every iteration.
+    context_tokens: Vec<u32>,
+    output_remaining: Vec<u32>,
+    retention: Vec<SimDuration>,
+    first_token_done: Vec<bool>,
+    // Warm columns: touched at TTFT and completion.
+    arrival: Vec<SimTime>,
+    req: Vec<u64>,
+    kv_bytes: Vec<u64>,
+    // Cold: allocation handles, moved only at admission and completion.
+    kv_allocs: Vec<Vec<mrm_core::pool::Allocation>>,
+}
+
+impl ActiveBatch {
+    fn len(&self) -> usize {
+        self.req.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.req.is_empty()
+    }
+
+    fn push(&mut self, a: Active) {
+        self.context_tokens.push(a.context_tokens);
+        self.output_remaining.push(a.output_remaining);
+        self.retention.push(a.retention);
+        self.first_token_done.push(a.first_token_done);
+        self.arrival.push(a.arrival);
+        self.req.push(a.req);
+        self.kv_bytes.push(a.kv_bytes);
+        self.kv_allocs.push(a.kv_allocs);
+    }
+
+    fn swap_remove(&mut self, i: usize) -> Active {
+        Active {
+            context_tokens: self.context_tokens.swap_remove(i),
+            output_remaining: self.output_remaining.swap_remove(i),
+            retention: self.retention.swap_remove(i),
+            first_token_done: self.first_token_done.swap_remove(i),
+            arrival: self.arrival.swap_remove(i),
+            req: self.req.swap_remove(i),
+            kv_bytes: self.kv_bytes.swap_remove(i),
+            kv_allocs: self.kv_allocs.swap_remove(i),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Cached {
     kv_allocs: Vec<mrm_core::pool::Allocation>,
@@ -361,7 +448,7 @@ struct Cached {
 struct Accel {
     hbm: Tier,
     alt: Option<Tier>,
-    batch: Vec<Active>,
+    batch: ActiveBatch,
     queue: VecDeque<Pending>,
     cached: BTreeMap<u64, Cached>,
     /// Control-plane reconciler for the parked-prefix class: the data path
@@ -484,8 +571,12 @@ pub struct ClusterSim<'t> {
     // lint rule D8 keeps them out of every function that draws RNG or
     // mutates the event queue.
     obs: Option<&'t mut Obs>,
-    // Open decode-iteration span per accelerator (obs bookkeeping only).
-    iter_spans: Vec<Option<SpanId>>,
+    // Handler ids interned at `attach_obs`; `Some` iff `obs` is.
+    prof_ids: Option<ProfIds>,
+    // Start time + batch size of the in-flight decode iteration per
+    // accelerator (obs bookkeeping only); recorded as a closed slice on
+    // completion so the hot path skips the tracer's open-span machinery.
+    iter_open: Vec<Option<(SimTime, u64)>>,
 }
 
 impl<'t> ClusterSim<'t> {
@@ -541,7 +632,7 @@ impl<'t> ClusterSim<'t> {
                 let mut acc = Accel {
                     hbm,
                     alt,
-                    batch: Vec::new(),
+                    batch: ActiveBatch::default(),
                     queue: VecDeque::new(),
                     cached: BTreeMap::new(),
                     reconciler: Reconciler::new(ControlClass::KvPrefix),
@@ -683,7 +774,8 @@ impl<'t> ClusterSim<'t> {
             fault_escalations: 0,
             telemetry: None,
             obs: None,
-            iter_spans: Vec::new(),
+            prof_ids: None,
+            iter_open: Vec::new(),
         }
     }
 
@@ -729,7 +821,21 @@ impl<'t> ClusterSim<'t> {
     /// queue — lint rule D8), so the report is byte-identical with or
     /// without it.
     pub fn attach_obs(&mut self, obs: &'t mut Obs) {
-        self.iter_spans = vec![None; self.accels.len()];
+        self.iter_open = vec![None; self.accels.len()];
+        // Resolve every handler label once, here: the per-event hooks
+        // profile by pre-interned id and never look a name up again.
+        let p = &mut obs.profiler;
+        self.prof_ids = Some(ProfIds {
+            arrival: p.handle("arrival"),
+            iter_done: p.handle("iter_done"),
+            followup: p.handle("followup"),
+            cache_expire: p.handle("cache_expire"),
+            maintenance: p.handle("maintenance"),
+            weight_redeploy: p.handle("weight_redeploy"),
+            admission: p.handle("admission"),
+            reconcile_plan: p.handle("reconcile_plan"),
+            decode_iter: p.handle("decode_iter"),
+        });
         self.obs = Some(obs);
     }
 
@@ -741,11 +847,17 @@ impl<'t> ClusterSim<'t> {
     // mention the tracer or profiler, so observation can never sit on a
     // path that could perturb the simulation. Each hook is a `None`
     // check when detached.
+    //
+    // The profiler hooks take a `ProfIds` selector, not a name: ids were
+    // interned at `attach_obs`. Dispatch uses lap timing — a single
+    // `switch` per event closes the previous handler's lap and opens the
+    // next — so the steady-state per-event cost is one `Option` check
+    // and one clock read.
     // ------------------------------------------------------------------
 
-    fn obs_prof_enter(&mut self, name: &'static str) {
-        if let Some(o) = self.obs.as_deref_mut() {
-            o.profiler.enter(name);
+    fn obs_prof_enter(&mut self, sel: fn(&ProfIds) -> HandlerId) {
+        if let (Some(ids), Some(o)) = (self.prof_ids, self.obs.as_deref_mut()) {
+            o.profiler.enter_id(sel(&ids));
         }
     }
 
@@ -755,10 +867,18 @@ impl<'t> ClusterSim<'t> {
         }
     }
 
+    /// Closes the open frame and opens `ev`'s handler frame on a single
+    /// clock reading — the pop-to-dispatch lap transition.
+    fn obs_prof_switch_ev(&mut self, ev: &Ev) {
+        if let (Some(ids), Some(o)) = (self.prof_ids, self.obs.as_deref_mut()) {
+            o.profiler.switch(handler_id(&ids, ev));
+        }
+    }
+
     /// Charges a handler with simulated time (e.g. an iteration's latency).
-    fn obs_prof_sim(&mut self, name: &'static str, d: SimDuration) {
-        if let Some(o) = self.obs.as_deref_mut() {
-            o.profiler.sim_cost(name, d);
+    fn obs_prof_sim(&mut self, sel: fn(&ProfIds) -> HandlerId, d: SimDuration) {
+        if let (Some(ids), Some(o)) = (self.prof_ids, self.obs.as_deref_mut()) {
+            o.profiler.sim_cost_id(sel(&ids), d);
         }
     }
 
@@ -938,19 +1058,21 @@ impl<'t> ClusterSim<'t> {
         }
     }
 
-    /// Opens the decode-iteration slice on an accelerator's track.
+    /// Notes the start of a decode iteration on an accelerator's track.
+    /// No tracer call yet: the span is recorded as one closed slice at
+    /// `obs_iter_end`, which skips the open-span bookkeeping entirely.
     fn obs_iter_begin(&mut self, at: SimTime, acc: usize, batch: u64) {
-        if let Some(o) = self.obs.as_deref_mut() {
-            let span = o.tracer.begin(at, SpanKind::DecodeIter, acc as u32, batch);
-            self.iter_spans[acc] = Some(span);
+        if self.obs.is_some() {
+            self.iter_open[acc] = Some((at, batch));
         }
     }
 
-    /// Closes the accelerator's open decode-iteration slice.
+    /// Records the accelerator's decode iteration as a closed slice.
     fn obs_iter_end(&mut self, at: SimTime, acc: usize) {
         if let Some(o) = self.obs.as_deref_mut() {
-            if let Some(span) = self.iter_spans[acc].take() {
-                o.tracer.end(at, span);
+            if let Some((begin, batch)) = self.iter_open[acc].take() {
+                o.tracer
+                    .slice(begin, at, SpanKind::DecodeIter, acc as u32, batch);
             }
         }
     }
@@ -986,37 +1108,32 @@ impl<'t> ClusterSim<'t> {
     /// audit log — the chaos suite's oracle.
     pub fn run_with_audit(mut self) -> (ClusterReport, AuditLog) {
         let end = SimTime::ZERO + self.cfg.duration;
+        // Lap-timed profiling: each event costs exactly ONE clock read —
+        // the `switch` at the top of `dispatch` closes the previous
+        // handler's lap and opens this one's. Queue bookkeeping (peek,
+        // telemetry pump, pop) folds into the preceding handler's lap;
+        // the trailing `exit` closes the final lap.
         while let Some(t) = self.queue.peek_time() {
             if t > end {
                 break;
             }
             self.pump_telemetry(t.min(end));
-            self.obs_prof_enter("event_queue");
             let popped = self.queue.pop();
-            self.obs_prof_exit();
             let Some((now, ev)) = popped else {
                 break; // unreachable: peek_time just returned Some
             };
             self.dispatch(now, ev);
         }
+        self.obs_prof_exit();
         self.finish(end)
     }
 
-    /// Stable profiler label per event kind.
-    fn handler_label(ev: &Ev) -> &'static str {
-        match ev {
-            Ev::Arrival | Ev::TraceArrival { .. } => "arrival",
-            Ev::IterDone { .. } => "iter_done",
-            Ev::Followup { .. } => "followup",
-            Ev::CacheExpire { .. } => "cache_expire",
-            Ev::Maintenance { .. } => "maintenance",
-            Ev::WeightRedeploy { .. } => "weight_redeploy",
-        }
-    }
-
-    /// Executes one popped event, bracketed by the profiler.
+    /// Executes one popped event. The leading `switch` closes the
+    /// previous handler's lap and opens this one's on a single clock
+    /// read (on the first event it acts as a plain `enter`: there is
+    /// no open frame to close yet).
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
-        self.obs_prof_enter(Self::handler_label(&ev));
+        self.obs_prof_switch_ev(&ev);
         match ev {
             Ev::Arrival => self.on_arrival(now),
             Ev::IterDone { acc } => self.on_iter_done(now, acc),
@@ -1026,7 +1143,6 @@ impl<'t> ClusterSim<'t> {
             Ev::WeightRedeploy { acc } => self.on_weight_redeploy(now, acc),
             Ev::TraceArrival { prompt, output } => self.enqueue_request(now, prompt, output),
         }
-        self.obs_prof_exit();
     }
 
     /// Stamps every telemetry snapshot boundary due at or before `now`.
@@ -1180,7 +1296,18 @@ impl<'t> ClusterSim<'t> {
         // all plain scalars, so its fields are read through the reference
         // and the entry leaves the queue (one `pop_front`, no clone) only
         // once its KV allocation has succeeded.
-        self.obs_prof_enter("admission");
+        //
+        // The profiler frame opens only when admission can actually do
+        // work (a queued request and batch headroom): most calls arrive
+        // from `iter_done` with an empty queue, and a frame costs two
+        // clock reads. The gate reads sim state but never mutates it.
+        let admittable = {
+            let a = &self.accels[acc];
+            a.batch.len() < self.cfg.max_batch as usize && !a.queue.is_empty()
+        };
+        if admittable {
+            self.obs_prof_enter(|i| i.admission);
+        }
         loop {
             let a = &mut self.accels[acc];
             if a.batch.len() >= self.cfg.max_batch as usize {
@@ -1372,7 +1499,9 @@ impl<'t> ClusterSim<'t> {
             });
             self.active_total += 1;
         }
-        self.obs_prof_exit();
+        if admittable {
+            self.obs_prof_exit();
+        }
 
         let a = &mut self.accels[acc];
         if a.batch.is_empty() {
@@ -1385,8 +1514,9 @@ impl<'t> ClusterSim<'t> {
         let batch_len = a.batch.len() as u64;
         let kv_read_total: u64 = a
             .batch
+            .context_tokens
             .iter()
-            .map(|r| u64::from(r.context_tokens) * kvpt)
+            .map(|&c| u64::from(c) * kvpt)
             .sum();
         let act_bytes = self
             .cfg
@@ -1453,12 +1583,12 @@ impl<'t> ClusterSim<'t> {
                 _ => alt.as_mut().expect("policy requires an alternate tier"),
             };
             t += kvt.stream_read(kv_read_total);
-            for r in batch.iter() {
-                t += kvt.stream_write(kvpt, r.retention);
+            for &rt in &batch.retention {
+                t += kvt.stream_write(kvpt, rt);
             }
             if prefill_write_bytes > 0 {
                 // Prefill writes use the batch-average retention.
-                let rt = batch.first().map(|r| r.retention).unwrap_or(native);
+                let rt = batch.retention.first().copied().unwrap_or(native);
                 t += kvt.stream_write(prefill_write_bytes, rt);
             }
         }
@@ -1476,7 +1606,7 @@ impl<'t> ClusterSim<'t> {
         self.iterations += 1;
         self.batch_sum += batch_len;
         self.obs_iter_begin(now, acc, batch_len);
-        self.obs_prof_sim("decode_iter", t);
+        self.obs_prof_sim(|i| i.decode_iter, t);
         self.accels[acc].running = true;
         self.queue.schedule(now + t, Ev::IterDone { acc });
     }
@@ -1491,22 +1621,22 @@ impl<'t> ClusterSim<'t> {
             let a = &mut self.accels[acc];
             let mut i = 0;
             while i < a.batch.len() {
-                a.batch[i].context_tokens += 1;
-                a.batch[i].output_remaining -= 1;
+                a.batch.context_tokens[i] += 1;
+                a.batch.output_remaining[i] -= 1;
                 self.tokens += 1;
-                if !a.batch[i].first_token_done {
-                    a.batch[i].first_token_done = true;
-                    let ttft = now.duration_since(a.batch[i].arrival);
+                if !a.batch.first_token_done[i] {
+                    a.batch.first_token_done[i] = true;
+                    let ttft = now.duration_since(a.batch.arrival[i]);
                     let ttft_ms = ttft.as_secs_f64() * 1e3;
                     self.ttft_ms.record(ttft_ms);
                     if let Some(sink) = self.telemetry.as_deref_mut() {
                         sink.observe("ttft_ms", ttft_ms);
                     }
                     if self.obs.is_some() {
-                        first_tokens.push(a.batch[i].req);
+                        first_tokens.push(a.batch.req[i]);
                     }
                 }
-                if a.batch[i].output_remaining == 0 {
+                if a.batch.output_remaining[i] == 0 {
                     finished.push(a.batch.swap_remove(i));
                     self.active_total -= 1;
                 } else {
@@ -1802,7 +1932,7 @@ impl<'t> ClusterSim<'t> {
         if policy.uses_mrm() && self.cfg.scrub_enabled {
             let sweep = self.obs_sweep_begin(now, acc);
             let horizon = now + self.cfg.maintenance_period * 2;
-            self.obs_prof_enter("reconcile_plan");
+            self.obs_prof_enter(|i| i.reconcile_plan);
             let items = self.accels[acc]
                 .reconciler
                 .plan(now, horizon, &self.control.registry);
@@ -2327,8 +2457,8 @@ mod tests {
         );
         let prof = obs.profiler.report(5);
         assert!(
-            prof.top.iter().any(|h| h.name == "event_queue"),
-            "profiler missed the event queue"
+            prof.top.iter().any(|h| h.name == "iter_done"),
+            "profiler missed the decode handler"
         );
     }
 
