@@ -351,4 +351,55 @@ mod tests {
         tr.register(1, t(10), SimTime::MAX, SimDuration::MAX);
         tr.refreshed(1, t(9));
     }
+
+    #[test]
+    fn rearm_exactly_at_the_horizon_is_legal() {
+        // `now + retention == SimTime::MAX` exactly: in range, not an
+        // overflow — the deadline lands on the horizon, and an item parked
+        // there re-arms without tripping the checked arithmetic.
+        let now = SimTime::from_nanos(u64::MAX - 10);
+        let ret = SimDuration::from_nanos(10);
+        assert_eq!(rearm_deadline(now, ret), SimTime::MAX);
+        let mut tr = ExpiryTracker::new();
+        tr.register(1, t(1), SimTime::MAX, ret);
+        tr.refreshed(1, now);
+        assert_eq!(tr.deadline(1), Some(SimTime::MAX));
+    }
+
+    #[test]
+    fn deadline_parked_at_the_horizon_is_due_only_at_the_horizon() {
+        let mut tr = ExpiryTracker::new();
+        tr.register(1, SimTime::MAX, SimTime::MAX, SimDuration::from_secs(1));
+        assert_eq!(
+            tr.due_before(SimTime::from_nanos(u64::MAX - 1)),
+            Vec::<u64>::new()
+        );
+        assert_eq!(tr.due_before(SimTime::MAX), vec![1]);
+        // Nothing needs it past its (horizon) deadline: a legal drop.
+        assert_eq!(tr.decide(1, SimTime::MAX), Some(ExpiryAction::Drop));
+    }
+
+    #[test]
+    fn zero_ttl_class_boundaries() {
+        // A zero-retention class: the deadline re-arms to `now` itself and
+        // the age arithmetic degenerates without panicking.
+        let now = t(5);
+        assert_eq!(rearm_deadline(now, SimDuration::ZERO), now);
+        assert_eq!(
+            consumed_age(SimDuration::ZERO, SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+
+        let mut tr = ExpiryTracker::new();
+        // Needed no further than the deadline: drop.
+        tr.register(1, now, now, SimDuration::ZERO);
+        assert_eq!(tr.decide(1, now), Some(ExpiryAction::Drop));
+        // Needed *past* a zero-TTL deadline: refreshing a zero-retention
+        // class can never cover the need, so the decision must escalate to
+        // a migration, not loop on refreshes.
+        tr.register(2, now, now + SimDuration::from_nanos(1), SimDuration::ZERO);
+        assert_eq!(tr.decide(2, now), Some(ExpiryAction::Migrate));
+        // Zero-TTL items are due immediately.
+        assert_eq!(tr.due_before(now), vec![1, 2]);
+    }
 }

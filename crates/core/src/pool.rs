@@ -1132,4 +1132,50 @@ mod proptests {
             }
         }
     }
+
+    #[test]
+    fn zero_capacity_pool_is_inert_and_matches_the_oracle() {
+        // Degenerate geometry (found worth pinning by the `mrm-fuzz pool`
+        // corpus): a zero-byte device must build, report empty accounting,
+        // and refuse every allocation the same way the oracle does.
+        let mut tech = presets::mrm_hours();
+        tech.capacity_bytes = 0;
+        let mut p = Pool::new(MemoryDevice::new(tech));
+        let mut oracle = LegacyVecPool::new(0);
+        assert_eq!(p.used_bytes(), 0);
+        assert_eq!(p.free_bytes(), oracle.free_bytes());
+        assert_eq!(p.free_fragments(), oracle.free_fragments());
+        assert_eq!(p.free_ranges(), oracle.free_ranges());
+        assert!(matches!(p.alloc(1), Err(PoolError::OutOfMemory { .. })));
+        assert!(matches!(
+            oracle.alloc(1),
+            Err(PoolError::OutOfMemory { .. })
+        ));
+        assert!(matches!(p.alloc(0), Err(PoolError::ZeroSize)));
+        assert!(matches!(oracle.alloc(0), Err(PoolError::ZeroSize)));
+    }
+
+    #[test]
+    fn one_byte_pool_full_lifecycle() {
+        let mut tech = presets::mrm_hours();
+        tech.capacity_bytes = 1;
+        let mut p = Pool::new(MemoryDevice::new(tech));
+        let mut oracle = LegacyVecPool::new(1);
+        let a = p.alloc(1).unwrap();
+        let b = oracle.alloc(1).unwrap();
+        assert_eq!((a.addr, a.len), (b.addr, b.len));
+        assert_eq!(p.free_bytes(), 0);
+        assert!(matches!(p.alloc(1), Err(PoolError::OutOfMemory { .. })));
+        assert!(matches!(
+            oracle.alloc(1),
+            Err(PoolError::OutOfMemory { .. })
+        ));
+        p.free(a).unwrap();
+        oracle.free(b).unwrap();
+        assert_eq!(p.free_ranges(), oracle.free_ranges());
+        // The single byte is reusable after the free.
+        let c = p.alloc(1).unwrap();
+        assert_eq!(c.addr, 0);
+        assert!(matches!(p.alloc(2), Err(PoolError::OutOfMemory { .. })));
+    }
 }

@@ -121,3 +121,25 @@ fn bch_batch_clean_dominated_mix_matches() {
     }
     assert!(clean >= 240, "mix should be clean-dominated, got {clean}");
 }
+
+#[test]
+fn empty_batch_is_a_noop_not_a_panic() {
+    // Zero-length batches reach the decoders from drained fault ladders;
+    // `decode_batch_into` must append nothing and leave reused buffers
+    // untouched, and `decode_batch` must return an empty vec.
+    use mrm_ecc::hamming::HammingOutcome;
+    let h = Hamming::secded_72_64();
+    let mut data = vec![7u8, 7, 7];
+    let mut outcomes = vec![HammingOutcome::DoubleError];
+    h.decode_batch_into(&[], &mut data, &mut outcomes);
+    assert_eq!(
+        data,
+        vec![7u8, 7, 7],
+        "reused data buffer must be preserved"
+    );
+    assert_eq!(outcomes, vec![HammingOutcome::DoubleError]);
+    assert!(h.decode_batch(&[]).is_empty());
+
+    let bch = Bch::with_data_len(10, 2, 256);
+    assert!(bch.decode_batch(&[]).is_empty());
+}

@@ -1,0 +1,186 @@
+//! Crash artifacts: a small text file that names a failure by its
+//! derivation coordinates.
+//!
+//! Because every input is a pure function of `(target, seed, iteration)`
+//! (see [`crate::engine::derive_input`]), the artifact does not need to
+//! serialize the trace to be replayable — the header alone suffices. The
+//! shrunk trace is still embedded (as `Debug` lines) so a human can read
+//! the minimal failing script without running anything.
+//!
+//! Format (line-oriented, `key: value` header, first line is a magic):
+//!
+//! ```text
+//! mrm-fuzz crash artifact v1
+//! target: queue
+//! seed: 0x00000000000000aa
+//! iteration: 1234
+//! failure: step 7: pop diverged ...
+//! original-len: 96
+//! shrunk-len: 3
+//! --- shrunk trace ---
+//! Schedule { at_nanos: 0 }
+//! ...
+//! ```
+//!
+//! Newlines inside the failure message are escaped as `\n` so the header
+//! stays line-oriented.
+
+use crate::engine::Finding;
+use std::fmt::Debug;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &str = "mrm-fuzz crash artifact v1";
+
+/// The replay coordinates recovered from an artifact file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactHeader {
+    pub target: String,
+    pub seed: u64,
+    pub iteration: u64,
+    pub failure: String,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// File name for a finding: `{target}-{seed:016x}-{iteration}.crash.txt`.
+pub fn artifact_name(target: &str, seed: u64, iteration: u64) -> String {
+    format!("{target}-{seed:016x}-{iteration}.crash.txt")
+}
+
+/// Writes a finding to `dir` (created if missing). Returns the full path.
+pub fn write_artifact<Op: Debug>(
+    dir: &Path,
+    target: &str,
+    finding: &Finding<Op>,
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(artifact_name(target, finding.seed, finding.iteration));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{MAGIC}")?;
+    writeln!(f, "target: {target}")?;
+    writeln!(f, "seed: 0x{:016x}", finding.seed)?;
+    writeln!(f, "iteration: {}", finding.iteration)?;
+    writeln!(f, "failure: {}", escape(&finding.failure))?;
+    writeln!(f, "original-len: {}", finding.original_len)?;
+    writeln!(f, "shrunk-len: {}", finding.shrunk.len())?;
+    writeln!(f, "--- shrunk trace ---")?;
+    for op in &finding.shrunk {
+        writeln!(f, "{op:?}")?;
+    }
+    Ok(path)
+}
+
+/// Parses the header of an artifact file. The embedded trace is
+/// informational only and is not parsed — replay re-derives it.
+pub fn parse_artifact(path: &Path) -> Result<ArtifactHeader, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(format!(
+            "{}: not an mrm-fuzz crash artifact",
+            path.display()
+        ));
+    }
+    let mut target = None;
+    let mut seed = None;
+    let mut iteration = None;
+    let mut failure = None;
+    for line in lines {
+        if line == "--- shrunk trace ---" {
+            break;
+        }
+        let Some((key, value)) = line.split_once(": ") else {
+            continue;
+        };
+        match key {
+            "target" => target = Some(value.to_string()),
+            "seed" => {
+                let hex = value.strip_prefix("0x").unwrap_or(value);
+                seed = Some(
+                    u64::from_str_radix(hex, 16).map_err(|e| format!("bad seed {value:?}: {e}"))?,
+                );
+            }
+            "iteration" => {
+                iteration = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad iteration: {e}"))?,
+                );
+            }
+            "failure" => failure = Some(unescape(value)),
+            _ => {}
+        }
+    }
+    Ok(ArtifactHeader {
+        target: target.ok_or("missing target")?,
+        seed: seed.ok_or("missing seed")?,
+        iteration: iteration.ok_or("missing iteration")?,
+        failure: failure.ok_or("missing failure")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_header() {
+        let dir = std::env::temp_dir().join("mrm-fuzz-artifact-test");
+        let finding = Finding {
+            seed: 0xDEAD_BEEF,
+            iteration: 77,
+            failure: "line one\nline two: with colon".to_string(),
+            shrunk: vec![1u64, 2, 3],
+            original_len: 42,
+        };
+        let path = write_artifact(&dir, "toy", &finding).expect("write");
+        let header = parse_artifact(&path).expect("parse");
+        assert_eq!(header.target, "toy");
+        assert_eq!(header.seed, 0xDEAD_BEEF);
+        assert_eq!(header.iteration, 77);
+        assert_eq!(header.failure, "line one\nline two: with colon");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        for s in ["plain", "a\nb", "back\\slash", "mix\\n\n\\"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+
+    #[test]
+    fn rejects_non_artifact() {
+        let dir = std::env::temp_dir().join("mrm-fuzz-artifact-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("not-an-artifact.txt");
+        std::fs::write(&path, "hello\n").expect("write");
+        assert!(parse_artifact(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,379 @@
+//! The campaign engine: derive → run → shrink.
+//!
+//! Every fuzz input is a *trace* — a `Vec<Op>` for some target-specific
+//! `Op` — and is a pure function of `(campaign_seed, iteration)`:
+//!
+//! 1. seed the per-iteration stream with `mix2(campaign_seed, iteration)`,
+//! 2. pick one of the target's corpus traces,
+//! 3. apply 1..=8 structural mutations (insert / delete / duplicate /
+//!    replace / swap / truncate / append-run), each drawing fresh ops
+//!    from the target's generator.
+//!
+//! There is no coverage feedback and no on-disk corpus evolution — the
+//! corpus is the target's hand-written seed traces, and novelty comes
+//! entirely from the mutation walk. That trade buys the property the
+//! whole harness is built around: a crash artifact needs to record only
+//! `(target, seed, iteration)` to replay byte-identically, forever.
+//!
+//! Shrinking is bounded ddmin: remove chunks of halving size while the
+//! failure reproduces, then ask the target to simplify surviving ops one
+//! at a time (`simplify_op`), capped at [`SHRINK_BUDGET`] executions so a
+//! slow target cannot stall a campaign.
+
+use crate::rng::{mix2, FuzzRng};
+use std::fmt::Debug;
+
+/// Upper bound on trace length after mutation. Long traces slow every
+/// iteration and rarely fail for reasons short ones can't express.
+pub const MAX_TRACE_LEN: usize = 256;
+
+/// Maximum failing-trace re-executions spent shrinking one finding.
+pub const SHRINK_BUDGET: usize = 2_000;
+
+/// A differential fuzz target: a domain of operations, seed traces, and
+/// an executor that runs a trace against implementation + oracle and
+/// reports the first divergence.
+pub trait FuzzTarget {
+    /// One operation in this target's trace language.
+    type Op: Clone + Debug;
+
+    /// Stable target name (CLI selector and artifact header field).
+    fn name(&self) -> &'static str;
+
+    /// Hand-written seed traces; mutation starts from one of these.
+    /// Must be non-empty (an empty trace is a valid corpus entry).
+    fn corpus(&self) -> Vec<Vec<Self::Op>>;
+
+    /// Draw a fresh random op.
+    fn gen_op(&self, rng: &mut FuzzRng) -> Self::Op;
+
+    /// Mutate one op in place-ish (value-level tweak, not structural).
+    fn mutate_op(&self, op: &Self::Op, rng: &mut FuzzRng) -> Self::Op;
+
+    /// Propose a strictly simpler version of `op` for shrinking, or
+    /// `None` if it is already minimal. "Simpler" must be well-founded
+    /// (repeated application terminates).
+    fn simplify_op(&self, op: &Self::Op) -> Option<Self::Op>;
+
+    /// Execute the trace against implementation and oracle. `Ok(())`
+    /// means every observable agreed; `Err` carries the first divergence.
+    /// Must be deterministic in `ops` alone.
+    fn run(&self, ops: &[Self::Op]) -> Result<(), String>;
+}
+
+/// Runs the target, converting a panic in either the implementation or
+/// the oracle into an `Err` finding — a panic is a crash, not a reason
+/// to lose the campaign. The payload message is folded into the failure
+/// string so panics shrink and replay like any divergence.
+pub fn run_caught<T: FuzzTarget>(target: &T, ops: &[T::Op]) -> Result<(), String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| target.run(ops))).unwrap_or_else(
+        |payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("panic: {msg}"))
+        },
+    )
+}
+
+/// Derives the fuzz input for `(campaign_seed, iteration)`. Public so
+/// artifact replay and tests can reproduce the exact trace the campaign
+/// executed.
+pub fn derive_input<T: FuzzTarget>(target: &T, seed: u64, iteration: u64) -> Vec<T::Op> {
+    let mut rng = FuzzRng::new(mix2(seed, iteration));
+    let corpus = target.corpus();
+    assert!(
+        !corpus.is_empty(),
+        "target {} has an empty corpus",
+        target.name()
+    );
+    let mut trace = corpus[rng.index(corpus.len())].clone();
+    let rounds = 1 + rng.index(8);
+    for _ in 0..rounds {
+        mutate_trace(target, &mut trace, &mut rng);
+    }
+    trace.truncate(MAX_TRACE_LEN);
+    trace
+}
+
+/// One structural mutation round.
+fn mutate_trace<T: FuzzTarget>(target: &T, trace: &mut Vec<T::Op>, rng: &mut FuzzRng) {
+    match rng.below(7) {
+        // Insert a fresh op at a random position.
+        0 => {
+            let at = rng.index(trace.len() + 1);
+            let op = target.gen_op(rng);
+            trace.insert(at, op);
+        }
+        // Delete one op.
+        1 => {
+            if !trace.is_empty() {
+                let at = rng.index(trace.len());
+                trace.remove(at);
+            }
+        }
+        // Duplicate one op in place (double-free / double-pop probes).
+        2 => {
+            if !trace.is_empty() {
+                let at = rng.index(trace.len());
+                let op = trace[at].clone();
+                trace.insert(at, op);
+            }
+        }
+        // Value-mutate one op.
+        3 => {
+            if !trace.is_empty() {
+                let at = rng.index(trace.len());
+                trace[at] = target.mutate_op(&trace[at], rng);
+            }
+        }
+        // Swap two ops (reorder probes).
+        4 => {
+            if trace.len() >= 2 {
+                let a = rng.index(trace.len());
+                let b = rng.index(trace.len());
+                trace.swap(a, b);
+            }
+        }
+        // Truncate the tail.
+        5 => {
+            if !trace.is_empty() {
+                let keep = rng.index(trace.len());
+                trace.truncate(keep);
+            }
+        }
+        // Append a run of fresh ops (burst probes).
+        _ => {
+            let n = 1 + rng.index(16);
+            for _ in 0..n {
+                let op = target.gen_op(rng);
+                trace.push(op);
+            }
+        }
+    }
+}
+
+/// A confirmed finding: the original derivation coordinates, the failure
+/// message, and the shrunk trace.
+#[derive(Debug)]
+pub struct Finding<Op> {
+    pub seed: u64,
+    pub iteration: u64,
+    pub failure: String,
+    pub shrunk: Vec<Op>,
+    pub original_len: usize,
+}
+
+/// Bounded ddmin + per-op simplification. `failure` is the message the
+/// unshrunk trace produced; a candidate only replaces the current trace
+/// if it fails at all (any message — divergence messages embed indices,
+/// so insisting on message equality would block most size reductions).
+pub fn shrink<T: FuzzTarget>(target: &T, ops: &[T::Op]) -> (Vec<T::Op>, String) {
+    let mut best: Vec<T::Op> = ops.to_vec();
+    let mut message = match run_caught(target, &best) {
+        Err(m) => m,
+        Ok(()) => return (best, String::from("failure did not reproduce")),
+    };
+    let mut budget = SHRINK_BUDGET;
+
+    // Phase 1: chunk removal with halving chunk sizes.
+    let mut chunk = best.len().div_ceil(2).max(1);
+    while chunk >= 1 && budget > 0 {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < best.len() && budget > 0 {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            budget -= 1;
+            if let Err(m) = run_caught(target, &candidate) {
+                best = candidate;
+                message = m;
+                removed_any = true;
+                // Retry the same start: the window now holds new ops.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: per-op simplification to fixpoint.
+    let mut progress = true;
+    while progress && budget > 0 {
+        progress = false;
+        for i in 0..best.len() {
+            let mut current = best[i].clone();
+            while let Some(simpler) = target.simplify_op(&current) {
+                if budget == 0 {
+                    break;
+                }
+                let mut candidate = best.clone();
+                candidate[i] = simpler.clone();
+                budget -= 1;
+                if let Err(m) = run_caught(target, &candidate) {
+                    best = candidate;
+                    message = m;
+                    current = simpler;
+                    progress = true;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    (best, message)
+}
+
+/// Runs `iters` derived inputs for `(target, seed)`, stopping at the
+/// first failure. Returns the shrunk finding, or `None` if the campaign
+/// ran clean. `progress` is called every few hundred iterations with the
+/// count done so far (the CLI uses it; tests pass a no-op).
+pub fn campaign<T: FuzzTarget>(
+    target: &T,
+    seed: u64,
+    iters: u64,
+    mut progress: impl FnMut(u64),
+) -> Option<Finding<T::Op>> {
+    for iteration in 0..iters {
+        if iteration != 0 && iteration % 500 == 0 {
+            progress(iteration);
+        }
+        let ops = derive_input(target, seed, iteration);
+        if let Err(first_failure) = run_caught(target, &ops) {
+            let original_len = ops.len();
+            let (shrunk, failure) = shrink(target, &ops);
+            // Prefer the shrunk message, but a shrink that somehow lost
+            // the failure falls back to the original trace + message.
+            if failure == "failure did not reproduce" {
+                return Some(Finding {
+                    seed,
+                    iteration,
+                    failure: first_failure,
+                    shrunk: ops,
+                    original_len,
+                });
+            }
+            return Some(Finding {
+                seed,
+                iteration,
+                failure,
+                shrunk,
+                original_len,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy target: ops are u64s, the "implementation" fails whenever a
+    /// trace contains a value that is ≡ 3 (mod 7) and ≥ 10.
+    struct Toy;
+
+    impl FuzzTarget for Toy {
+        type Op = u64;
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn corpus(&self) -> Vec<Vec<u64>> {
+            vec![vec![], vec![1, 2, 3]]
+        }
+        fn gen_op(&self, rng: &mut FuzzRng) -> u64 {
+            // mrm-lint: allow(U1) toy-op value bound, not a byte capacity
+            rng.lean_below(1 << 20)
+        }
+        fn mutate_op(&self, op: &u64, rng: &mut FuzzRng) -> u64 {
+            op.wrapping_add(rng.lean_below(100))
+        }
+        fn simplify_op(&self, op: &u64) -> Option<u64> {
+            (*op >= 10).then_some(op / 2)
+        }
+        fn run(&self, ops: &[u64]) -> Result<(), String> {
+            for (i, &v) in ops.iter().enumerate() {
+                if v >= 10 && v % 7 == 3 {
+                    return Err(format!("op {i}: bad value {v}"));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn derive_is_deterministic() {
+        let t = Toy;
+        for iter in 0..50 {
+            assert_eq!(derive_input(&t, 99, iter), derive_input(&t, 99, iter));
+        }
+        // Different iterations produce different traces at least sometimes.
+        let distinct = (0..50)
+            .map(|i| derive_input(&t, 99, i))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn campaign_finds_and_shrinks() {
+        let t = Toy;
+        let finding = campaign(&t, 0xABCD, 10_000, |_| {}).expect("toy bug should be found");
+        // The shrunk trace still fails…
+        assert!(t.run(&finding.shrunk).is_err());
+        // …and is minimal: a single op, itself unsimplifiable-while-failing.
+        assert_eq!(finding.shrunk.len(), 1, "shrunk: {:?}", finding.shrunk);
+        let v = finding.shrunk[0];
+        assert!(v >= 10 && v % 7 == 3);
+        if let Some(simpler) = t.simplify_op(&v) {
+            assert!(t.run(&[simpler]).is_ok(), "shrinker left slack: {v}");
+        }
+    }
+
+    #[test]
+    fn campaign_replays_to_same_finding() {
+        let t = Toy;
+        let a = campaign(&t, 0xABCD, 10_000, |_| {}).expect("find");
+        let b = campaign(&t, 0xABCD, 10_000, |_| {}).expect("find");
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.failure, b.failure);
+        assert_eq!(a.shrunk, b.shrunk);
+    }
+
+    #[test]
+    fn clean_target_runs_clean() {
+        struct Clean;
+        impl FuzzTarget for Clean {
+            type Op = u8;
+            fn name(&self) -> &'static str {
+                "clean"
+            }
+            fn corpus(&self) -> Vec<Vec<u8>> {
+                vec![vec![0]]
+            }
+            fn gen_op(&self, rng: &mut FuzzRng) -> u8 {
+                (rng.next_u64() & 0xFF) as u8
+            }
+            fn mutate_op(&self, op: &u8, _rng: &mut FuzzRng) -> u8 {
+                op.wrapping_add(1)
+            }
+            fn simplify_op(&self, _op: &u8) -> Option<u8> {
+                None
+            }
+            fn run(&self, _ops: &[u8]) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        assert!(campaign(&Clean, 1, 2_000, |_| {}).is_none());
+    }
+}

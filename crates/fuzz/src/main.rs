@@ -1,0 +1,131 @@
+//! `mrm-fuzz` — run, list, and replay differential fuzz campaigns.
+//!
+//! ```text
+//! mrm-fuzz list
+//! mrm-fuzz run --target <name|all> [--seed N] [--iters N] [--artifacts DIR] [--sabotage]
+//! mrm-fuzz replay <artifact.crash.txt> [--sabotage]
+//! ```
+//!
+//! `run` exits 1 if any campaign produced a crash artifact; `replay`
+//! exits 1 if the artifact fails to reproduce its recorded failure.
+//! `--sabotage` enables each target's documented broken-model mode and
+//! exists so the harness can be self-tested end to end (CI never sets
+//! it).
+
+use mrm_fuzz::targets::{campaign_by_name, replay_artifact, TARGET_NAMES};
+use std::path::PathBuf;
+use std::process::exit;
+
+const DEFAULT_SEED: u64 = 0x4D52_4D00_2025_0001; // "MRM", fixed for CI
+const DEFAULT_ITERS: u64 = 1_000;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_u64(text: &str, flag: &str) -> u64 {
+    let parsed = if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: bad value {text:?} for {flag}: {e}");
+            exit(2);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: mrm-fuzz list");
+    eprintln!(
+        "       mrm-fuzz run --target <name|all> [--seed N] [--iters N] \
+         [--artifacts DIR] [--sabotage]"
+    );
+    eprintln!("       mrm-fuzz replay <artifact.crash.txt> [--sabotage]");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sabotage = args.iter().any(|a| a == "--sabotage");
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in TARGET_NAMES {
+                println!("{name}");
+            }
+        }
+        Some("run") => {
+            let which = flag_value(&args, "--target").unwrap_or_else(|| "all".to_string());
+            let seed =
+                flag_value(&args, "--seed").map_or(DEFAULT_SEED, |v| parse_u64(&v, "--seed"));
+            let iters =
+                flag_value(&args, "--iters").map_or(DEFAULT_ITERS, |v| parse_u64(&v, "--iters"));
+            let artifacts = PathBuf::from(
+                flag_value(&args, "--artifacts")
+                    .unwrap_or_else(|| "target/fuzz-artifacts".to_string()),
+            );
+            let names: Vec<&str> = if which == "all" {
+                TARGET_NAMES.to_vec()
+            } else {
+                vec![which.as_str()]
+            };
+            let mut failed = false;
+            for name in names {
+                print!("fuzz {name}: seed 0x{seed:016x}, {iters} iterations ... ");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                let mut progress = |_done: u64| {};
+                match campaign_by_name(name, sabotage, seed, iters, &artifacts, &mut progress) {
+                    Ok(outcome) => match outcome.artifact {
+                        None => println!("clean"),
+                        Some(path) => {
+                            failed = true;
+                            println!("FAILED");
+                            println!("  failure: {}", outcome.failure.unwrap_or_default());
+                            println!("  artifact: {}", path.display());
+                            println!(
+                                "  replay:   cargo run -p mrm-fuzz -- replay {}",
+                                path.display()
+                            );
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit(2);
+                    }
+                }
+            }
+            exit(i32::from(failed));
+        }
+        Some("replay") => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                usage();
+            };
+            match replay_artifact(PathBuf::from(path).as_path(), sabotage) {
+                Ok(outcome) => {
+                    match &outcome.failure {
+                        None => println!("did not reproduce: trace runs clean"),
+                        Some(f) => println!("reproduced failure: {f}"),
+                    }
+                    if outcome.matches {
+                        println!("matches recorded failure: yes");
+                        exit(0);
+                    }
+                    println!("matches recorded failure: NO");
+                    exit(1);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    exit(2);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

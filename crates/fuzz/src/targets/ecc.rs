@@ -1,0 +1,383 @@
+//! ECC differential target: error-budget oracle + scalar-vs-batch.
+//!
+//! Two codes under test, the same two ways each:
+//!
+//! * **Round-trip vs the error budget.** For a codeword with `e`
+//!   *effective* bit flips (flip positions XOR, so repeated positions
+//!   cancel), SECDED must report `Clean`/`Corrected`/`ParityCorrected`
+//!   with exact data recovery for `e ≤ 1` and `DoubleError` for `e == 2`;
+//!   BCH(m=10, t=2) must decode `e ≤ t` exactly (reporting `e` errors)
+//!   and past the budget must either refuse or miscorrect *consistently*
+//!   (`Ok` with `f ≤ t` and data ≠ original — the recheck contract).
+//!   `e` past the budget must never panic.
+//! * **Scalar vs batch.** Every decoded word is also pushed onto a
+//!   pending batch; a `Flush` op runs `decode_batch_into` / `decode_batch`
+//!   over the accumulated codewords and demands bit-identical agreement
+//!   with the scalar results. Flushing an empty batch is the
+//!   zero-length-batch probe: the `_into` buffers must come back
+//!   untouched (a no-op, not a panic).
+//!
+//! Sabotage mode flips one extra bit in the batch copy of lane 0 before
+//! flushing — scalar and batch then disagree, which is exactly the class
+//! of bug the target exists to catch.
+
+use crate::engine::FuzzTarget;
+use crate::rng::FuzzRng;
+use mrm_ecc::bch::{Bch, BchError};
+use mrm_ecc::hamming::{Hamming, HammingOutcome};
+
+/// One ECC fuzz operation.
+#[derive(Clone, Debug)]
+pub enum EccOp {
+    /// Encode a SECDED(72,64) word derived from `seed`, flip `flips`
+    /// positions (mod codeword length), decode, check the budget oracle,
+    /// and enqueue for the next batch flush.
+    Secded { seed: u64, flips: Vec<u16> },
+    /// Same for BCH(m=10, t=2, 256 data bits).
+    Bch { seed: u64, flips: Vec<u16> },
+    /// Drain the pending SECDED batch through `decode_batch_into` and
+    /// compare with the scalar decodes (an empty flush must be a no-op).
+    FlushSecded,
+    /// Drain the pending BCH batch through `decode_batch`.
+    FlushBch,
+}
+
+pub struct EccTarget {
+    hamming: Hamming,
+    bch: Bch,
+    sabotage: bool,
+}
+
+impl EccTarget {
+    pub fn new(sabotage: bool) -> Self {
+        EccTarget {
+            hamming: Hamming::secded_72_64(),
+            bch: Bch::with_data_len(10, 2, 256),
+            sabotage,
+        }
+    }
+}
+
+/// Derives a one-bit-per-byte data word from a seed.
+fn data_bits(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = FuzzRng::new(seed);
+    let mut bits = Vec::with_capacity(len);
+    let mut word = 0u64;
+    for i in 0..len {
+        if i % 64 == 0 {
+            word = rng.next_u64();
+        }
+        bits.push(((word >> (i % 64)) & 1) as u8);
+    }
+    bits
+}
+
+impl FuzzTarget for EccTarget {
+    type Op = EccOp;
+
+    fn name(&self) -> &'static str {
+        "ecc"
+    }
+
+    fn corpus(&self) -> Vec<Vec<EccOp>> {
+        vec![
+            vec![],
+            // Clean round-trips of both codes plus flushes.
+            vec![
+                EccOp::Secded {
+                    seed: 1,
+                    flips: vec![],
+                },
+                EccOp::Bch {
+                    seed: 2,
+                    flips: vec![],
+                },
+                EccOp::FlushSecded,
+                EccOp::FlushBch,
+            ],
+            // The budget ladder: 1 and 2 flips for SECDED, up to t+1 for BCH.
+            vec![
+                EccOp::Secded {
+                    seed: 3,
+                    flips: vec![17],
+                },
+                EccOp::Secded {
+                    seed: 4,
+                    flips: vec![0, 71],
+                },
+                EccOp::Bch {
+                    seed: 5,
+                    flips: vec![100, 700],
+                },
+                EccOp::Bch {
+                    seed: 6,
+                    flips: vec![1, 2, 3],
+                },
+                EccOp::FlushSecded,
+                EccOp::FlushBch,
+            ],
+            // Empty flushes (the zero-length batch probe).
+            vec![EccOp::FlushSecded, EccOp::FlushBch],
+        ]
+    }
+
+    fn gen_op(&self, rng: &mut FuzzRng) -> EccOp {
+        match rng.below(8) {
+            0..=2 => EccOp::Secded {
+                seed: rng.next_u64(),
+                flips: gen_flips(rng),
+            },
+            3..=5 => EccOp::Bch {
+                seed: rng.next_u64(),
+                flips: gen_flips(rng),
+            },
+            6 => EccOp::FlushSecded,
+            _ => EccOp::FlushBch,
+        }
+    }
+
+    fn mutate_op(&self, op: &EccOp, rng: &mut FuzzRng) -> EccOp {
+        match op {
+            EccOp::Secded { seed, flips } => {
+                let (seed, flips) = mutate_word(*seed, flips, rng);
+                EccOp::Secded { seed, flips }
+            }
+            EccOp::Bch { seed, flips } => {
+                let (seed, flips) = mutate_word(*seed, flips, rng);
+                EccOp::Bch { seed, flips }
+            }
+            EccOp::FlushSecded => EccOp::FlushBch,
+            EccOp::FlushBch => EccOp::FlushSecded,
+        }
+    }
+
+    fn simplify_op(&self, op: &EccOp) -> Option<EccOp> {
+        match op {
+            EccOp::Secded { seed, flips } => {
+                let (seed, flips) = simplify_word(*seed, flips)?;
+                Some(EccOp::Secded { seed, flips })
+            }
+            EccOp::Bch { seed, flips } => {
+                let (seed, flips) = simplify_word(*seed, flips)?;
+                Some(EccOp::Bch { seed, flips })
+            }
+            EccOp::FlushSecded | EccOp::FlushBch => None,
+        }
+    }
+
+    fn run(&self, ops: &[EccOp]) -> Result<(), String> {
+        // Pending batches: (corrupted codeword, scalar result).
+        type HamLane = (Vec<u8>, (Vec<u8>, HammingOutcome));
+        type BchLane = (Vec<u8>, Result<(Vec<u8>, usize), BchError>);
+        let mut ham_pend: Vec<HamLane> = Vec::new();
+        let mut bch_pend: Vec<BchLane> = Vec::new();
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                EccOp::Secded { seed, flips } => {
+                    let data = data_bits(*seed, self.hamming.data_len());
+                    let mut cw = self.hamming.encode(&data);
+                    let e = effective_flips(&mut cw, flips);
+                    let (decoded, outcome) = self.hamming.decode(&cw);
+                    match e {
+                        0 => {
+                            if outcome != HammingOutcome::Clean {
+                                return Err(format!("op {i}: clean word decoded as {outcome:?}"));
+                            }
+                            if decoded != data {
+                                return Err(format!("op {i}: clean word data corrupted"));
+                            }
+                        }
+                        1 => {
+                            match outcome {
+                                HammingOutcome::Corrected(_) | HammingOutcome::ParityCorrected => {}
+                                other => {
+                                    return Err(format!("op {i}: single flip decoded as {other:?}"))
+                                }
+                            }
+                            if decoded != data {
+                                return Err(format!(
+                                    "op {i}: single flip not corrected to original data"
+                                ));
+                            }
+                        }
+                        2 if outcome != HammingOutcome::DoubleError => {
+                            return Err(format!("op {i}: double flip decoded as {outcome:?}"));
+                        }
+                        // Past the budget: anything but a panic is legal.
+                        _ => {}
+                    }
+                    ham_pend.push((cw, (decoded, outcome)));
+                }
+                EccOp::Bch { seed, flips } => {
+                    let data = data_bits(*seed, self.bch.k());
+                    let mut cw = self.bch.encode(&data);
+                    let e = effective_flips(&mut cw, flips);
+                    let res = self.bch.decode(&cw);
+                    if e <= self.bch.t() {
+                        match &res {
+                            Ok((decoded, nerr)) => {
+                                if decoded != &data {
+                                    return Err(format!(
+                                        "op {i}: BCH {e} flips decoded to wrong data"
+                                    ));
+                                }
+                                if *nerr != e {
+                                    return Err(format!(
+                                        "op {i}: BCH corrected {nerr} errors, injected {e}"
+                                    ));
+                                }
+                            }
+                            Err(err) => {
+                                return Err(format!("op {i}: BCH refused {e} <= t flips: {err}"))
+                            }
+                        }
+                    } else if let Ok((decoded, nerr)) = &res {
+                        // Miscorrection past the budget must still satisfy
+                        // the recheck contract: claims ≤ t errors and does
+                        // not silently return the original data.
+                        if *nerr > self.bch.t() {
+                            return Err(format!("op {i}: BCH claims {nerr} > t corrections"));
+                        }
+                        if decoded == &data {
+                            return Err(format!(
+                                "op {i}: BCH decoded {e} > t flips back to the original \
+                                 data while reporting success"
+                            ));
+                        }
+                    }
+                    bch_pend.push((cw, res));
+                }
+                EccOp::FlushSecded => {
+                    let mut cws: Vec<Vec<u8>> = ham_pend.iter().map(|(cw, _)| cw.clone()).collect();
+                    if self.sabotage {
+                        // Documented sabotage: corrupt the batch copy of
+                        // lane 0 so scalar and batch disagree.
+                        if let Some(first) = cws.first_mut() {
+                            first[11] ^= 1;
+                        }
+                    }
+                    let refs: Vec<&[u8]> = cws.iter().map(Vec::as_slice).collect();
+                    // Pre-populate the reusable buffers: `_into` appends,
+                    // and must leave existing contents untouched.
+                    let mut data_buf = vec![9u8, 9];
+                    let mut out_buf = vec![HammingOutcome::DoubleError];
+                    self.hamming
+                        .decode_batch_into(&refs, &mut data_buf, &mut out_buf);
+                    if data_buf[..2] != [9, 9] || out_buf[0] != HammingOutcome::DoubleError {
+                        return Err(format!(
+                            "op {i}: decode_batch_into clobbered existing buffer contents"
+                        ));
+                    }
+                    let k = self.hamming.data_len();
+                    if data_buf.len() != 2 + k * ham_pend.len()
+                        || out_buf.len() != 1 + ham_pend.len()
+                    {
+                        return Err(format!(
+                            "op {i}: decode_batch_into appended wrong lengths \
+                             (data {} outcomes {} for {} words)",
+                            data_buf.len(),
+                            out_buf.len(),
+                            ham_pend.len()
+                        ));
+                    }
+                    for (lane, (_, (sdata, soutcome))) in ham_pend.iter().enumerate() {
+                        let row = &data_buf[2 + lane * k..2 + (lane + 1) * k];
+                        if row != sdata.as_slice() {
+                            return Err(format!(
+                                "op {i}: batch lane {lane} data differs from scalar decode"
+                            ));
+                        }
+                        if out_buf[1 + lane] != *soutcome {
+                            return Err(format!(
+                                "op {i}: batch lane {lane} outcome {:?} vs scalar {:?}",
+                                out_buf[1 + lane],
+                                soutcome
+                            ));
+                        }
+                    }
+                    ham_pend.clear();
+                }
+                EccOp::FlushBch => {
+                    let mut cws: Vec<Vec<u8>> = bch_pend.iter().map(|(cw, _)| cw.clone()).collect();
+                    if self.sabotage {
+                        if let Some(first) = cws.first_mut() {
+                            first[23] ^= 1;
+                        }
+                    }
+                    let refs: Vec<&[u8]> = cws.iter().map(Vec::as_slice).collect();
+                    let batch = self.bch.decode_batch(&refs);
+                    if batch.len() != bch_pend.len() {
+                        return Err(format!(
+                            "op {i}: decode_batch returned {} results for {} words",
+                            batch.len(),
+                            bch_pend.len()
+                        ));
+                    }
+                    for (lane, ((_, scalar), got)) in bch_pend.iter().zip(batch.iter()).enumerate()
+                    {
+                        if got != scalar {
+                            return Err(format!(
+                                "op {i}: BCH batch lane {lane} {got:?} vs scalar {scalar:?}"
+                            ));
+                        }
+                    }
+                    bch_pend.clear();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counts effective flips while applying them (XOR semantics: a position
+/// listed an even number of times cancels out).
+fn effective_flips(cw: &mut [u8], flips: &[u16]) -> usize {
+    let before = cw.to_vec();
+    for &f in flips {
+        let pos = usize::from(f) % cw.len();
+        cw[pos] ^= 1;
+    }
+    before.iter().zip(cw.iter()).filter(|(a, b)| a != b).count()
+}
+
+fn gen_flips(rng: &mut FuzzRng) -> Vec<u16> {
+    // Mostly 0..=3 flips (inside both budgets ± 1), occasionally a storm.
+    let n = if rng.one_in(8) {
+        rng.index(24)
+    } else {
+        rng.index(4)
+    };
+    (0..n).map(|_| (rng.lean_u64() & 0xFFFF) as u16).collect()
+}
+
+fn mutate_word(seed: u64, flips: &[u16], rng: &mut FuzzRng) -> (u64, Vec<u16>) {
+    let mut flips = flips.to_vec();
+    match rng.below(4) {
+        0 => return (rng.next_u64(), flips),
+        1 => flips.push((rng.lean_u64() & 0xFFFF) as u16),
+        2 => {
+            if !flips.is_empty() {
+                let at = rng.index(flips.len());
+                flips.remove(at);
+            }
+        }
+        _ => {
+            if !flips.is_empty() {
+                let at = rng.index(flips.len());
+                flips[at] = flips[at].wrapping_add((rng.lean_u64() & 0xFF) as u16);
+            }
+        }
+    }
+    (seed, flips)
+}
+
+fn simplify_word(seed: u64, flips: &[u16]) -> Option<(u64, Vec<u16>)> {
+    if !flips.is_empty() {
+        // Drop the last flip first, then shrink the data seed.
+        let mut f = flips.to_vec();
+        f.pop();
+        return Some((seed, f));
+    }
+    (seed != 0).then_some((seed / 2, Vec::new()))
+}

@@ -1,0 +1,265 @@
+//! Event-queue differential target: calendar [`EventQueue`] vs
+//! [`LegacyHeapQueue`].
+//!
+//! Open-ended mutation over the op language of
+//! `crates/sim/tests/queue_conformance.rs`: schedules (absolute and
+//! relative, clamped to `now` — scheduling in the past is a debug-assert
+//! on both sides, not a behaviour to differentiate), same-instant FIFO
+//! bursts, pops, clears, and full drains. Delays flow through the
+//! extreme-value pool, so the far ladder, the post-clear rollover path,
+//! and the `u64` time horizon (`SimTime::MAX` via saturating adds) are
+//! all ordinary inputs. After every op the peek/clock/len triple must
+//! agree; every pop must return the identical `(time, payload)` pair.
+//!
+//! Sabotage mode applies `Clear` to the calendar only — the heap keeps
+//! its events, and the very next length check diverges.
+
+use crate::engine::FuzzTarget;
+use crate::rng::FuzzRng;
+use mrm_sim::event::{EventQueue, LegacyHeapQueue};
+use mrm_sim::time::{SimDuration, SimTime};
+
+/// One queue fuzz operation.
+#[derive(Clone, Debug)]
+pub enum QueueOp {
+    /// Schedule at `max(now, at_nanos)` (absolute, clamped to the clock).
+    Schedule { at_nanos: u64 },
+    /// Schedule at `now + delay` (saturating — `u64::MAX` lands exactly
+    /// on the `SimTime::MAX` horizon).
+    After { delay_nanos: u64 },
+    /// A same-instant FIFO burst of `n` events at `now + delay`.
+    Burst { delay_nanos: u64, n: u8 },
+    /// Pop up to `n` events, comparing each.
+    Pop { n: u8 },
+    /// Clear both queues.
+    Clear,
+    /// Drain both queues to empty, comparing the full tails.
+    Drain,
+}
+
+pub struct QueueTarget {
+    sabotage: bool,
+}
+
+impl QueueTarget {
+    pub fn new(sabotage: bool) -> Self {
+        QueueTarget { sabotage }
+    }
+}
+
+const DAY_NANOS: u64 = 86_400_000_000_000;
+
+impl FuzzTarget for QueueTarget {
+    type Op = QueueOp;
+
+    fn name(&self) -> &'static str {
+        "queue"
+    }
+
+    fn corpus(&self) -> Vec<Vec<QueueOp>> {
+        vec![
+            vec![],
+            // Dense near-future steady state with pops.
+            vec![
+                QueueOp::After { delay_nanos: 10 },
+                QueueOp::After { delay_nanos: 500 },
+                QueueOp::Burst {
+                    delay_nanos: 100,
+                    n: 8,
+                },
+                QueueOp::Pop { n: 4 },
+                QueueOp::After { delay_nanos: 3 },
+                QueueOp::Drain,
+            ],
+            // The satellite-1 shape: clear, then a schedule far past the
+            // old day horizon (post-clear rollover state).
+            vec![
+                QueueOp::After { delay_nanos: 1_000 },
+                QueueOp::Pop { n: 1 },
+                QueueOp::Clear,
+                QueueOp::After {
+                    delay_nanos: 3 * DAY_NANOS,
+                },
+                QueueOp::After { delay_nanos: 7 },
+                QueueOp::Drain,
+            ],
+            // The u64 horizon.
+            vec![
+                QueueOp::After {
+                    delay_nanos: u64::MAX,
+                },
+                QueueOp::Schedule { at_nanos: u64::MAX },
+                QueueOp::Drain,
+            ],
+        ]
+    }
+
+    fn gen_op(&self, rng: &mut FuzzRng) -> QueueOp {
+        match rng.below(12) {
+            0..=2 => QueueOp::After {
+                delay_nanos: rng.lean_below(10_000),
+            },
+            3 => QueueOp::After {
+                delay_nanos: rng.lean_u64(),
+            },
+            4 => QueueOp::Schedule {
+                at_nanos: rng.lean_u64(),
+            },
+            5..=6 => QueueOp::Burst {
+                delay_nanos: rng.lean_below(1_000),
+                n: (2 + rng.below(14)) as u8,
+            },
+            7..=9 => QueueOp::Pop {
+                n: (1 + rng.below(5)) as u8,
+            },
+            10 => QueueOp::Clear,
+            _ => QueueOp::Drain,
+        }
+    }
+
+    fn mutate_op(&self, op: &QueueOp, rng: &mut FuzzRng) -> QueueOp {
+        match op {
+            QueueOp::Schedule { .. } => QueueOp::Schedule {
+                at_nanos: rng.lean_u64(),
+            },
+            QueueOp::After { delay_nanos } => QueueOp::After {
+                delay_nanos: delay_nanos.wrapping_add(rng.lean_u64()),
+            },
+            QueueOp::Burst { delay_nanos, n } => QueueOp::Burst {
+                delay_nanos: delay_nanos.wrapping_add(rng.lean_below(1_000)),
+                n: n.wrapping_add((rng.below(4)) as u8),
+            },
+            QueueOp::Pop { n } => QueueOp::Pop {
+                n: n.wrapping_add(1),
+            },
+            QueueOp::Clear => QueueOp::Pop { n: 1 },
+            QueueOp::Drain => QueueOp::Clear,
+        }
+    }
+
+    fn simplify_op(&self, op: &QueueOp) -> Option<QueueOp> {
+        match op {
+            QueueOp::Schedule { at_nanos } if *at_nanos > 0 => Some(QueueOp::Schedule {
+                at_nanos: at_nanos / 2,
+            }),
+            QueueOp::After { delay_nanos } if *delay_nanos > 0 => Some(QueueOp::After {
+                delay_nanos: delay_nanos / 2,
+            }),
+            QueueOp::Burst { delay_nanos, n } if *n > 1 => Some(QueueOp::Burst {
+                delay_nanos: *delay_nanos,
+                n: n / 2,
+            }),
+            QueueOp::Burst { delay_nanos, .. } if *delay_nanos > 0 => Some(QueueOp::After {
+                delay_nanos: *delay_nanos,
+            }),
+            QueueOp::Pop { n } if *n > 1 => Some(QueueOp::Pop { n: n / 2 }),
+            QueueOp::Drain => Some(QueueOp::Pop { n: 1 }),
+            _ => None,
+        }
+    }
+
+    fn run(&self, ops: &[QueueOp]) -> Result<(), String> {
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut heap: LegacyHeapQueue<u64> = LegacyHeapQueue::new();
+        let mut payload = 0u64;
+        let sched = |cal: &mut EventQueue<u64>,
+                     heap: &mut LegacyHeapQueue<u64>,
+                     at: SimTime,
+                     payload: &mut u64| {
+            cal.schedule(at, *payload);
+            heap.schedule(at, *payload);
+            *payload += 1;
+        };
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                QueueOp::Schedule { at_nanos } => {
+                    let at = SimTime::from_nanos(*at_nanos).max(cal.now());
+                    sched(&mut cal, &mut heap, at, &mut payload);
+                }
+                QueueOp::After { delay_nanos } => {
+                    let at = cal
+                        .now()
+                        .saturating_add(SimDuration::from_nanos(*delay_nanos));
+                    sched(&mut cal, &mut heap, at, &mut payload);
+                }
+                QueueOp::Burst { delay_nanos, n } => {
+                    let at = cal
+                        .now()
+                        .saturating_add(SimDuration::from_nanos(*delay_nanos));
+                    for _ in 0..*n {
+                        sched(&mut cal, &mut heap, at, &mut payload);
+                    }
+                }
+                QueueOp::Pop { n } => {
+                    for _ in 0..*n {
+                        let (a, b) = (cal.pop(), heap.pop());
+                        if a != b {
+                            return Err(format!(
+                                "op {i}: pop diverged: calendar {a:?} vs heap {b:?}"
+                            ));
+                        }
+                    }
+                }
+                QueueOp::Clear => {
+                    cal.clear();
+                    if !self.sabotage {
+                        // Documented sabotage: the heap skips the clear,
+                        // so the next len/peek check diverges.
+                        heap.clear();
+                    }
+                }
+                QueueOp::Drain => loop {
+                    let (a, b) = (cal.pop(), heap.pop());
+                    if a != b {
+                        return Err(format!(
+                            "op {i}: drain diverged: calendar {a:?} vs heap {b:?}"
+                        ));
+                    }
+                    if a.is_none() {
+                        break;
+                    }
+                },
+            }
+            if cal.len() != heap.len() {
+                return Err(format!("op {i}: len {} vs heap {}", cal.len(), heap.len()));
+            }
+            if cal.now() != heap.now() {
+                return Err(format!(
+                    "op {i}: now {:?} vs heap {:?}",
+                    cal.now(),
+                    heap.now()
+                ));
+            }
+            if cal.peek_time() != heap.peek_time() {
+                return Err(format!(
+                    "op {i}: peek {:?} vs heap {:?}",
+                    cal.peek_time(),
+                    heap.peek_time()
+                ));
+            }
+            if cal.is_empty() != heap.is_empty() {
+                return Err(format!("op {i}: is_empty diverged"));
+            }
+        }
+        // Always finish with a full drain: tails must agree to the end.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            if a != b {
+                return Err(format!(
+                    "final drain diverged: calendar {a:?} vs heap {b:?}"
+                ));
+            }
+            if a.is_none() {
+                break;
+            }
+        }
+        if cal.now() != heap.now() {
+            return Err(format!(
+                "final clocks diverged: {:?} vs {:?}",
+                cal.now(),
+                heap.now()
+            ));
+        }
+        Ok(())
+    }
+}

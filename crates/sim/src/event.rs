@@ -419,15 +419,19 @@ impl<E> EventQueue<E> {
         self.shift = shift.min(63 - max_width.leading_zeros());
         self.width = 1 << self.shift;
         self.win_start = lo;
-        let horizon = self
-            .win_start
-            .saturating_add(self.width.saturating_mul(count as u64));
         self.buckets.resize_with(count, Vec::new);
         for s in spill {
+            // Placement by bucket index, not by a `t < horizon` comparison:
+            // near the u64 horizon `win_start + width * count` saturates,
+            // and an event at exactly `SimTime::MAX` would compare ≥ the
+            // saturated horizon forever — respilling into the ladder on
+            // every rebuild and livelocking `normalize`. The index form is
+            // the same predicate without the overflow (every spilled time
+            // is ≥ `win_start`, the probed minimum, so the subtraction is
+            // exact).
             let t = s.time.as_nanos();
-            if t < horizon {
-                let idx = ((t - self.win_start) >> self.shift) as usize;
-                debug_assert!(idx < count);
+            let idx = ((t - self.win_start) >> self.shift) as usize;
+            if idx < count {
                 self.buckets[idx].push(s);
             } else {
                 self.far.push(s);

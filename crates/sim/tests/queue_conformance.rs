@@ -259,3 +259,79 @@ fn calendar_matches_heap_under_sustained_advance() {
         }
     }
 }
+
+#[test]
+fn clear_then_schedule_far_past_the_old_day_horizon() {
+    // Regression (found by `mrm-fuzz queue`-shaped traces): `clear` keeps
+    // the calendar's window placement while dropping its events, and the
+    // very next schedule may land days past the old horizon. The rebuilt
+    // window must re-center on the far-future event and still interleave
+    // correctly with near events scheduled after it.
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: LegacyHeapQueue<u64> = LegacyHeapQueue::new();
+    let day = SimDuration::from_days(1);
+    cal.schedule(SimTime::from_nanos(1_000), 0);
+    heap.schedule(SimTime::from_nanos(1_000), 0);
+    assert_eq!(cal.pop(), heap.pop());
+    cal.clear();
+    heap.clear();
+    assert_eq!(cal.now(), heap.now(), "clock survives clear");
+    let far = cal.now() + day * 3;
+    cal.schedule(far, 1);
+    heap.schedule(far, 1);
+    cal.schedule_after(SimDuration::from_nanos(7), 2);
+    heap.schedule_after(SimDuration::from_nanos(7), 2);
+    cal.schedule(far + SimDuration::from_nanos(1), 3);
+    heap.schedule(far + SimDuration::from_nanos(1), 3);
+    for _ in 0..4 {
+        assert_eq!(cal.pop(), heap.pop());
+    }
+    assert_eq!(cal.now(), heap.now());
+}
+
+#[test]
+fn schedule_at_the_u64_horizon_terminates_and_drains() {
+    // Regression: an event at exactly `SimTime::MAX` used to livelock the
+    // calendar — the rebuilt window's horizon saturates at `u64::MAX`, so
+    // a `t < horizon` placement test excluded the event forever and
+    // `normalize` re-spilled it on every pass. Scheduling at the horizon
+    // must terminate, order correctly against near events, and drain.
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: LegacyHeapQueue<u64> = LegacyHeapQueue::new();
+    cal.schedule(SimTime::from_nanos(1_000), 0);
+    heap.schedule(SimTime::from_nanos(1_000), 0);
+    assert_eq!(cal.pop(), heap.pop());
+    cal.schedule(SimTime::MAX, 1);
+    heap.schedule(SimTime::MAX, 1);
+    cal.schedule_after(SimDuration::from_nanos(5), 2);
+    heap.schedule_after(SimDuration::from_nanos(5), 2);
+    cal.schedule(SimTime::MAX, 3);
+    heap.schedule(SimTime::MAX, 3);
+    assert_eq!(cal.peek_time(), heap.peek_time());
+    loop {
+        let (a, b) = (cal.pop(), heap.pop());
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
+        }
+    }
+    assert_eq!(cal.now(), SimTime::MAX, "clock lands on the horizon");
+    assert_eq!(cal.now(), heap.now());
+}
+
+#[test]
+fn clear_at_the_horizon_recovers_a_usable_queue() {
+    // After draining to `SimTime::MAX` (or clearing events parked there),
+    // the queue must remain schedulable at the clamped clock.
+    let mut cal: EventQueue<u64> = EventQueue::new();
+    let mut heap: LegacyHeapQueue<u64> = LegacyHeapQueue::new();
+    cal.schedule(SimTime::MAX, 1);
+    heap.schedule(SimTime::MAX, 1);
+    cal.clear();
+    heap.clear();
+    assert_eq!(cal.len(), 0);
+    cal.schedule(SimTime::MAX, 2);
+    heap.schedule(SimTime::MAX, 2);
+    assert_eq!(cal.pop(), heap.pop());
+    assert_eq!(cal.pop(), heap.pop());
+}
